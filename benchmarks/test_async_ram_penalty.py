@@ -1,0 +1,97 @@
+"""Experiment X3 — §IV: the asynchronous-RAM polyfill penalty.
+
+"NVDLA shows the best speed-up GEM can achieve because all RAMs inside it
+are mapped to E-AIG RAM blocks, but the other 4 designs have RAMs with
+asynchronous read ports that can only be implemented inefficiently with
+FFs and decoder logic."
+
+Two measurements:
+
+1. a port-type sweep on an isolated memory — gate cost and GEM cycle work
+   for block mapping vs polyfill, across sizes;
+2. the designs themselves — NVDLA all-blocks vs the CPU designs' polyfilled
+   register files, and the resulting share of polyfill logic.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.core.ram_mapping import RamMappingConfig
+from repro.core.synthesis import SynthesisConfig, synthesize
+from repro.harness.runner import DESIGNS, design_synth
+from repro.harness.tables import format_table
+from repro.rtl import CircuitBuilder
+
+
+def _memory_circuit(depth, width, sync):
+    b = CircuitBuilder(f"mem_{depth}x{width}_{'s' if sync else 'a'}")
+    mem = b.memory("m", depth, width)
+    b.write(mem, b.input("wen", 1), b.input("waddr", mem.addr_bits), b.input("wdata", width))
+    b.output("rd", b.read(mem, b.input("raddr", mem.addr_bits), sync=sync))
+    return b.build()
+
+
+def _sweep():
+    cfg = SynthesisConfig(ram=RamMappingConfig(addr_bits=6, data_bits=32))
+    rows = []
+    for depth, width in [(64, 32), (128, 32), (256, 32), (256, 64)]:
+        sync = synthesize(_memory_circuit(depth, width, True), cfg)
+        asyn = synthesize(_memory_circuit(depth, width, False), cfg)
+        rows.append(
+            {
+                "memory": f"{depth}x{width}",
+                "sync_gates": sync.eaig.num_gates(),
+                "async_gates": asyn.eaig.num_gates(),
+                "penalty": round(asyn.eaig.num_gates() / max(1, sync.eaig.num_gates()), 1),
+                "polyfill_ffs": asyn.memory_reports[0].polyfill_ffs,
+            }
+        )
+    return rows
+
+
+def test_port_type_sweep(benchmark, record_experiment):
+    rows = run_once(benchmark, _sweep)
+    print("\nAsync-read polyfill penalty (isolated memory):")
+    print(format_table(rows))
+    record_experiment("X3_port_sweep", {"rows": rows})
+    for row in rows:
+        assert row["penalty"] > 5.0, row
+    # Polyfill cost is linear in depth x width (one FF per bit)…
+    for row in rows:
+        depth, width = (int(x) for x in row["memory"].split("x"))
+        assert row["polyfill_ffs"] == depth * width, row
+    # …while block mapping stays a handful of adapter gates.
+    async_gates = [row["async_gates"] for row in rows]
+    assert async_gates == sorted(async_gates)
+    assert rows[-2]["async_gates"] > 100 * rows[-2]["sync_gates"]
+
+
+def test_designs_polyfill_share(benchmark, record_experiment):
+    def measure():
+        rows = []
+        for name in DESIGNS:
+            synth = design_synth(name)
+            polyfill_ffs = sum(r.polyfill_ffs for r in synth.memory_reports)
+            blocks = sum(r.blocks for r in synth.memory_reports)
+            modes = {r.mode for r in synth.memory_reports}
+            rows.append(
+                {
+                    "design": name,
+                    "ram_blocks": blocks,
+                    "polyfill_ffs": polyfill_ffs,
+                    "all_sync": modes == {"blocks"},
+                }
+            )
+        return rows
+
+    rows = run_once(benchmark, measure)
+    print("\nRAM mapping per design (the paper's NVDLA-vs-rest split):")
+    print(format_table(rows))
+    record_experiment("X3_design_split", {"rows": rows})
+    by = {row["design"]: row for row in rows}
+    # NVDLA: every memory on native blocks (paper: why it's the best case).
+    assert by["nvdla"]["all_sync"]
+    assert by["nvdla"]["polyfill_ffs"] == 0
+    # Every other design pays the polyfill somewhere.
+    for name in ("rocketchip", "gemmini", "openpiton1", "openpiton8"):
+        assert by[name]["polyfill_ffs"] > 0, name

@@ -1,0 +1,55 @@
+"""Experiment A1 — ablation of Algorithm 2's timing-driven ordering.
+
+DESIGN.md's per-experiment index calls out the design choice in §III-D:
+nodes are placed most-critical-first (reverse logic depth over the
+remaining subgraph, constantly updated).  We re-place every partition of
+two designs with criticality disabled (FIFO order) and compare layer
+counts — the metric the ordering exists to minimize.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.core.placement import place_partition
+from repro.harness.runner import compile_design
+from repro.harness.tables import format_table
+
+DESIGNS_TO_TEST = ["rocketchip", "nvdla"]
+
+
+def _measure():
+    rows = []
+    for name in DESIGNS_TO_TEST:
+        design = compile_design(name)
+        eaig = design.synth.eaig
+        timing = 0
+        fifo = 0
+        for placed in design.merge.placements:
+            timing += len(placed.layers)
+            fifo += len(
+                place_partition(
+                    eaig, placed.spec, placed.config, timing_driven=False
+                ).layers
+            )
+        rows.append(
+            {
+                "design": name,
+                "layers_timing_driven": timing,
+                "layers_fifo": fifo,
+                "saving": round((fifo - timing) / max(1, fifo), 3),
+            }
+        )
+    return rows
+
+
+def test_timing_driven_placement_saves_layers(benchmark, record_experiment):
+    rows = run_once(benchmark, _measure)
+    print("\nA1: timing-driven vs FIFO bit placement (total layers):")
+    print(format_table(rows))
+    record_experiment("A1_placement_ablation", {"rows": rows})
+    total_timing = sum(row["layers_timing_driven"] for row in rows)
+    total_fifo = sum(row["layers_fifo"] for row in rows)
+    # Criticality ordering must never lose, and should win overall.
+    assert total_timing <= total_fifo
+    for row in rows:
+        assert row["layers_timing_driven"] <= row["layers_fifo"] * 1.05, row

@@ -1,0 +1,121 @@
+"""Experiment T2 — Table II: simulation speed and speed-up comparison.
+
+Regenerates all 18 design/test rows: GEM on the A100 and RTX 3090 profiles
+against the commercial event-driven stand-in, Verilator-style compiled
+simulation (1 and 8 threads) and the GL0AM-style gate-level model.
+
+Methodology (EXPERIMENTS.md): analytical engine models driven by measured
+work (instruction words assembled, events and toggles counted on the real
+workloads), calibrated once against the paper's NVDLA anchor row.  The
+anchor row matches by construction; everything else — 17 rows, every
+cross-design and cross-workload ratio — is a genuine model output.
+
+Shape assertions encode the paper's headline findings:
+
+* GEM wins on (nearly) every row; the average speed-ups are of the same
+  order as the paper's 9.15x / 5.98x / 24.87x / 7.72x bottom line;
+* NVDLA (all-synchronous RAMs) is GEM's best case;
+* OpenPiton8 with its low-activity workload is GEM's worst case — the
+  event-driven baseline gets close or crosses over (paper: 0.95x row);
+* GEM's speed is per-design constant (oblivious full-cycle), while the
+  event-driven baseline swings with workload activity.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.harness.tables import (
+    PAPER_AVERAGE_SPEEDUPS,
+    PAPER_TABLE2,
+    average_speedups,
+    format_table,
+    table2_rows,
+)
+
+
+def test_table2(benchmark, record_experiment):
+    rows = run_once(benchmark, table2_rows)
+    printable = []
+    for row in rows:
+        paper = PAPER_TABLE2[row.design][row.test]
+        d = row.as_dict()
+        d["paper_gem_a100"] = paper["gem_a100"]
+        d["paper_commercial"] = paper["commercial"]
+        printable.append(d)
+    print("\nTable II (ours; paper reference columns at right):")
+    print(
+        format_table(
+            printable,
+            columns=[
+                "design", "test", "commercial", "verilator_8t", "verilator_1t",
+                "gl0am", "gem_a100", "gem_3090",
+                "speedup_commercial", "speedup_verilator_1t",
+                "paper_commercial", "paper_gem_a100",
+            ],
+            floatfmt=".0f",
+        )
+    )
+    ours_avg = average_speedups(rows)
+    print("average speed-ups (ours vs paper):")
+    for key, value in ours_avg.items():
+        print(f"  {key:14s} {value:7.2f}   paper {PAPER_AVERAGE_SPEEDUPS[key]:6.2f}")
+    record_experiment(
+        "T2_table2",
+        {
+            "rows": [r.as_dict() for r in rows],
+            "average_speedups": ours_avg,
+            "paper_average_speedups": PAPER_AVERAGE_SPEEDUPS,
+        },
+    )
+
+    designs = list(dict.fromkeys(r.design for r in rows))
+    gem_by_design = {d: next(r.gem_a100 for r in rows if r.design == d) for d in designs}
+
+    def design_mean(key: str, design: str) -> float:
+        vals = [r.speedups()[key] for r in rows if r.design == design]
+        return sum(vals) / len(vals)
+
+    # GEM is per-design constant (full-cycle): same Hz on every workload.
+    for design in designs:
+        speeds = {r.gem_a100 for r in rows if r.design == design}
+        assert len(speeds) == 1, design
+
+    # The commercial baseline is activity-sensitive: it varies per workload.
+    nvdla_comm = [r.commercial for r in rows if r.design == "nvdla"]
+    assert max(nvdla_comm) > 1.2 * min(nvdla_comm)
+
+    # GEM wins on at least 16 of the 18 rows vs every baseline (the paper
+    # loses one row: OpenPiton8/fp_mt_combo0 vs commercial at 0.95x).
+    for key in ("commercial", "gl0am", "verilator_1t", "verilator_8t"):
+        wins = sum(1 for r in rows if r.speedups()[key] > 1.0)
+        assert wins >= len(rows) - 2, (key, wins)
+
+    # GEM-A100 Hz ordering across designs matches the paper exactly:
+    # NVDLA fastest ... Gemmini slower ... OpenPiton8 slowest.
+    assert gem_by_design["openpiton8"] == min(gem_by_design.values())
+    assert gem_by_design["gemmini"] < gem_by_design["nvdla"]
+    assert gem_by_design["gemmini"] < gem_by_design["openpiton1"]
+
+    # NVDLA's GEM-vs-commercial speed-up sits in the paper's observed band
+    # (8.3x–38.9x across the five NVDLA tests).
+    assert 8.0 <= design_mean("commercial", "nvdla") <= 40.0
+
+    # OpenPiton8 is GEM's weakest design vs the commercial tool (the
+    # crossover region of the paper).
+    means = {d: design_mean("commercial", d) for d in designs}
+    assert means["openpiton8"] == min(means.values()), means
+    assert means["openpiton8"] < 6.0
+
+    # Average speed-ups land within the paper's order of magnitude
+    # (EXPERIMENTS.md discusses the per-column deviations).
+    assert 4.0 <= ours_avg["commercial"] <= 30.0
+    assert 10.0 <= ours_avg["verilator_1t"] <= 300.0
+    assert 4.0 <= ours_avg["gl0am"] <= 60.0
+    assert ours_avg["verilator_1t"] > ours_avg["verilator_8t"]
+
+    # 3090 never beats the A100, and falls behind most on the design with
+    # the highest resource pressure (paper §IV: OpenPiton8).
+    for r in rows:
+        assert r.gem_3090 <= r.gem_a100 * 1.01
+    ratio = {d: next(r.gem_3090 / r.gem_a100 for r in rows if r.design == d) for d in designs}
+    assert ratio["openpiton8"] <= min(ratio["nvdla"], ratio["rocketchip"]) + 0.01

@@ -1,0 +1,67 @@
+"""Matrix multiplication on the Gemmini-like systolic array under GEM.
+
+Run:  python examples/accelerator_matmul.py
+
+Performs a real (weight-stationary) tiled matmul C = W @ A on the systolic
+array: loads the weight tile row by row, streams activation columns,
+drains the accumulators into the scratchpad, reads C back through the
+verify port, and checks it against NumPy.
+"""
+
+import numpy as np
+
+from repro.core.compiler import GemCompiler
+from repro.designs.gemmini_like import GemminiScale, build_gemmini_like
+
+
+def main() -> None:
+    scale = GemminiScale(dim=4, data_width=8, acc_width=32, spad_depth=64)
+    N = scale.dim
+    rng = np.random.default_rng(0)
+    W = rng.integers(0, 50, size=(N, N))
+    A = rng.integers(0, 50, size=(N, N))
+    expected = W @ A
+
+    circuit = build_gemmini_like(scale)
+    print(f"compiling a {N}x{N} systolic array through the GEM flow...")
+    design = GemCompiler().compile(circuit)
+    print("compile report:", design.report.row())
+    sim = design.simulator()
+
+    def pack(row) -> int:
+        word = 0
+        for j, v in enumerate(row):
+            word |= int(v) << (j * scale.data_width)
+        return word
+
+    # 1. Load the weight tile (row i latches when wgt_row == i).
+    sim.step({"acc_clear": 1})
+    for i in range(N):
+        sim.step({"wgt_wen": 1, "wgt_row": i, "wgt_bus": pack(W[i])})
+
+    # 2. Stream activation columns; row accumulators collect W @ a_col.
+    #    One column per "tile": clear, stream, drain to scratchpad.
+    for col in range(N):
+        sim.step({"acc_clear": 1})
+        sim.step({"act_valid": 1, "act_bus": pack(A[:, col])})
+        for row in range(N):
+            sim.step({"drain": 1, "drain_row": row, "drain_addr": col * N + row})
+
+    # 3. Read C back through the synchronous verify port (1-cycle latency).
+    C = np.zeros((N, N), dtype=np.int64)
+    sim.step({"verify_addr": 0})
+    for col in range(N):
+        for row in range(N):
+            nxt = col * N + row + 1
+            out = sim.step({"verify_addr": nxt})
+            C[row, col] = out["verify_data"]
+
+    print("W @ A from the hardware:")
+    print(C)
+    assert (C == expected).all(), (C, expected)
+    print("matches numpy ✓")
+    print(f"total simulated cycles: {sim.cycle}")
+
+
+if __name__ == "__main__":
+    main()

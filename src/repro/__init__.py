@@ -1,0 +1,17 @@
+"""repro — a from-scratch Python reproduction of GEM (DAC 2025).
+
+GEM: GPU-Accelerated Emulator-Inspired RTL Simulation.
+
+Public API tour (see README.md for the full walkthrough):
+
+* describe hardware with :class:`repro.rtl.CircuitBuilder`;
+* compile it with :class:`repro.core.GemCompiler` (synthesis → E-AIG →
+  multi-stage RepCut → boomerang placement → VLIW bitstream);
+* execute with :meth:`repro.core.compiler.CompiledDesign.simulator`;
+* compare against the reference engines in :mod:`repro.simref`;
+* reproduce the paper's tables with :mod:`repro.harness`.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

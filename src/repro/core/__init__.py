@@ -1,0 +1,31 @@
+"""GEM core: the paper's contribution.
+
+The compile flow (paper §III) is:
+
+RTL circuit
+  → :mod:`repro.core.synthesis`   (word-level lowering to E-AIG, §III-B)
+  → :mod:`repro.core.ram_mapping` (RAM blocks + adapters + polyfill, §III-B)
+  → :mod:`repro.core.depth_opt`   (depth-oriented AIG optimization, §III-B)
+  → :mod:`repro.core.partition`   (multi-stage RepCut, §III-C)
+  → :mod:`repro.core.merging`     (Algorithm 1 partition merging, §III-C)
+  → :mod:`repro.core.placement`   (Algorithm 2 boomerang placement, §III-D)
+  → :mod:`repro.core.bitstream`   (VLIW ISA assembly, §III-E)
+  → :mod:`repro.core.interpreter` (word-parallel virtual-GPU execution)
+
+:class:`repro.core.compiler.GemCompiler` drives the whole flow and
+:class:`repro.core.compiler.GemSimulator` is the user-facing run API.
+"""
+
+from repro.core.eaig import EAIG, EAIGSim, Ram
+
+__all__ = ["EAIG", "EAIGSim", "Ram"]
+
+
+def __getattr__(name: str):
+    # GemCompiler and friends are imported lazily to keep `import repro.core`
+    # light and to avoid import cycles during the staged build of the flow.
+    if name in ("GemCompiler", "GemConfig", "GemSimulator", "CompileReport"):
+        from repro.core import compiler
+
+        return getattr(compiler, name)
+    raise AttributeError(f"module 'repro.core' has no attribute {name!r}")

@@ -1,0 +1,261 @@
+"""Bitstream generation (paper §III-E).
+
+Serializes a fully compiled design — synthesis result, partition plan and
+placements — into the binary the GEM interpreter loads.  As the paper puts
+it, this is simultaneously FPGA-style bitstream generation (it encodes the
+wiring of a reconfigurable fabric) and a software assembler (the result is
+interpreted by a virtual machine).
+
+Binary layout (32-bit words)::
+
+    [0]  magic 'GEMB'                [5]  number of stages
+    [1]  format version              [6]  number of RAM blocks
+    [2]  width_log2                  [7]  total instruction words
+    [3]  global state bits           [8..] partitions per stage
+    [4]  number of partitions
+    per-partition offset table: (start word, word count) pairs
+    instruction stream (per partition: INIT, READ*, {PERM*, FOLD, WB*}
+                        per layer, GWRITE*, RAMOP*)
+    RAM data section: per block, (addr_bits<<16|data_bits), depth words
+
+Global state layout: ``[const0 | PIs | FF q | RAM read data | stage-cut
+values | PO bits]``.  Host-side name→bit-index maps live in
+:class:`ProgramMeta` (the sidecar a real flow would emit as JSON).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core import isa
+from repro.core.boomerang import BoomerangConfig
+from repro.core.eaig import EAIG, NodeKind, lit_node
+from repro.core.merging import MergeResult
+from repro.core.placement import PlacedPartition
+from repro.core.synthesis import SynthesisResult
+
+MAGIC = 0x47454D42  # "GEMB"
+VERSION = 1
+
+
+@dataclass
+class ProgramMeta:
+    """Host-side sidecar: how to feed inputs and read outputs."""
+
+    config: BoomerangConfig
+    global_bits: int
+    #: input word name -> global bit indices (LSB first)
+    pi_index: dict[str, list[int]]
+    #: output word name -> global bit indices (LSB first)
+    po_index: dict[str, list[int]]
+    #: E-AIG node -> global bit index (PIs, FFs, RAM read bits, cut values)
+    node_gidx: dict[int, int]
+    stage_partition_counts: list[int]
+
+
+@dataclass
+class GemProgram:
+    """An assembled bitstream plus its host sidecar."""
+
+    words: np.ndarray
+    meta: ProgramMeta
+
+    @property
+    def num_bytes(self) -> int:
+        return int(self.words.size) * 4
+
+    def size_mb(self) -> float:
+        return self.num_bytes / (1024 * 1024)
+
+
+@dataclass
+class _PartitionCode:
+    instructions: list[np.ndarray] = field(default_factory=list)
+
+    def extend(self, insts) -> None:
+        if isinstance(insts, np.ndarray):
+            self.instructions.append(insts)
+        else:
+            self.instructions.extend(insts)
+
+    def words(self) -> np.ndarray:
+        if not self.instructions:
+            return np.zeros(0, dtype=np.uint32)
+        return np.concatenate(self.instructions)
+
+
+def allocate_global_state(eaig: EAIG, merge: MergeResult, synth: SynthesisResult) -> ProgramMeta:
+    """Assign a global bit index to every globally visible value."""
+    node_gidx: dict[int, int] = {}
+    next_bit = 1  # bit 0 is a constant 0 (handy for unconnected reads)
+    for pi in eaig.pis:
+        node_gidx[pi] = next_bit
+        next_bit += 1
+    for ff in eaig.ffs:
+        node_gidx[ff] = next_bit
+        next_bit += 1
+    for ram in eaig.rams:
+        for node in ram.data_nodes:
+            node_gidx[node] = next_bit
+            next_bit += 1
+    for spec in merge.plan.partitions:
+        for node in spec.cut_nodes:
+            node_gidx[node] = next_bit
+            next_bit += 1
+    po_index: dict[str, list[int]] = {}
+    for name, bits in synth.output_bits.items():
+        po_index[name] = list(range(next_bit, next_bit + len(bits)))
+        next_bit += len(bits)
+    pi_index = {
+        name: [node_gidx[lit_node(l)] for l in bits]
+        for name, bits in synth.input_bits.items()
+    }
+    config = merge.placements[0].config if merge.placements else BoomerangConfig()
+    return ProgramMeta(
+        config=config,
+        global_bits=next_bit,
+        pi_index=pi_index,
+        po_index=po_index,
+        node_gidx=node_gidx,
+        stage_partition_counts=[len(s) for s in merge.plan.stages],
+    )
+
+
+def _effective_width_log2(placed: PlacedPartition, layer_index: int) -> int:
+    """Trimmed tree width: the placement cursor packs leaves leftwards, so
+    folding only the occupied power-of-two prefix is equivalent and much
+    cheaper to execute (the interpreter honours this per-layer width)."""
+    layer = placed.layers[layer_index]
+    occupied = np.nonzero(layer.perm >= 0)[0]
+    eff = 1
+    if occupied.size:
+        eff = max(eff, int(occupied[-1]).bit_length())
+    for step, wbs in enumerate(layer.writebacks):
+        for pos, _slot in wbs:
+            eff = max(eff, step + 1 + pos.bit_length())
+    return min(max(eff, 1), placed.config.width_log2)
+
+
+def assemble_partition(
+    eaig: EAIG, placed: PlacedPartition, meta: ProgramMeta, synth: SynthesisResult
+) -> _PartitionCode:
+    """Emit the instruction stream of one partition."""
+    spec = placed.spec
+    code = _PartitionCode()
+
+    read_entries = [
+        (meta.node_gidx[node], placed.slot_of[node], False) for node in spec.sources
+    ]
+    ramops: list[isa.RamOp] = []
+    for ram_index in spec.ram_indices:
+        ram = eaig.rams[ram_index]
+        ramops.append(
+            isa.RamOp(
+                ram_index=ram_index,
+                addr_bits=ram.addr_bits,
+                data_bits=ram.data_bits,
+                rd_global_base=meta.node_gidx[ram.data_nodes[0]],
+                raddr=[placed.slot_and_invert(l) for l in ram.raddr],
+                ren=placed.slot_and_invert(ram.ren),
+                waddr=[placed.slot_and_invert(l) for l in ram.waddr],
+                wdata=[placed.slot_and_invert(l) for l in ram.wdata],
+                wen=placed.slot_and_invert(ram.wen),
+            )
+        )
+
+    code.extend(
+        isa.encode_init(
+            stage=spec.stage,
+            num_layers=len(placed.layers),
+            state_slots=placed.num_slots,
+            num_reads=len(read_entries),
+            num_ramops=len(ramops),
+        )
+    )
+    code.extend(isa.encode_read(read_entries))
+    for li, layer in enumerate(placed.layers):
+        eff = _effective_width_log2(placed, li)
+        code.extend(isa.encode_perm(layer.perm))
+        code.extend(isa.encode_fold(eff, layer.xor_a, layer.xor_b, layer.or_b))
+        wb_entries = [
+            (step, pos, slot)
+            for step, wbs in enumerate(layer.writebacks)
+            for pos, slot in wbs
+        ]
+        if wb_entries:
+            code.extend(isa.encode_wb(wb_entries))
+
+    gwrite_entries: list[tuple[int, bool, int, bool]] = []
+    for group in spec.groups:
+        if group.kind == "ff":
+            slot, inv = placed.slot_and_invert(eaig.fanin0[group.ff_node])
+            gwrite_entries.append((slot, inv, meta.node_gidx[group.ff_node], True))
+        elif group.kind == "cut":
+            slot, inv = placed.slot_and_invert(2 * group.cut_node)
+            gwrite_entries.append((slot, inv, meta.node_gidx[group.cut_node], False))
+        elif group.kind == "po":
+            targets = meta.po_index[group.po_name]
+            literals = synth.output_bits[group.po_name]
+            for literal, gidx in zip(literals, targets):
+                slot, inv = placed.slot_and_invert(literal)
+                gwrite_entries.append((slot, inv, gidx, False))
+    if gwrite_entries:
+        code.extend(isa.encode_gwrite(gwrite_entries))
+    for op in ramops:
+        code.extend(isa.encode_ramop(op))
+    return code
+
+
+def assemble(eaig: EAIG, synth: SynthesisResult, merge: MergeResult) -> GemProgram:
+    """Assemble the complete program for a compiled design."""
+    meta = allocate_global_state(eaig, merge, synth)
+    # Partition order is stage-major: all stage-0 blocks, then stage-1, ...
+    codes = [
+        assemble_partition(eaig, placed, meta, synth) for placed in merge.placements
+    ]
+    num_parts = len(codes)
+    num_stages = len(meta.stage_partition_counts)
+    header_len = 8 + num_stages + 2 * num_parts
+    offsets: list[tuple[int, int]] = []
+    cursor = header_len
+    chunks: list[np.ndarray] = []
+    for code in codes:
+        words = code.words()
+        offsets.append((cursor, len(words)))
+        chunks.append(words)
+        cursor += len(words)
+    total_inst_words = cursor - header_len
+
+    # Reset section: global bits that power up as 1 (flip-flop init values).
+    ones = [meta.node_gidx[ff] for ff in eaig.ffs if eaig.aux[ff]]
+    reset_section = np.array([len(ones), *ones], dtype=np.uint32)
+
+    ram_section: list[np.ndarray] = []
+    for ram in eaig.rams:
+        head = np.zeros(2, dtype=np.uint32)
+        head[0] = (ram.addr_bits << 16) | ram.data_bits
+        head[1] = ram.depth
+        words = np.zeros(ram.depth, dtype=np.uint32)
+        init = ram.init[: ram.depth]
+        words[: len(init)] = np.asarray(init, dtype=np.uint32)
+        ram_section.extend((head, words))
+
+    header = np.zeros(header_len, dtype=np.uint32)
+    header[0] = MAGIC
+    header[1] = VERSION
+    header[2] = meta.config.width_log2
+    header[3] = meta.global_bits
+    header[4] = num_parts
+    header[5] = num_stages
+    header[6] = len(eaig.rams)
+    header[7] = total_inst_words
+    for s, count in enumerate(meta.stage_partition_counts):
+        header[8 + s] = count
+    for i, (start, length) in enumerate(offsets):
+        header[8 + num_stages + 2 * i] = start
+        header[8 + num_stages + 2 * i + 1] = length
+
+    words = np.concatenate([header, *chunks, *ram_section, reset_section])
+    return GemProgram(words=words, meta=meta)

@@ -1,0 +1,161 @@
+"""End-to-end GEM compile flow and user-facing simulator API.
+
+``GemCompiler`` chains the paper's whole pipeline (Fig. 1's right side):
+
+    RTL circuit → synthesis → depth optimization → multi-stage RepCut
+    → Algorithm 1 merging (placements fall out of the mappability probes)
+    → bitstream assembly
+
+and returns a :class:`CompiledDesign` whose :meth:`CompiledDesign.simulator`
+is ready to run stimuli.  :class:`CompileReport` carries the exact columns
+of the paper's Table I (gates, levels, stages, layers, partitions,
+bitstream size) plus the reproduction's extra accounting.
+
+Typical use::
+
+    from repro.core import GemCompiler
+    design = GemCompiler().compile(circuit)
+    sim = design.simulator()
+    outs = sim.step({"in": 3})
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.core.bitstream import GemProgram, assemble
+from repro.core.boomerang import BoomerangConfig
+from repro.core.depth_opt import optimize as depth_optimize
+from repro.core.interpreter import GemInterpreter
+from repro.core.merging import MergeResult, merge_partitions
+from repro.core.partition import PartitionConfig, PartitionPlan, partition_design
+from repro.core.placement import UnmappableError
+from repro.core.synthesis import SynthesisConfig, SynthesisResult, synthesize
+from repro.rtl.ir import Circuit
+
+
+@dataclass
+class GemConfig:
+    """All knobs of the compile flow in one place."""
+
+    synthesis: SynthesisConfig = field(default_factory=SynthesisConfig)
+    partition: PartitionConfig = field(default_factory=PartitionConfig)
+    boomerang: BoomerangConfig = field(default_factory=BoomerangConfig)
+    #: run the depth-optimization cleanup after lowering
+    optimize: bool = True
+    #: halve gates_per_partition and retry when a base partition is
+    #: unmappable (the paper's flow tunes partition granularity similarly)
+    max_partition_retries: int = 3
+
+    def __post_init__(self) -> None:
+        # The partitioner's width budget must match the processor's state.
+        self.partition.width = self.boomerang.state_size
+
+
+@dataclass
+class CompileReport:
+    """Table I columns for one design, straight from the real flow."""
+
+    name: str
+    gates: int
+    levels: int
+    stages: int
+    #: maximum boomerang layer count over all partitions (per-cycle critical
+    #: path inside a block)
+    layers: int
+    partitions: int
+    bitstream_bytes: int
+    replication_cost: float
+    mean_utilization: float
+    ram_blocks: int
+    ffs: int
+
+    def row(self) -> dict:
+        return {
+            "Design": self.name,
+            "#E-AIG Gates": self.gates,
+            "#Levels": self.levels,
+            "#Stages": self.stages,
+            "#Layers": self.layers,
+            "#Parts": self.partitions,
+            "Bitstream": f"{self.bitstream_bytes / (1024 * 1024):.1f} MB",
+        }
+
+
+@dataclass
+class CompiledDesign:
+    """Everything produced by one compile run."""
+
+    synth: SynthesisResult
+    plan: PartitionPlan
+    merge: MergeResult
+    program: GemProgram
+    report: CompileReport
+
+    def simulator(self) -> "GemSimulator":
+        return GemSimulator(self.program)
+
+
+class GemSimulator(GemInterpreter):
+    """The user-facing execution engine (paper's 'execution stage', §II).
+
+    A thin veneer over :class:`~repro.core.interpreter.GemInterpreter`:
+    word-valued inputs in, word-valued outputs out, with the per-cycle work
+    counters exposed for the performance model.
+    """
+
+
+class GemCompiler:
+    """Drives the compile stage (paper §III-B..E)."""
+
+    def __init__(self, config: GemConfig | None = None) -> None:
+        self.config = config or GemConfig()
+
+    def compile(self, circuit: Circuit | SynthesisResult) -> CompiledDesign:
+        config = self.config
+        if isinstance(circuit, SynthesisResult):
+            synth = circuit
+        else:
+            synth = synthesize(circuit, config.synthesis)
+            if config.optimize:
+                synth = depth_optimize(synth)
+        eaig = synth.eaig
+
+        pconfig = config.partition
+        merge: MergeResult | None = None
+        plan: PartitionPlan | None = None
+        for _ in range(config.max_partition_retries + 1):
+            plan = partition_design(eaig, pconfig)
+            try:
+                merge = merge_partitions(eaig, plan, config.boomerang)
+                break
+            except UnmappableError:
+                pconfig = replace(
+                    pconfig, gates_per_partition=max(64, pconfig.gates_per_partition // 2)
+                )
+        if merge is None or plan is None:
+            raise UnmappableError(
+                f"{eaig.name}: could not find a mappable partitioning even at "
+                f"{pconfig.gates_per_partition} gates per partition"
+            )
+
+        program = assemble(eaig, synth, merge)
+        report = CompileReport(
+            name=eaig.name,
+            gates=eaig.num_gates(),
+            levels=eaig.depth(),
+            stages=merge.plan.num_stages,
+            layers=max((len(p.layers) for p in merge.placements), default=0),
+            partitions=merge.plan.num_partitions,
+            bitstream_bytes=program.num_bytes,
+            replication_cost=merge.plan.replication_cost(),
+            mean_utilization=merge.mean_utilization(),
+            ram_blocks=len(eaig.rams),
+            ffs=len(eaig.ffs),
+        )
+        return CompiledDesign(synth=synth, plan=plan, merge=merge, program=program, report=report)
+
+
+def compile_circuit(circuit: Circuit, config: GemConfig | None = None) -> CompiledDesign:
+    """Convenience one-shot compile."""
+    return GemCompiler(config).compile(circuit)

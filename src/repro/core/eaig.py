@@ -1,0 +1,427 @@
+"""Extended and-inverter graph (E-AIG), the paper's circuit format (Fig. 2).
+
+An E-AIG contains:
+
+* **AND** nodes over complementable edges (INVERT gates are edge attributes,
+  the standard AIG encoding; the paper's fake ASIC library gives INV gates
+  0 ps, so logic depth counts AND levels only);
+* **FF** nodes — D flip-flops clocked by the single implicit clock;
+* **RAM** blocks — the fixed native RAM type (13-bit address × 32-bit data
+  by default) with one synchronous read port and one write port.  General
+  behavioral RAMs are decomposed onto this type by
+  :mod:`repro.core.ram_mapping`.
+
+Edges are *literals*: ``lit = 2 * node + negated``.  Node 0 is the constant
+false, so literal 0 is ``0`` and literal 1 is ``1``.
+
+The class performs structural hashing and constant folding on construction
+(``AND(x, 0) = 0``, ``AND(x, 1) = x``, ``AND(x, x) = x``,
+``AND(x, ~x) = 0``), which is the first half of the depth-oriented synthesis
+step; the rest lives in :mod:`repro.core.depth_opt`.
+
+:class:`EAIGSim` is the bit-level golden simulator for the format, used to
+cross-check both the word-level golden model and the GEM interpreter.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+FALSE = 0  #: literal constant false
+TRUE = 1  #: literal constant true
+
+
+class NodeKind(enum.IntEnum):
+    CONST = 0  # node 0 only
+    PI = 1
+    AND = 2
+    FF = 3
+    RAMRD = 4  # one bit of a RAM block's registered read data
+
+
+def lit(node: int, neg: bool = False) -> int:
+    """Build a literal from a node index and a complement flag."""
+    return 2 * node + (1 if neg else 0)
+
+
+def lit_node(literal: int) -> int:
+    return literal >> 1
+
+
+def lit_neg(literal: int) -> bool:
+    return bool(literal & 1)
+
+
+def lit_not(literal: int) -> int:
+    return literal ^ 1
+
+
+@dataclass
+class Ram:
+    """One native RAM block instance.
+
+    Ports are literal vectors into the same E-AIG.  Semantics per clock
+    edge (matching :class:`repro.rtl.memory.Memory` read-first behaviour)::
+
+        if wen: ram[waddr] <= wdata
+        rdata  <= ram[raddr_old] if ren else rdata   # sampled before write
+
+    ``rdata`` is exposed through ``data_nodes``: RAMRD nodes owned by this
+    block, one per data bit.
+    """
+
+    index: int
+    name: str
+    addr_bits: int
+    data_bits: int
+    raddr: list[int] = field(default_factory=list)
+    ren: int = TRUE
+    waddr: list[int] = field(default_factory=list)
+    wdata: list[int] = field(default_factory=list)
+    wen: int = FALSE
+    data_nodes: list[int] = field(default_factory=list)
+    init: list[int] = field(default_factory=list)
+
+    @property
+    def depth(self) -> int:
+        return 1 << self.addr_bits
+
+    def port_literals(self) -> list[int]:
+        """All input literals consumed by this RAM block."""
+        return [*self.raddr, self.ren, *self.waddr, *self.wdata, self.wen]
+
+
+class EAIG:
+    """Extended and-inverter graph with structural hashing."""
+
+    def __init__(self, name: str = "eaig") -> None:
+        self.name = name
+        # Per-node parallel arrays (compact, cache-friendly for big graphs).
+        self.kind: list[NodeKind] = [NodeKind.CONST]
+        self.fanin0: list[int] = [FALSE]  # AND: literal a; FF: literal d
+        self.fanin1: list[int] = [FALSE]  # AND: literal b
+        self.aux: list[int] = [0]  # PI: input index; FF: init; RAMRD: packed ram/bit
+        #: Incrementally maintained logic level per node (AND adds a level).
+        self.level_of: list[int] = [0]
+        self.names: dict[int, str] = {}
+        self.pis: list[int] = []
+        self.ffs: list[int] = []
+        self.rams: list[Ram] = []
+        self.outputs: list[tuple[str, int]] = []
+        self._strash: dict[tuple[int, int], int] = {}
+        #: FFs created before their d input is known (two-phase construction)
+        self._pending_ffs: set[int] = set()
+
+    # -- construction --------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.kind)
+
+    def _new_node(self, kind: NodeKind, f0: int = FALSE, f1: int = FALSE, aux: int = 0) -> int:
+        node = len(self.kind)
+        self.kind.append(kind)
+        self.fanin0.append(f0)
+        self.fanin1.append(f1)
+        self.aux.append(aux)
+        if kind is NodeKind.AND:
+            self.level_of.append(1 + max(self.level_of[f0 >> 1], self.level_of[f1 >> 1]))
+        else:
+            self.level_of.append(0)
+        return node
+
+    def add_pi(self, name: str | None = None) -> int:
+        """Add a primary input; returns its (positive) literal."""
+        node = self._new_node(NodeKind.PI, aux=len(self.pis))
+        self.pis.append(node)
+        if name:
+            self.names[node] = name
+        return lit(node)
+
+    def add_and(self, a: int, b: int) -> int:
+        """Add (or reuse) an AND node; returns the output literal.
+
+        Applies constant folding and structural hashing, so the returned
+        literal may refer to an existing node or a constant.
+        """
+        if a > b:
+            a, b = b, a
+        if a == FALSE:
+            return FALSE
+        if a == TRUE:
+            return b
+        if a == b:
+            return a
+        if a == lit_not(b):
+            return FALSE
+        key = (a, b)
+        node = self._strash.get(key)
+        if node is None:
+            node = self._new_node(NodeKind.AND, a, b)
+            self._strash[key] = node
+        return lit(node)
+
+    def add_or(self, a: int, b: int) -> int:
+        return lit_not(self.add_and(lit_not(a), lit_not(b)))
+
+    def add_xor(self, a: int, b: int) -> int:
+        return self.add_or(self.add_and(a, lit_not(b)), self.add_and(lit_not(a), b))
+
+    def add_mux(self, sel: int, a: int, b: int) -> int:
+        """``sel ? a : b``."""
+        if a == b:
+            return a
+        if sel == TRUE:
+            return a
+        if sel == FALSE:
+            return b
+        return self.add_or(self.add_and(sel, a), self.add_and(lit_not(sel), b))
+
+    def add_ff(self, init: int = 0, name: str | None = None) -> int:
+        """Declare a flip-flop (d assigned later); returns its literal."""
+        node = self._new_node(NodeKind.FF, aux=init)
+        self.ffs.append(node)
+        self._pending_ffs.add(node)
+        if name:
+            self.names[node] = name
+        return lit(node)
+
+    def set_ff_input(self, ff_literal: int, d: int) -> None:
+        node = lit_node(ff_literal)
+        if self.kind[node] is not NodeKind.FF:
+            raise ValueError(f"node {node} is not a FF")
+        if node not in self._pending_ffs:
+            raise ValueError(f"FF {node} input already set")
+        if lit_neg(ff_literal):
+            raise ValueError("set_ff_input expects the positive FF literal")
+        self.fanin0[node] = d
+        self._pending_ffs.discard(node)
+
+    def add_ram(self, name: str, addr_bits: int, data_bits: int, init: Sequence[int] = ()) -> Ram:
+        """Declare a native RAM block; ports are wired by the caller."""
+        ram = Ram(index=len(self.rams), name=name, addr_bits=addr_bits, data_bits=data_bits, init=list(init))
+        for bit in range(data_bits):
+            node = self._new_node(NodeKind.RAMRD, aux=(ram.index << 8) | bit)
+            ram.data_nodes.append(node)
+        self.rams.append(ram)
+        return ram
+
+    def add_output(self, name: str, literal: int) -> None:
+        self.outputs.append((name, literal))
+
+    def check(self) -> None:
+        """Validate completeness: no pending FFs, RAM ports fully wired."""
+        if self._pending_ffs:
+            raise ValueError(f"{len(self._pending_ffs)} FFs have no d input")
+        n = len(self.kind)
+        for ram in self.rams:
+            if len(ram.raddr) != ram.addr_bits or len(ram.waddr) != ram.addr_bits:
+                raise ValueError(f"RAM {ram.name!r}: address ports incomplete")
+            if len(ram.wdata) != ram.data_bits:
+                raise ValueError(f"RAM {ram.name!r}: write data port incomplete")
+            for literal in ram.port_literals():
+                if lit_node(literal) >= n:
+                    raise ValueError(f"RAM {ram.name!r}: dangling port literal {literal}")
+        for _, literal in self.outputs:
+            if lit_node(literal) >= n:
+                raise ValueError(f"dangling output literal {literal}")
+
+    # -- analysis --------------------------------------------------------------
+
+    def num_gates(self) -> int:
+        """Number of AND gates (the paper's '#E-AIG Gates' metric)."""
+        return sum(1 for k in self.kind if k is NodeKind.AND)
+
+    def levels(self) -> list[int]:
+        """Logic level per node: AND = 1 + max(inputs); sources = 0.
+
+        Matches the paper's delay model (AND/OR = 1 ps, INV = 0 ps): only
+        AND nodes add a level, inverters are free edge attributes.
+        """
+        level = [0] * len(self.kind)
+        for node in range(len(self.kind)):
+            if self.kind[node] is NodeKind.AND:
+                a = level[lit_node(self.fanin0[node])]
+                b = level[lit_node(self.fanin1[node])]
+                level[node] = 1 + (a if a > b else b)
+        return level
+
+    def lit_level(self, literal: int) -> int:
+        """Incrementally tracked logic level of a literal's node."""
+        return self.level_of[literal >> 1]
+
+    def depth(self) -> int:
+        """Maximum logic level over all nodes (the paper's '#Levels')."""
+        lvl = self.levels()
+        return max(lvl) if lvl else 0
+
+    def level_histogram(self) -> dict[int, int]:
+        """AND-gate count per logic level — exhibits the long tail (Obs. 4)."""
+        hist: dict[int, int] = {}
+        lvl = self.levels()
+        for node in range(len(self.kind)):
+            if self.kind[node] is NodeKind.AND:
+                hist[lvl[node]] = hist.get(lvl[node], 0) + 1
+        return hist
+
+    def state_roots(self) -> list[int]:
+        """Literals that must be computed every cycle: FF inputs, RAM ports,
+        and primary outputs.  These are the 'endpoints' partitioning uses."""
+        roots = [self.fanin0[ff] for ff in self.ffs]
+        for ram in self.rams:
+            roots.extend(ram.port_literals())
+        roots.extend(literal for _, literal in self.outputs)
+        return roots
+
+    def fanout_counts(self) -> list[int]:
+        counts = [0] * len(self.kind)
+        for node in range(len(self.kind)):
+            if self.kind[node] is NodeKind.AND:
+                counts[lit_node(self.fanin0[node])] += 1
+                counts[lit_node(self.fanin1[node])] += 1
+            elif self.kind[node] is NodeKind.FF:
+                counts[lit_node(self.fanin0[node])] += 1
+        for ram in self.rams:
+            for literal in ram.port_literals():
+                counts[lit_node(literal)] += 1
+        for _, literal in self.outputs:
+            counts[lit_node(literal)] += 1
+        return counts
+
+    def cone(self, roots: Iterable[int]) -> set[int]:
+        """Transitive combinational fan-in nodes of ``roots`` literals.
+
+        Stops at PIs, FFs, RAMRDs and constants (state sources); the result
+        contains only AND node indices, the replication unit of RepCut.
+        """
+        seen: set[int] = set()
+        stack = [lit_node(r) for r in roots]
+        while stack:
+            node = stack.pop()
+            if node in seen or self.kind[node] is not NodeKind.AND:
+                continue
+            seen.add(node)
+            stack.append(lit_node(self.fanin0[node]))
+            stack.append(lit_node(self.fanin1[node]))
+        return seen
+
+    def stats(self) -> dict:
+        return {
+            "name": self.name,
+            "nodes": len(self.kind),
+            "gates": self.num_gates(),
+            "levels": self.depth(),
+            "pis": len(self.pis),
+            "ffs": len(self.ffs),
+            "rams": len(self.rams),
+            "outputs": len(self.outputs),
+        }
+
+
+class EAIGSim:
+    """Golden bit-level simulator for an E-AIG.
+
+    Evaluates nodes in index order, which is topological by construction
+    (every fanin literal refers to an already-created node, except FF d
+    inputs which are state).  Time-parallel: values are Python ints used as
+    bit masks, so ``vectors`` independent test sequences simulate at once.
+    """
+
+    def __init__(self, eaig: EAIG, vectors: int = 1) -> None:
+        eaig.check()
+        self.eaig = eaig
+        self.vectors = vectors
+        self.vmask = (1 << vectors) - 1
+        self.value: list[int] = [0] * len(eaig.kind)
+        for ff in eaig.ffs:
+            self.value[ff] = self.vmask if eaig.aux[ff] else 0
+        #: RAM contents, one array of int-bitmask words per vector lane —
+        #: stored as per-lane lists because addresses differ across lanes.
+        self.ram_words: list[list[list[int]]] = []
+        for ram in eaig.rams:
+            words = ram.init + [0] * (ram.depth - len(ram.init))
+            self.ram_words.append([list(words[: ram.depth]) for _ in range(vectors)])
+        self.cycle = 0
+
+    def _lit_value(self, literal: int) -> int:
+        v = self.value[lit_node(literal)]
+        return (~v & self.vmask) if lit_neg(literal) else v
+
+    def settle(self, pi_values: Mapping[str, int] | Sequence[int]) -> None:
+        """Drive PI values (bitmask per vector lane) and evaluate all ANDs."""
+        eaig = self.eaig
+        if isinstance(pi_values, Mapping):
+            by_name = {eaig.names.get(node, f"pi{idx}"): node for idx, node in enumerate(eaig.pis)}
+            for name, val in pi_values.items():
+                node = by_name.get(name)
+                if node is None:
+                    raise KeyError(f"unknown PI {name!r}")
+                self.value[node] = val & self.vmask
+        else:
+            if len(pi_values) != len(eaig.pis):
+                raise ValueError(f"expected {len(eaig.pis)} PI values, got {len(pi_values)}")
+            for node, val in zip(eaig.pis, pi_values):
+                self.value[node] = val & self.vmask
+        value = self.value
+        kind = eaig.kind
+        fanin0 = eaig.fanin0
+        fanin1 = eaig.fanin1
+        vmask = self.vmask
+        for node in range(1, len(kind)):
+            if kind[node] is NodeKind.AND:
+                a = fanin0[node]
+                b = fanin1[node]
+                va = value[a >> 1] ^ (vmask if a & 1 else 0)
+                vb = value[b >> 1] ^ (vmask if b & 1 else 0)
+                value[node] = va & vb
+
+    def _lane_bits(self, literals: Sequence[int], lane: int) -> int:
+        word = 0
+        for i, literal in enumerate(literals):
+            if (self._lit_value(literal) >> lane) & 1:
+                word |= 1 << i
+        return word
+
+    def clock_edge(self) -> None:
+        eaig = self.eaig
+        ff_next = [(ff, self._lit_value(eaig.fanin0[ff])) for ff in eaig.ffs]
+        ram_next: list[list[int | None]] = []
+        for ram_idx, ram in enumerate(eaig.rams):
+            lanes: list[int | None] = []
+            for lane in range(self.vectors):
+                if (self._lit_value(ram.ren) >> lane) & 1:
+                    raddr = self._lane_bits(ram.raddr, lane)
+                    lanes.append(self.ram_words[ram_idx][lane][raddr])
+                else:
+                    lanes.append(None)  # hold
+            ram_next.append(lanes)
+        for ram_idx, ram in enumerate(eaig.rams):
+            for lane in range(self.vectors):
+                if (self._lit_value(ram.wen) >> lane) & 1:
+                    waddr = self._lane_bits(ram.waddr, lane)
+                    wdata = self._lane_bits(ram.wdata, lane)
+                    self.ram_words[ram_idx][lane][waddr] = wdata
+        for ff, val in ff_next:
+            self.value[ff] = val
+        for ram_idx, ram in enumerate(eaig.rams):
+            for bit, node in enumerate(ram.data_nodes):
+                current = self.value[node]
+                new = current
+                for lane in range(self.vectors):
+                    word = ram_next[ram_idx][lane]
+                    if word is None:
+                        continue
+                    bitval = (word >> bit) & 1
+                    new = (new & ~(1 << lane)) | (bitval << lane)
+                self.value[node] = new & self.vmask
+        self.cycle += 1
+
+    def step(self, pi_values: Mapping[str, int] | Sequence[int]) -> dict[str, int]:
+        self.settle(pi_values)
+        outs = self.outputs()
+        self.clock_edge()
+        return outs
+
+    def outputs(self) -> dict[str, int]:
+        return {name: self._lit_value(literal) for name, literal in self.eaig.outputs}

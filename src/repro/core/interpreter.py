@@ -1,0 +1,337 @@
+"""Word-parallel virtual-GPU interpreter for GEM bitstreams.
+
+This is the reproduction's substitute for the paper's CUDA kernel (see
+DESIGN.md §2).  It decodes the *binary* bitstream produced by
+:mod:`repro.core.bitstream` — not the in-memory placement objects — and
+executes simulated cycles with the exact semantics the CUDA interpreter
+implements:
+
+* one **global state** bit vector (GPU global memory); primary inputs are
+  host-written, flip-flop outputs / RAM read data / stage-cut values live
+  at allocated indices;
+* per cycle, every partition (thread block): loads its sources (READ),
+  runs its boomerang layers (PERM gather → FOLD steps → WB stores into
+  block-local state), then stores results (GWRITE / RAMOP);
+* stage boundaries and the cycle boundary are device-wide synchronizations
+  (cooperative groups in the paper); *deferred* global writes (FF next
+  states, RAM read data) commit at the cycle boundary so every block reads
+  consistent previous-cycle state, while *immediate* writes (cut values,
+  primary outputs) are visible to later stages within the cycle;
+* the NumPy arrays play the role of the GPU's word-parallel ALUs: one
+  boolean vector op here corresponds to one 32-bit bitwise instruction per
+  thread there (Observation 3 of the paper).
+
+The interpreter also keeps the per-cycle work counters (instruction words
+fetched, fold steps, synchronizations, global traffic) that feed the
+analytical GPU timing model in :mod:`repro.core.perfmodel`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from repro.core import isa
+from repro.core.bitstream import MAGIC, VERSION, GemProgram
+
+
+@dataclass
+class _DecodedLayer:
+    eff_width_log2: int
+    #: dense gather indices into local state, size 2**eff (0 = const slot)
+    gather: np.ndarray
+    xor_a: list[np.ndarray]
+    xor_b: list[np.ndarray]
+    or_b: list[np.ndarray]
+    #: per fold step: (positions, slots) arrays
+    writebacks: list[tuple[np.ndarray, np.ndarray]]
+
+
+@dataclass
+class _DecodedPartition:
+    stage: int
+    state_slots: int
+    read_gidx: np.ndarray
+    read_slots: np.ndarray
+    read_inv: np.ndarray
+    layers: list[_DecodedLayer]
+    #: immediate global writes: (slots, inv, gidx)
+    gw_now: tuple[np.ndarray, np.ndarray, np.ndarray]
+    #: deferred global writes: (slots, inv, gidx)
+    gw_deferred: tuple[np.ndarray, np.ndarray, np.ndarray]
+    ramops: list[isa.RamOp]
+    instruction_words: int
+
+
+@dataclass
+class CycleCounters:
+    """Per-cycle work, accumulated over a run (perf-model inputs)."""
+
+    cycles: int = 0
+    instruction_words: int = 0
+    fold_steps: int = 0
+    permutation_bits: int = 0
+    layer_syncs: int = 0
+    device_syncs: int = 0
+    global_reads: int = 0
+    global_writes: int = 0
+
+    def per_cycle(self) -> dict:
+        c = max(1, self.cycles)
+        return {
+            "instruction_words": self.instruction_words / c,
+            "fold_steps": self.fold_steps / c,
+            "permutation_bits": self.permutation_bits / c,
+            "layer_syncs": self.layer_syncs / c,
+            "device_syncs": self.device_syncs / c,
+            "global_reads": self.global_reads / c,
+            "global_writes": self.global_writes / c,
+        }
+
+
+class GemInterpreter:
+    """Execute an assembled GEM program cycle by cycle."""
+
+    def __init__(self, program: GemProgram) -> None:
+        self.program = program
+        self.meta = program.meta
+        words = program.words
+        if int(words[0]) != MAGIC or int(words[1]) != VERSION:
+            raise ValueError("not a GEM bitstream (bad magic/version)")
+        self.width_log2 = int(words[2])
+        self.global_bits = int(words[3])
+        num_parts = int(words[4])
+        num_stages = int(words[5])
+        num_rams = int(words[6])
+        stage_counts = [int(words[8 + s]) for s in range(num_stages)]
+        table_base = 8 + num_stages
+        offsets = [
+            (int(words[table_base + 2 * i]), int(words[table_base + 2 * i + 1]))
+            for i in range(num_parts)
+        ]
+        self.partitions = [
+            _decode_partition(words[start : start + length]) for start, length in offsets
+        ]
+        self.stage_indices: list[list[int]] = []
+        cursor = 0
+        for count in stage_counts:
+            self.stage_indices.append(list(range(cursor, cursor + count)))
+            cursor += count
+        # RAM data section follows the instruction stream.
+        ram_base = table_base + 2 * num_parts + int(words[7])
+        self.ram_arrays: list[np.ndarray] = []
+        self.ram_shapes: list[tuple[int, int]] = []
+        pos = ram_base
+        for _ in range(num_rams):
+            shape = int(words[pos])
+            depth = int(words[pos + 1])
+            self.ram_shapes.append((shape >> 16, shape & 0xFFFF))
+            self.ram_arrays.append(words[pos + 2 : pos + 2 + depth].astype(np.uint32).copy())
+            pos += 2 + depth
+        # Reset section: flip-flop init values as global bit indices.
+        reset_count = int(words[pos])
+        self._reset_ones = words[pos + 1 : pos + 1 + reset_count].astype(np.int64)
+
+        self.global_state = np.zeros(self.global_bits, dtype=bool)
+        self.global_state[self._reset_ones] = True
+        self._locals = [np.zeros(p.state_slots, dtype=bool) for p in self.partitions]
+        self.counters = CycleCounters()
+        self.cycle = 0
+
+    # -- execution ------------------------------------------------------------
+
+    def _run_partition(self, part: _DecodedPartition, local: np.ndarray) -> list[tuple[np.ndarray, np.ndarray]]:
+        """Execute one block; returns deferred (gidx, values) scatters."""
+        gstate = self.global_state
+        local[:] = False
+        if part.read_gidx.size:
+            local[part.read_slots] = gstate[part.read_gidx] ^ part.read_inv
+        counters = self.counters
+        for layer in part.layers:
+            vec = local[layer.gather]
+            for step in range(layer.eff_width_log2):
+                vec = (vec[0::2] ^ layer.xor_a[step]) & (
+                    (vec[1::2] ^ layer.xor_b[step]) | layer.or_b[step]
+                )
+                positions, slots = layer.writebacks[step]
+                if positions.size:
+                    local[slots] = vec[positions]
+            counters.fold_steps += layer.eff_width_log2
+            counters.permutation_bits += layer.gather.size
+        counters.layer_syncs += len(part.layers)
+
+        deferred: list[tuple[np.ndarray, np.ndarray]] = []
+        slots, inv, gidx = part.gw_now
+        if gidx.size:
+            gstate[gidx] = local[slots] ^ inv
+        slots, inv, gidx = part.gw_deferred
+        if gidx.size:
+            deferred.append((gidx, local[slots] ^ inv))
+        for op in part.ramops:
+            deferred.extend(self._run_ramop(op, local))
+        counters.global_reads += int(part.read_gidx.size)
+        counters.global_writes += int(part.gw_now[2].size + part.gw_deferred[2].size)
+        counters.instruction_words += part.instruction_words
+        return deferred
+
+    def _run_ramop(self, op: isa.RamOp, local: np.ndarray) -> list[tuple[np.ndarray, np.ndarray]]:
+        def bits_value(refs: list[tuple[int, bool]]) -> int:
+            value = 0
+            for i, (slot, inv) in enumerate(refs):
+                if bool(local[slot]) ^ inv:
+                    value |= 1 << i
+            return value
+
+        def bit_value(ref: tuple[int, bool]) -> bool:
+            slot, inv = ref
+            return bool(local[slot]) ^ inv
+
+        array = self.ram_arrays[op.ram_index]
+        deferred: list[tuple[np.ndarray, np.ndarray]] = []
+        if bit_value(op.ren):
+            raddr = bits_value(op.raddr)
+            word = int(array[raddr])  # read-first: sampled before the write
+            gidx = np.arange(op.rd_global_base, op.rd_global_base + op.data_bits)
+            values = np.array([(word >> b) & 1 for b in range(op.data_bits)], dtype=bool)
+            deferred.append((gidx, values))
+            self.counters.global_writes += op.data_bits
+        if bit_value(op.wen):
+            waddr = bits_value(op.waddr)
+            array[waddr] = bits_value(op.wdata)
+        return deferred
+
+    def step(self, inputs: Mapping[str, int] | None = None) -> dict[str, int]:
+        """Simulate one cycle; returns the settled primary output words."""
+        gstate = self.global_state
+        pi_index = self.meta.pi_index
+        for name, indices in pi_index.items():
+            value = (inputs or {}).get(name, 0)
+            for i, gidx in enumerate(indices):
+                gstate[gidx] = bool((value >> i) & 1)
+        deferred: list[tuple[np.ndarray, np.ndarray]] = []
+        for stage_parts in self.stage_indices:
+            for idx in stage_parts:
+                deferred.extend(
+                    self._run_partition(self.partitions[idx], self._locals[idx])
+                )
+            self.counters.device_syncs += 1
+        outs = self.outputs()
+        for gidx, values in deferred:
+            gstate[gidx] = values
+        self.counters.cycles += 1
+        self.cycle += 1
+        return outs
+
+    def outputs(self) -> dict[str, int]:
+        words: dict[str, int] = {}
+        gstate = self.global_state
+        for name, indices in self.meta.po_index.items():
+            value = 0
+            for i, gidx in enumerate(indices):
+                if gstate[gidx]:
+                    value |= 1 << i
+            words[name] = value
+        return words
+
+    def run(self, stimuli: Iterable[Mapping[str, int]]) -> list[dict[str, int]]:
+        return [self.step(vec) for vec in stimuli]
+
+
+def _decode_partition(words: np.ndarray) -> _DecodedPartition:
+    """Decode one partition's instruction stream."""
+    pos = 0
+    stage = 0
+    state_slots = 0
+    read_chunks: list[tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+    layers: list[_DecodedLayer] = []
+    gw_now: list[tuple[int, bool, int]] = []
+    gw_deferred: list[tuple[int, bool, int]] = []
+    ramops: list[isa.RamOp] = []
+    pending_perm: list[tuple[np.ndarray, np.ndarray]] = []
+
+    while pos < len(words):
+        opcode, length, count = isa.parse_header(int(words[pos]))
+        inst = words[pos : pos + length]
+        if opcode is isa.Opcode.INIT:
+            info = isa.decode_init(inst)
+            stage = info["stage"]
+            state_slots = info["state_slots"]
+        elif opcode is isa.Opcode.READ:
+            read_chunks.append(isa.decode_read(inst, count))
+        elif opcode is isa.Opcode.PERM:
+            pending_perm.append(isa.decode_perm(inst, count))
+        elif opcode is isa.Opcode.FOLD:
+            eff = count
+            xor_a, xor_b, or_b = isa.decode_fold(inst, eff)
+            gather = np.zeros(1 << eff, dtype=np.int64)
+            for leaves, slots in pending_perm:
+                inside = leaves < (1 << eff)
+                gather[leaves[inside]] = slots[inside]
+            pending_perm = []
+            layers.append(
+                _DecodedLayer(
+                    eff_width_log2=eff,
+                    gather=gather,
+                    xor_a=xor_a,
+                    xor_b=xor_b,
+                    or_b=or_b,
+                    writebacks=[
+                        (np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64))
+                        for _ in range(eff)
+                    ],
+                )
+            )
+        elif opcode is isa.Opcode.WB:
+            steps, positions, slots = isa.decode_wb(inst, count)
+            layer = layers[-1]
+            for s in range(layer.eff_width_log2):
+                sel = steps == s
+                if sel.any():
+                    old_pos, old_slot = layer.writebacks[s]
+                    layer.writebacks[s] = (
+                        np.concatenate([old_pos, positions[sel]]),
+                        np.concatenate([old_slot, slots[sel]]),
+                    )
+        elif opcode is isa.Opcode.GWRITE:
+            slots, inv, gidx, deferred_flags = isa.decode_gwrite(inst, count)
+            for s, iv, g, d in zip(slots, inv, gidx, deferred_flags):
+                (gw_deferred if d else gw_now).append((int(s), bool(iv), int(g)))
+        elif opcode is isa.Opcode.RAMOP:
+            ramops.append(isa.decode_ramop(inst))
+        else:  # pragma: no cover - parse_header already validates
+            raise ValueError(f"unknown opcode {opcode}")
+        pos += length
+
+    def pack_reads() -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        if not read_chunks:
+            empty = np.zeros(0, dtype=np.int64)
+            return empty, empty, np.zeros(0, dtype=bool)
+        g = np.concatenate([c[0] for c in read_chunks])
+        s = np.concatenate([c[1] for c in read_chunks])
+        i = np.concatenate([c[2] for c in read_chunks])
+        return g, s, i
+
+    def pack_gw(entries: list[tuple[int, bool, int]]):
+        if not entries:
+            empty = np.zeros(0, dtype=np.int64)
+            return empty.copy(), np.zeros(0, dtype=bool), empty.copy()
+        slots = np.array([e[0] for e in entries], dtype=np.int64)
+        inv = np.array([e[1] for e in entries], dtype=bool)
+        gidx = np.array([e[2] for e in entries], dtype=np.int64)
+        return slots, inv, gidx
+
+    read_gidx, read_slots, read_inv = pack_reads()
+    return _DecodedPartition(
+        stage=stage,
+        state_slots=max(1, state_slots),
+        read_gidx=read_gidx,
+        read_slots=read_slots,
+        read_inv=read_inv,
+        layers=layers,
+        gw_now=pack_gw(gw_now),
+        gw_deferred=pack_gw(gw_deferred),
+        ramops=ramops,
+        instruction_words=len(words),
+    )

@@ -1,0 +1,430 @@
+"""Iterative timing-driven bit placement (paper §III-D, Algorithm 2, Fig. 6).
+
+Each partition's AIG is mapped onto a sequence of boomerang layers:
+
+* Nodes are placed at the tree level matching their *local* logic level
+  (depth over the not-yet-computed subgraph; values already in block state
+  count as level 0).
+* Placing a node at position ``(l, i)`` recursively claims its fan-in: an
+  available value (source, constant, or a node computed by an earlier
+  layer) is **routed** up from a leaf through a chain of bypass positions
+  (``OR.B = 1`` — Fig. 6's dashed lines); a not-yet-computed node is
+  recursively placed at the child position, **duplicating** it if another
+  copy already sits elsewhere in this layer (tree positions feed only their
+  parent).
+* Within a level, the most timing-critical nodes (largest reverse depth
+  over the remaining subgraph, Algorithm 2 lines 7–8) are placed first;
+  leftover capacity is filled by *stretching* shallower nodes upward.
+* After a layer is full, every newly computed value still needed (by a
+  later layer or as an endpoint root) is written back to a fresh state
+  slot; the layer repeats on the remaining subgraph.
+
+A partition is **mappable** iff its state demand — constant slot + sources
++ written-back values — fits the core's state (8192 bits).  This predicate
+is exactly what Algorithm 1 (:mod:`repro.core.merging`) probes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.boomerang import BoomerangConfig, Layer
+from repro.core.eaig import EAIG, NodeKind, lit_neg, lit_node
+from repro.core.partition import PartitionSpec
+
+
+class UnmappableError(Exception):
+    """Raised when a partition's state demand exceeds the core width."""
+
+
+@dataclass
+class PlacedPartition:
+    """A partition mapped onto boomerang layers plus its state layout."""
+
+    spec: PartitionSpec
+    config: BoomerangConfig
+    layers: list[Layer]
+    #: node -> state slot (sources and written-back values; node 0 -> 0)
+    slot_of: dict[int, int]
+    num_slots: int
+
+    def slot_and_invert(self, literal: int) -> tuple[int, bool]:
+        """Locate a literal's value in block state."""
+        node = lit_node(literal)
+        slot = 0 if node == 0 else self.slot_of[node]
+        return slot, lit_neg(literal)
+
+    def stats(self) -> dict:
+        occupancy = sum(int((layer.perm >= 0).sum()) for layer in self.layers)
+        return {
+            "layers": len(self.layers),
+            "slots": self.num_slots,
+            "nodes": len(self.spec.nodes),
+            "leaf_bits_used": occupancy,
+        }
+
+
+# Content tags for occupied tree positions.
+_AND = 0
+_ROUTE = 1
+_LEAF = 2
+
+
+class _LayerBuilder:
+    """Occupancy-tracked construction of one boomerang layer."""
+
+    def __init__(self, config: BoomerangConfig) -> None:
+        self.config = config
+        L = config.width_log2
+        self.num_levels = L
+        self.occupied: list[list[bool]] = [
+            [False] * (config.width >> l) for l in range(L + 1)
+        ]
+        #: free positions in the subtree rooted at each position
+        self.freecnt: list[list[int]] = [
+            [(1 << (l + 1)) - 1] * (config.width >> l) for l in range(L + 1)
+        ]
+        self.free_at_level: list[int] = [config.width >> l for l in range(L + 1)]
+        self.cursor: list[int] = [0] * (L + 1)
+        #: (level, index) -> (tag, payload); payload: _AND -> (node, na, nb),
+        #: _LEAF -> slot
+        self.content: dict[tuple[int, int], tuple[int, object]] = {}
+        self.writeback_slots: list[tuple[int, int, int]] = []  # (level, pos, slot)
+        self.mapped: dict[int, tuple[int, int]] = {}  # node -> first position
+
+    # -- occupancy ---------------------------------------------------------
+
+    def _occupy(self, level: int, i: int, tag: int, payload, journal: list) -> None:
+        self.occupied[level][i] = True
+        self.free_at_level[level] -= 1
+        self.content[(level, i)] = (tag, payload)
+        idx = i
+        for m in range(level, self.num_levels + 1):
+            self.freecnt[m][idx] -= 1
+            idx >>= 1
+        journal.append((level, i))
+
+    def _rollback(self, journal: list, mapped_added: list[int]) -> None:
+        for level, i in journal:
+            self.occupied[level][i] = False
+            self.free_at_level[level] += 1
+            del self.content[(level, i)]
+            idx = i
+            for m in range(level, self.num_levels + 1):
+                self.freecnt[m][idx] += 1
+                idx >>= 1
+        for node in mapped_added:
+            del self.mapped[node]
+
+    # -- mapping primitives --------------------------------------------------
+
+    def _route(self, slot: int, level: int, i: int, journal: list) -> bool:
+        """Bypass chain carrying a state slot from a leaf to (level, i)."""
+        m, j = level, i
+        chain: list[tuple[int, int]] = []
+        while m > 0:
+            if self.occupied[m][j]:
+                return False
+            chain.append((m, j))
+            j *= 2
+            m -= 1
+        if self.occupied[0][j]:
+            return False
+        for mm, jj in chain:
+            self._occupy(mm, jj, _ROUTE, None, journal)
+        self._occupy(0, j, _LEAF, slot, journal)
+        return True
+
+    def _map_rec(
+        self,
+        eaig: EAIG,
+        n: int,
+        level: int,
+        i: int,
+        remaining: set[int],
+        slot_of: dict[int, int],
+        need: dict[int, int],
+        journal: list,
+        mapped_added: list[int],
+    ) -> bool:
+        if self.occupied[level][i] or level < 1:
+            return False
+        fa = eaig.fanin0[n]
+        fb = eaig.fanin1[n]
+        self._occupy(level, i, _AND, (n, fa & 1, fb & 1), journal)
+        if n not in self.mapped:
+            self.mapped[n] = (level, i)
+            mapped_added.append(n)
+        freecnt_child = self.freecnt[level - 1]
+        for child_i, fanin in ((2 * i, fa), (2 * i + 1, fb)):
+            f = fanin >> 1
+            if f == 0 or f in slot_of:
+                # Route needs one position per level down to the leaf.
+                if freecnt_child[child_i] < level:
+                    return False
+                slot = 0 if f == 0 else slot_of[f]
+                if not self._route(slot, level - 1, child_i, journal):
+                    return False
+            elif f in remaining:
+                # Fail fast when the child subtree lacks capacity for the
+                # (duplicate-counting) cone of f.
+                if freecnt_child[child_i] < need[f]:
+                    return False
+                if not self._map_rec(
+                    eaig, f, level - 1, child_i, remaining, slot_of, need, journal, mapped_added
+                ):
+                    return False
+            else:  # pragma: no cover - guarded by PartitionPlan.validate
+                raise AssertionError(f"node {n}: fanin {f} neither available nor local")
+        return True
+
+    def try_map_node(
+        self,
+        eaig: EAIG,
+        n: int,
+        level: int,
+        remaining: set[int],
+        slot_of: dict[int, int],
+        need: dict[int, int],
+        max_attempts: int = 8,
+    ) -> bool:
+        """Place ``n`` at tree level ``level``; first-fit with capacity filter."""
+        size = self.config.width >> level
+        min_need = need[n]
+        i = self.cursor[level]
+        attempts = 0
+        scanned = 0
+        occupied = self.occupied[level]
+        freecnt = self.freecnt[level]
+        while scanned < size and attempts < max_attempts:
+            if i >= size:
+                i = 0
+            if not occupied[i] and freecnt[i] >= min_need:
+                journal: list = []
+                mapped_added: list[int] = []
+                if self._map_rec(eaig, n, level, i, remaining, slot_of, need, journal, mapped_added):
+                    self.cursor[level] = i + 1
+                    return True
+                self._rollback(journal, mapped_added)
+                attempts += 1
+            i += 1
+            scanned += 1
+        return False
+
+    # -- finishing -------------------------------------------------------------
+
+    def add_writeback(self, level: int, pos: int, slot: int) -> None:
+        self.writeback_slots.append((level, pos, slot))
+
+    def compile(self) -> Layer:
+        layer = Layer.empty(self.config)
+        for (level, i), (tag, payload) in self.content.items():
+            if level == 0:
+                if tag == _LEAF:
+                    layer.perm[i] = payload
+                continue
+            step = level - 1
+            if tag == _AND:
+                _, na, nb = payload
+                layer.xor_a[step][i] = na
+                layer.xor_b[step][i] = nb
+                layer.or_b[step][i] = False
+            # _ROUTE keeps defaults: or_b=1, xor_a=0 (pass-through of a).
+        for level, pos, slot in self.writeback_slots:
+            layer.writebacks[level - 1].append((pos, slot))
+        return layer
+
+
+def place_partition(
+    eaig: EAIG,
+    spec: PartitionSpec,
+    config: BoomerangConfig | None = None,
+    timing_driven: bool = True,
+) -> PlacedPartition:
+    """Algorithm 2: iterative multi-boomerang-layer mapping of one partition.
+
+    ``timing_driven=False`` disables the criticality ordering (nodes are
+    picked in index order instead) — the A1 ablation of DESIGN.md, which
+    quantifies how much Algorithm 2's lines 7–8 reduce the layer count.
+    """
+    config = config or BoomerangConfig()
+    slot_of: dict[int, int] = {}
+    next_slot = 1  # slot 0 is the constant-0 slot
+    for s in spec.sources:
+        slot_of[s] = next_slot
+        next_slot += 1
+    if next_slot > config.state_size:
+        raise UnmappableError(
+            f"partition s{spec.stage}p{spec.index}: {len(spec.sources)} sources "
+            f"exceed state size {config.state_size}"
+        )
+
+    remaining = set(spec.nodes)
+    consumers: dict[int, list[int]] = {n: [] for n in spec.nodes}
+    for n in spec.nodes:
+        for fanin in (eaig.fanin0[n], eaig.fanin1[n]):
+            f = lit_node(fanin)
+            if f in consumers:
+                consumers[f].append(n)
+    root_nodes = {
+        lit_node(r) for r in spec.root_literals() if lit_node(r) in remaining
+    }
+
+    layers: list[Layer] = []
+    order = sorted(spec.nodes)  # ascending node index = topological
+    while remaining:
+        # Local logic level over the remaining subgraph.
+        local: dict[int, int] = {}
+        for n in order:
+            if n not in remaining:
+                continue
+            best = 0
+            for fanin in (eaig.fanin0[n], eaig.fanin1[n]):
+                f = lit_node(fanin)
+                if f in remaining:
+                    lf = local[f]
+                    if lf > best:
+                        best = lf
+            local[n] = best + 1
+        # Timing criticality: reverse depth over the remaining subgraph.
+        crit: dict[int, int] = {}
+        if timing_driven:
+            for n in reversed(order):
+                if n not in remaining:
+                    continue
+                c = 0
+                for m in consumers[n]:
+                    if m in remaining:
+                        cm = crit[m] + 1
+                        if cm > c:
+                            c = cm
+                crit[n] = c
+        else:
+            for n in remaining:
+                crit[n] = 0  # FIFO ablation: no priority
+
+        # Duplicate-counting cone size: a lower bound on the tree positions
+        # mapping each node takes (duplicates counted, routes as leaves).
+        # Used to prune placement attempts that cannot possibly fit.
+        need: dict[int, int] = {}
+        for n in order:
+            if n not in remaining:
+                continue
+            total = 1
+            for fanin in (eaig.fanin0[n], eaig.fanin1[n]):
+                f = fanin >> 1
+                total += need.get(f, 1) if f in remaining else 1
+            need[n] = total
+
+        builder = _LayerBuilder(config)
+        by_level: dict[int, list[int]] = {}
+        for n in remaining:
+            by_level.setdefault(local[n], []).append(n)
+        max_consecutive_failures = 20
+        for level in range(1, config.width_log2 + 1):
+            exact = sorted(by_level.get(level, ()), key=lambda n: -crit[n])
+            failures = 0
+            for n in exact:
+                if builder.free_at_level[level] == 0 or failures >= max_consecutive_failures:
+                    break
+                if n in builder.mapped:
+                    continue
+                if builder.try_map_node(eaig, n, level, remaining, slot_of, need):
+                    failures = 0
+                else:
+                    failures += 1
+            # Stretch: fill leftover capacity with shallower unmapped nodes.
+            if builder.free_at_level[level] > 0:
+                stretch = sorted(
+                    (
+                        n
+                        for shallower in range(1, level)
+                        for n in by_level.get(shallower, ())
+                        if n not in builder.mapped
+                    ),
+                    key=lambda n: -crit[n],
+                )
+                failures = 0
+                for n in stretch:
+                    if builder.free_at_level[level] == 0 or failures >= max_consecutive_failures:
+                        break
+                    if builder.try_map_node(eaig, n, level, remaining, slot_of, need):
+                        failures = 0
+                    else:
+                        failures += 1
+
+        if not builder.mapped:
+            raise RuntimeError(
+                f"partition s{spec.stage}p{spec.index}: placement made no progress"
+            )
+        # Write back values needed by later layers or endpoint roots.
+        for n, (level, pos) in builder.mapped.items():
+            needed = n in root_nodes or any(
+                c in remaining and c not in builder.mapped for c in consumers[n]
+            )
+            if needed:
+                if next_slot >= config.state_size:
+                    raise UnmappableError(
+                        f"partition s{spec.stage}p{spec.index}: state overflow at "
+                        f"{next_slot} slots"
+                    )
+                slot_of[n] = next_slot
+                builder.add_writeback(level, pos, next_slot)
+                next_slot += 1
+        layers.append(builder.compile())
+        remaining -= set(builder.mapped)
+
+    return PlacedPartition(
+        spec=spec, config=config, layers=layers, slot_of=slot_of, num_slots=next_slot
+    )
+
+
+def is_mappable(eaig: EAIG, spec: PartitionSpec, config: BoomerangConfig | None = None) -> bool:
+    """Algorithm 1's predicate: does the partition fit one core?"""
+    try:
+        place_partition(eaig, spec, config)
+        return True
+    except UnmappableError:
+        return False
+
+
+def naive_levelized_layers(eaig: EAIG, spec: PartitionSpec, config: BoomerangConfig | None = None) -> dict:
+    """Baseline for the Fig. 3 ablation: one permutation + sync per logic
+    level (classic levelized GPU simulation) instead of boomerang layers.
+
+    Returns the same work metrics as :func:`repro.core.boomerang.count_layer_work`
+    so the ablation can compare permutation/synchronization counts directly.
+    """
+    config = config or BoomerangConfig()
+    remaining = set(spec.nodes)
+    local: dict[int, int] = {}
+    for n in sorted(spec.nodes):
+        best = 0
+        for fanin in (eaig.fanin0[n], eaig.fanin1[n]):
+            f = lit_node(fanin)
+            if f in remaining:
+                lf = local[f]
+                if lf > best:
+                    best = lf
+        local[n] = best + 1
+    if not local:
+        return {"layers": 0, "permutations": 0, "fold_steps": 0, "writebacks": 0}
+    depth = max(local.values())
+    # Levelized execution: each level gathers its inputs (one permutation),
+    # evaluates one batch of independent gates, and synchronizes.  Levels
+    # wider than the datapath need multiple passes.
+    passes = 0
+    hist: dict[int, int] = {}
+    for n, lvl in local.items():
+        hist[lvl] = hist.get(lvl, 0) + 1
+    for lvl in range(1, depth + 1):
+        count = hist.get(lvl, 0)
+        passes += max(1, -(-count // (config.width // 2)))
+    return {
+        "layers": depth,
+        "permutations": passes,
+        "fold_steps": passes,
+        "writebacks": len(spec.nodes),
+    }

@@ -1,0 +1,46 @@
+"""Benchmark designs and workloads.
+
+Structural stand-ins for the paper's evaluation targets (DESIGN.md §2
+documents the substitution):
+
+* :mod:`repro.designs.nvdla_like` — convolution accelerator with MAC tree
+  and line/weight buffers; **all RAMs synchronous-read**, so every memory
+  maps to native RAM blocks (the property that makes NVDLA GEM's best case
+  in §IV).
+* :mod:`repro.designs.rocket_like` — an in-order RISC CPU with an
+  asynchronous-read register file (the async-RAM polyfill cost of the
+  other four designs) running real machine-code workloads.
+* :mod:`repro.designs.gemmini_like` — a weight-stationary systolic MAC
+  array with scratchpad memories; the deepest design, like the paper's
+  Gemmini (148 levels).
+* :mod:`repro.designs.openpiton_like` — an ``n``-core tile array with a
+  ring interconnect; the 8-core configuration with a single-core workload
+  reproduces the low-activity anomaly of §IV.
+
+All generators take a ``scale`` knob; defaults are sized so the
+pure-Python reference simulators stay tractable (DESIGN.md §5).
+"""
+
+__all__ = [
+    "build_gemmini_like",
+    "build_nvdla_like",
+    "build_openpiton_like",
+    "build_rocket_like",
+]
+
+_HOMES = {
+    "build_gemmini_like": "repro.designs.gemmini_like",
+    "build_nvdla_like": "repro.designs.nvdla_like",
+    "build_openpiton_like": "repro.designs.openpiton_like",
+    "build_rocket_like": "repro.designs.rocket_like",
+}
+
+
+def __getattr__(name: str):
+    # Lazy imports keep `import repro.designs.riscish` (and friends) cheap.
+    home = _HOMES.get(name)
+    if home is None:
+        raise AttributeError(f"module 'repro.designs' has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(home), name)

@@ -1,0 +1,114 @@
+"""Gemmini-like benchmark design: a weight-stationary systolic MAC array.
+
+Structural analogue of the paper's Gemmini target (DESIGN.md §2).  Gemmini
+is the paper's *deepest* design (148 logic levels); this analogue gets its
+depth the same way — each array row reduces its partial products through a
+combinational multiply-accumulate chain (weight-stationary dataflow with
+spatial accumulation), so depth grows linearly with the array dimension.
+
+Dataflow per matmul tile:
+
+1. host writes the weight tile (one row per cycle) with ``wgt_wen``; row
+   ``i`` of the array latches its weights from the broadcast bus when
+   ``wgt_row == i``;
+2. host streams activation vectors (``act_valid``); each vector flows
+   through every row combinationally, producing one dot product per row
+   per cycle, accumulated into per-row accumulators;
+3. results are drained into the scratchpad (synchronous-read RAM) and a
+   running checksum; ``row_sums`` are visible as outputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.rtl.builder import CircuitBuilder
+from repro.rtl.ir import Circuit
+
+
+@dataclass
+class GemminiScale:
+    """Size knobs (defaults give the deepest, largest default design)."""
+
+    #: array dimension (rows == cols)
+    dim: int = 6
+    data_width: int = 8
+    acc_width: int = 32
+    spad_depth: int = 256
+
+
+def build_gemmini_like(scale: GemminiScale | None = None) -> Circuit:
+    scale = scale or GemminiScale()
+    s = scale
+    b = CircuitBuilder("gemmini_like")
+    N = s.dim
+    W = s.data_width
+    A = s.acc_width
+
+    wgt_wen = b.input("wgt_wen", 1)
+    wgt_row = b.input("wgt_row", 8)
+    wgt_bus = b.input("wgt_bus", W * N)
+    act_valid = b.input("act_valid", 1)
+    act_bus = b.input("act_bus", W * N)
+    acc_clear = b.input("acc_clear", 1)
+    drain = b.input("drain", 1)
+    drain_addr = b.input("drain_addr", 16)
+
+    # Weight-stationary PE array: row i holds weights w[i][0..N-1].
+    weights: list[list] = []
+    for i in range(N):
+        with b.scope(f"row{i}"):
+            row = []
+            load = wgt_wen & (wgt_row == i)
+            for j in range(N):
+                wreg = b.reg(f"w{j}", W)
+                wreg.next = b.mux(load, wgt_bus[(j + 1) * W - 1 : j * W], wreg)
+                row.append(wreg)
+            weights.append(row)
+
+    acts = [act_bus[(j + 1) * W - 1 : j * W] for j in range(N)]
+
+    # Spatial MAC chain per row: ps_j = ps_{j-1} + w_j * a_j, combinational
+    # along the row (this is where the logic depth comes from).
+    row_sums = []
+    checksum = b.reg("checksum", A)
+    spad = b.memory("spad", s.spad_depth, A)
+    for i in range(N):
+        with b.scope(f"row{i}"):
+            ps = b.const(0, A)
+            for j in range(N):
+                ps = ps + weights[i][j].zext(A) * acts[j].zext(A)
+            acc = b.reg("acc", A)
+            acc.next = b.mux(
+                acc_clear, b.const(0, A), b.mux(act_valid, acc + ps, acc)
+            )
+            row_sums.append(acc)
+
+    # Drain one row per cycle through the scratchpad's single write port
+    # (keeps the RAM block-mappable: sync read + one write port).
+    drain_row = b.input("drain_row", 8)
+    row_bits = max(1, (N - 1).bit_length())
+    selected = b.select(row_sums, drain_row.trunc(row_bits))
+    b.write(spad, drain, drain_addr.trunc(spad.addr_bits), selected)
+    # Order-sensitive fold of each drained value (xor of a rotating mix so
+    # identical rows cannot cancel pairwise).
+    checksum.next = b.mux(
+        drain, (checksum ^ selected) + drain_addr.zext(A) + 1, checksum
+    )
+
+    # Transposer register file: asynchronous read (like Gemmini's internal
+    # transpose buffers) — incurs the paper's async-RAM polyfill penalty.
+    transposer = b.memory("transposer", 16, A)
+    t_wen = b.input("t_wen", 1)
+    t_addr = b.input("t_addr", 4)
+    b.write(transposer, t_wen, t_addr, selected)
+    t_rdata = b.read(transposer, t_addr, sync=False)
+    b.output("t_data", t_rdata)
+
+    # Transpose-read verification port (synchronous scratchpad read).
+    verify_addr = b.input("verify_addr", 16)
+    b.output("verify_data", b.read(spad, verify_addr.trunc(spad.addr_bits), sync=True))
+    b.output("checksum", checksum)
+    b.output("row0_sum", row_sums[0])
+    b.output("rowN_sum", row_sums[-1])
+    return b.build()

@@ -1,0 +1,257 @@
+"""The MiniRV ISA: instruction encodings and a two-pass assembler.
+
+The RISC cores in :mod:`repro.designs.rocket_like` and
+:mod:`repro.designs.openpiton_like` execute this little load/store ISA so
+the benchmark workloads are *real programs* (loops, memcpy, sorting), the
+way the paper uses each design's official benchmark workloads.
+
+Encoding (32-bit words)::
+
+    [31:26] opcode   [25:22] rd   [21:18] rs1   [17:14] rs2   [13:0] imm14
+
+``imm14`` is sign-extended.  PC and load/store addresses are word-granular.
+
+=========  ==============================  =========  ======================
+mnemonic   semantics                       mnemonic   semantics
+=========  ==============================  =========  ======================
+halt       stop; pc holds                  addi       rd = rs1 + imm
+add        rd = rs1 + rs2                  lui        rd = imm << 18
+sub        rd = rs1 - rs2                  ld         rd = mem[rs1 + imm]
+and_       rd = rs1 & rs2                  st         mem[rs1 + imm] = rs2
+or_        rd = rs1 | rs2                  beq        if rs1 == rs2: pc += imm
+xor        rd = rs1 ^ rs2                  bne        if rs1 != rs2: pc += imm
+shl        rd = rs1 << rs2[4:0]            blt        if rs1 <  rs2: pc += imm
+shr        rd = rs1 >> rs2[4:0]            jal        rd = pc + 1; pc += imm
+mul        rd = (rs1 * rs2) & mask         jalr       rd = pc + 1; pc = rs1+imm
+out        out_reg = rs1 (visible output)
+=========  ==============================  =========  ======================
+
+Branch/JAL offsets are relative to the *next* pc (pc + 1 + imm), the usual
+assembler convention for this kind of core.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+HALT = 0
+ADD = 1
+SUB = 2
+AND = 3
+OR = 4
+XOR = 5
+SHL = 6
+SHR = 7
+ADDI = 8
+LUI = 9
+LD = 10
+ST = 11
+BEQ = 12
+BNE = 13
+BLT = 14
+JAL = 15
+JALR = 16
+MUL = 17
+OUT = 18
+
+NUM_OPCODES = 19
+IMM_BITS = 14
+IMM_MASK = (1 << IMM_BITS) - 1
+
+
+def encode(opcode: int, rd: int = 0, rs1: int = 0, rs2: int = 0, imm: int = 0) -> int:
+    """Pack one instruction word."""
+    if not 0 <= opcode < (1 << 6):
+        raise ValueError(f"opcode {opcode} out of range")
+    for name, reg in (("rd", rd), ("rs1", rs1), ("rs2", rs2)):
+        if not 0 <= reg < 16:
+            raise ValueError(f"{name}={reg} out of range (16 registers)")
+    if not -(1 << (IMM_BITS - 1)) <= imm < (1 << (IMM_BITS - 1)):
+        raise ValueError(f"imm {imm} does not fit {IMM_BITS} signed bits")
+    return (
+        (opcode << 26) | (rd << 22) | (rs1 << 18) | (rs2 << 14) | (imm & IMM_MASK)
+    )
+
+
+def decode(word: int) -> tuple[int, int, int, int, int]:
+    """Unpack (opcode, rd, rs1, rs2, signed imm)."""
+    imm = word & IMM_MASK
+    if imm & (1 << (IMM_BITS - 1)):
+        imm -= 1 << IMM_BITS
+    return (word >> 26) & 0x3F, (word >> 22) & 0xF, (word >> 18) & 0xF, (word >> 14) & 0xF, imm
+
+
+@dataclass
+class Assembler:
+    """Two-pass assembler with labels.
+
+    >>> a = Assembler()
+    >>> a.addi(1, 0, 5)
+    >>> a.label("loop")
+    >>> a.addi(1, 1, -1)
+    >>> a.bne(1, 0, "loop")
+    >>> a.halt()
+    >>> program = a.assemble()
+    """
+
+    #: list of (opcode, rd, rs1, rs2, imm-or-label)
+    items: list[tuple] = field(default_factory=list)
+    labels: dict[str, int] = field(default_factory=dict)
+
+    def label(self, name: str) -> None:
+        if name in self.labels:
+            raise ValueError(f"duplicate label {name!r}")
+        self.labels[name] = len(self.items)
+
+    def _emit(self, opcode: int, rd: int = 0, rs1: int = 0, rs2: int = 0, imm=0) -> None:
+        self.items.append((opcode, rd, rs1, rs2, imm))
+
+    # Register-register.
+    def add(self, rd, rs1, rs2):
+        self._emit(ADD, rd, rs1, rs2)
+
+    def sub(self, rd, rs1, rs2):
+        self._emit(SUB, rd, rs1, rs2)
+
+    def and_(self, rd, rs1, rs2):
+        self._emit(AND, rd, rs1, rs2)
+
+    def or_(self, rd, rs1, rs2):
+        self._emit(OR, rd, rs1, rs2)
+
+    def xor(self, rd, rs1, rs2):
+        self._emit(XOR, rd, rs1, rs2)
+
+    def shl(self, rd, rs1, rs2):
+        self._emit(SHL, rd, rs1, rs2)
+
+    def shr(self, rd, rs1, rs2):
+        self._emit(SHR, rd, rs1, rs2)
+
+    def mul(self, rd, rs1, rs2):
+        self._emit(MUL, rd, rs1, rs2)
+
+    # Immediates and memory.
+    def addi(self, rd, rs1, imm):
+        self._emit(ADDI, rd, rs1, 0, imm)
+
+    def lui(self, rd, imm):
+        self._emit(LUI, rd, 0, 0, imm)
+
+    def ld(self, rd, rs1, imm=0):
+        self._emit(LD, rd, rs1, 0, imm)
+
+    def st(self, rs2, rs1, imm=0):
+        self._emit(ST, 0, rs1, rs2, imm)
+
+    # Control flow (targets may be labels).
+    def beq(self, rs1, rs2, target):
+        self._emit(BEQ, 0, rs1, rs2, target)
+
+    def bne(self, rs1, rs2, target):
+        self._emit(BNE, 0, rs1, rs2, target)
+
+    def blt(self, rs1, rs2, target):
+        self._emit(BLT, 0, rs1, rs2, target)
+
+    def jal(self, rd, target):
+        self._emit(JAL, rd, 0, 0, target)
+
+    def jalr(self, rd, rs1, imm=0):
+        self._emit(JALR, rd, rs1, 0, imm)
+
+    # Misc.
+    def out(self, rs1):
+        self._emit(OUT, 0, rs1, 0)
+
+    def halt(self):
+        self._emit(HALT)
+
+    def nop(self):
+        self._emit(ADD, 0, 0, 0)
+
+    def assemble(self) -> list[int]:
+        words: list[int] = []
+        for pc, (opcode, rd, rs1, rs2, imm) in enumerate(self.items):
+            if isinstance(imm, str):
+                if imm not in self.labels:
+                    raise ValueError(f"undefined label {imm!r}")
+                imm = self.labels[imm] - (pc + 1)  # relative to next pc
+            words.append(encode(opcode, rd, rs1, rs2, imm))
+        return words
+
+
+def reference_execute(
+    program: list[int],
+    dmem_init: list[int] | None = None,
+    dmem_depth: int = 256,
+    max_steps: int = 100_000,
+) -> dict:
+    """Golden software model of MiniRV (used to check the hardware cores).
+
+    Returns final registers, data memory, the ``out`` history, and the
+    retired-instruction count.
+    """
+    mask = (1 << 32) - 1
+    regs = [0] * 16
+    dmem = list(dmem_init or []) + [0] * dmem_depth
+    dmem = dmem[:dmem_depth]
+    out_history: list[int] = []
+    pc = 0
+    steps = 0
+    while steps < max_steps:
+        steps += 1
+        word = program[pc] if pc < len(program) else 0
+        opcode, rd, rs1, rs2, imm = decode(word)
+        next_pc = pc + 1
+        if opcode == HALT:
+            break
+        if opcode == ADD:
+            regs[rd] = (regs[rs1] + regs[rs2]) & mask
+        elif opcode == SUB:
+            regs[rd] = (regs[rs1] - regs[rs2]) & mask
+        elif opcode == AND:
+            regs[rd] = regs[rs1] & regs[rs2]
+        elif opcode == OR:
+            regs[rd] = regs[rs1] | regs[rs2]
+        elif opcode == XOR:
+            regs[rd] = regs[rs1] ^ regs[rs2]
+        elif opcode == SHL:
+            regs[rd] = (regs[rs1] << (regs[rs2] & 31)) & mask
+        elif opcode == SHR:
+            regs[rd] = regs[rs1] >> (regs[rs2] & 31)
+        elif opcode == MUL:
+            regs[rd] = (regs[rs1] * regs[rs2]) & mask
+        elif opcode == ADDI:
+            regs[rd] = (regs[rs1] + imm) & mask
+        elif opcode == LUI:
+            regs[rd] = (imm << 18) & mask
+        elif opcode == LD:
+            regs[rd] = dmem[((regs[rs1] + imm) & mask) % dmem_depth]
+        elif opcode == ST:
+            dmem[((regs[rs1] + imm) & mask) % dmem_depth] = regs[rs2]
+        elif opcode == BEQ:
+            if regs[rs1] == regs[rs2]:
+                next_pc = pc + 1 + imm
+        elif opcode == BNE:
+            if regs[rs1] != regs[rs2]:
+                next_pc = pc + 1 + imm
+        elif opcode == BLT:
+            if regs[rs1] < regs[rs2]:
+                next_pc = pc + 1 + imm
+        elif opcode == JAL:
+            regs[rd] = (pc + 1) & mask
+            next_pc = pc + 1 + imm
+        elif opcode == JALR:
+            regs[rd] = (pc + 1) & mask
+            next_pc = (regs[rs1] + imm) & mask
+        elif opcode == OUT:
+            out_history.append(regs[rs1])
+        else:
+            raise ValueError(f"illegal opcode {opcode} at pc {pc}")
+        if rd == 0 and opcode in (ADD, SUB, AND, OR, XOR, SHL, SHR, MUL, ADDI, LUI, LD, JAL, JALR):
+            regs[0] = 0  # r0 is hardwired zero
+        pc = next_pc & mask
+        if pc >= len(program):
+            break
+    return {"regs": regs, "dmem": dmem, "out": out_history, "steps": steps, "pc": pc}

@@ -1,0 +1,239 @@
+"""Hardware implementation of a MiniRV core (multi-cycle, in-order).
+
+Shared by :mod:`repro.designs.rocket_like` (one big core with caches) and
+:mod:`repro.designs.openpiton_like` (many smaller tiles).  Deliberate
+microarchitectural properties that matter to the paper's evaluation:
+
+* the **register file uses asynchronous read ports** — like RocketChip's —
+  which forces the flip-flop + mux-tree polyfill in RAM mapping (§IV's
+  explanation of why NVDLA speeds up more than the CPU designs);
+* instruction and data memories are **synchronous-read** block RAMs, so
+  they map to native GEM RAM blocks;
+* execution is a 3-state FSM (FETCH → EXEC → MEM), CPI 2–3, giving real
+  control-flow-dependent switching activity.
+
+The core is verified instruction-for-instruction against the software
+golden model :func:`repro.designs.isa_mini.reference_execute`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.designs import isa_mini as mi
+from repro.rtl.builder import CircuitBuilder, Value
+
+
+@dataclass
+class CoreConfig:
+    """Size knobs for one core."""
+
+    imem_depth: int = 256
+    dmem_depth: int = 256
+    #: datapath width (registers, ALU, memories)
+    width: int = 32
+    #: implement MUL in hardware (a Wallace multiplier is the single
+    #: biggest logic block; tiles in the multicore design drop it)
+    with_mul: bool = True
+
+
+@dataclass
+class CorePorts:
+    """Signals a core exposes to its enclosing design."""
+
+    halted: Value
+    out: Value
+    out_valid: Value
+    pc: Value
+    retired: Value
+
+
+@dataclass
+class BootBus:
+    """Host-side program/data loading interface.
+
+    While ``mode`` is high the core idles (pc pinned to 0, halt cleared) and
+    the host streams words into instruction/data memory — the way emulator
+    hosts load workloads, and the reason one GEM compile serves every
+    workload of a design (programs arrive through stimulus, not RAM init).
+    """
+
+    mode: Value
+    imem_wen: Value
+    dmem_wen: Value
+    addr: Value
+    data: Value
+
+
+S_FETCH = 0
+S_EXEC = 1
+S_MEM = 2
+
+
+def build_core(
+    b: CircuitBuilder,
+    name: str,
+    program: list[int] | None = None,
+    dmem_init: list[int] | None = None,
+    config: CoreConfig | None = None,
+    boot: BootBus | None = None,
+) -> CorePorts:
+    """Instantiate one MiniRV core under scope ``name``.
+
+    ``program``/``dmem_init`` pre-initialize the memories (direct-run use);
+    a :class:`BootBus` additionally allows loading at runtime.
+    """
+    cfg = config or CoreConfig()
+    if program and len(program) > cfg.imem_depth:
+        raise ValueError(f"program ({len(program)} words) exceeds imem depth {cfg.imem_depth}")
+    if dmem_init and len(dmem_init) > cfg.dmem_depth:
+        raise ValueError(f"dmem image exceeds dmem depth {cfg.dmem_depth}")
+    W = cfg.width
+    with b.scope(name):
+        state = b.reg("state", 2, init=S_FETCH)
+        pc = b.reg("pc", W, init=0)
+        halted = b.reg("halted", 1, init=0)
+        out_reg = b.reg("out", W, init=0)
+        out_valid = b.reg("out_valid", 1, init=0)
+        retired = b.reg("retired", 16, init=0)
+
+        in_fetch = state == S_FETCH
+        in_exec = state == S_EXEC
+        in_mem = state == S_MEM
+        booting = boot.mode if boot is not None else b.const(0, 1)
+        enabled = ~booting
+        running = ~halted & enabled
+
+        # Instruction memory: sync read issued in FETCH, data held after.
+        imem = b.memory("imem", cfg.imem_depth, 32, init=program or [])
+        fetch_en = in_fetch & running
+        instr = b.read(imem, pc.trunc(imem.addr_bits), sync=True, en=fetch_en)
+        if boot is not None:
+            b.write(
+                imem,
+                booting & boot.imem_wen,
+                boot.addr.resize(imem.addr_bits),
+                boot.data.resize(32),
+            )
+
+        opcode = instr[31:26]
+        rd = instr[25:22]
+        rs1 = instr[21:18]
+        rs2 = instr[17:14]
+        imm14 = instr[13:0]
+        sign = instr[13]
+        imm = b.concat(imm14, b.mux(sign, b.const((1 << (W - 14)) - 1, W - 14), 0))
+
+        def is_op(code: int) -> Value:
+            return opcode == code
+
+        # Register file: asynchronous read ports (the polyfill trigger).
+        regfile = b.memory("regfile", 16, W)
+        rs1_val = b.read(regfile, rs1, sync=False)
+        rs2_val = b.read(regfile, rs2, sync=False)
+
+        # ALU.
+        shamt = rs2_val[4:0].zext(W)
+        alu_add = rs1_val + imm
+        results: list[tuple[Value, Value]] = [
+            (is_op(mi.ADD), rs1_val + rs2_val),
+            (is_op(mi.SUB), rs1_val - rs2_val),
+            (is_op(mi.AND), rs1_val & rs2_val),
+            (is_op(mi.OR), rs1_val | rs2_val),
+            (is_op(mi.XOR), rs1_val ^ rs2_val),
+            (is_op(mi.SHL), rs1_val << shamt),
+            (is_op(mi.SHR), rs1_val >> shamt),
+            (is_op(mi.ADDI), alu_add),
+            (is_op(mi.LUI), imm << 18),
+        ]
+        if cfg.with_mul:
+            results.append((is_op(mi.MUL), rs1_val * rs2_val))
+        alu = b.const(0, W)
+        for cond, value in results:
+            alu = b.mux(cond, value, alu)
+
+        is_ld = is_op(mi.LD)
+        is_st = is_op(mi.ST)
+        is_jal = is_op(mi.JAL)
+        is_jalr = is_op(mi.JALR)
+        link = pc + 1
+
+        # Data memory: sync read for LD (data in MEM), write for ST.  The
+        # boot bus shares the single write port (keeps it block-mappable).
+        dmem = b.memory("dmem", cfg.dmem_depth, W, init=dmem_init or [])
+        addr = alu_add.trunc(dmem.addr_bits)
+        ld_issue = in_exec & running & is_ld
+        ld_data = b.read(dmem, addr, sync=True, en=ld_issue)
+        st_en = in_exec & running & is_st
+        if boot is not None:
+            boot_wen = booting & boot.dmem_wen
+            wen = boot_wen | st_en
+            waddr = b.mux(booting, boot.addr.resize(dmem.addr_bits), addr)
+            wdata = b.mux(booting, boot.data.resize(W), rs2_val)
+            b.write(dmem, wen, waddr, wdata)
+        else:
+            b.write(dmem, st_en, addr, rs2_val)
+
+        # Branch resolution.
+        take = b.mux(
+            is_op(mi.BEQ),
+            rs1_val == rs2_val,
+            b.mux(
+                is_op(mi.BNE),
+                rs1_val != rs2_val,
+                b.mux(is_op(mi.BLT), rs1_val < rs2_val, b.const(0, 1)),
+            ),
+        )
+        pc_seq = pc + 1
+        pc_branch = pc + 1 + imm
+        next_pc = b.mux(
+            is_jalr, alu_add, b.mux(is_jal | take, pc_branch, pc_seq)
+        )
+        pc_hold = b.mux(in_exec & running, next_pc, pc)
+        pc.next = b.mux(booting, b.const(0, W), pc_hold)
+
+        # Register writeback: ALU ops and links in EXEC, loads in MEM.
+        wb_exec_ops = (
+            is_op(mi.ADD)
+            | is_op(mi.SUB)
+            | is_op(mi.AND)
+            | is_op(mi.OR)
+            | is_op(mi.XOR)
+            | is_op(mi.SHL)
+            | is_op(mi.SHR)
+            | is_op(mi.ADDI)
+            | is_op(mi.LUI)
+            | (is_op(mi.MUL) if cfg.with_mul else b.const(0, 1))
+        )
+        wb_data = b.mux(is_jal | is_jalr, link, b.mux(in_mem, ld_data, alu))
+        wb_en = (
+            (in_exec & running & (wb_exec_ops | is_jal | is_jalr))
+            | (in_mem & running)
+        ) & (rd != 0)
+        b.write(regfile, wb_en, rd, wb_data)
+
+        # HALT / OUT.
+        halt_now = in_exec & running & is_op(mi.HALT)
+        halted.next = (halted | halt_now) & enabled
+        do_out = in_exec & running & is_op(mi.OUT)
+        out_reg.next = b.mux(do_out, rs1_val, out_reg)
+        out_valid.next = do_out
+        retired.next = b.mux(in_exec & running & ~is_op(mi.HALT), retired + 1, retired)
+
+        # FSM.
+        next_state = b.mux(
+            in_fetch,
+            b.const(S_EXEC, 2),
+            b.mux(
+                in_exec,
+                b.mux(is_ld, b.const(S_MEM, 2), b.const(S_FETCH, 2)),
+                b.const(S_FETCH, 2),
+            ),
+        )
+        state.next = b.mux(
+            booting, b.const(S_FETCH, 2), b.mux(running, next_state, state)
+        )
+
+        return CorePorts(
+            halted=halted, out=out_reg, out_valid=out_valid, pc=pc, retired=retired
+        )

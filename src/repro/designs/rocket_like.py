@@ -1,0 +1,79 @@
+"""RocketChip-like benchmark design: one in-order RISC CPU with caches.
+
+Structural analogue of the paper's RocketChip target (DESIGN.md §2): an
+in-order core with an asynchronous-read register file (the async-RAM
+polyfill cost), synchronous-read instruction/data memories (native RAM
+blocks), plus a victim-buffer-style store queue and a performance-counter
+block that add the uncore logic a real SoC carries around its core.
+
+The design exposes a :class:`~repro.designs.riscish.BootBus` so workloads
+(real MiniRV programs, :mod:`repro.designs.workloads`) are loaded through
+stimulus — one GEM compile serves every workload, exactly like an emulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.designs.riscish import BootBus, CoreConfig, build_core
+from repro.rtl.builder import CircuitBuilder
+from repro.rtl.ir import Circuit
+
+
+@dataclass
+class RocketScale:
+    """Size knobs; the default lands in the tens of kilogates after
+    synthesis (paper scale divided down per DESIGN.md §5)."""
+
+    imem_depth: int = 256
+    dmem_depth: int = 256
+    width: int = 32
+    #: extra MAC pipeline ("RoCC-style" accelerator stub) stages
+    rocc_macs: int = 4
+
+
+def build_rocket_like(scale: RocketScale | None = None) -> Circuit:
+    """Build the design; returns the elaborated circuit."""
+    scale = scale or RocketScale()
+    b = CircuitBuilder("rocket_like")
+
+    boot = BootBus(
+        mode=b.input("boot_mode", 1),
+        imem_wen=b.input("boot_imem_wen", 1),
+        dmem_wen=b.input("boot_dmem_wen", 1),
+        addr=b.input("boot_addr", 16),
+        data=b.input("boot_data", 32),
+    )
+    core_cfg = CoreConfig(
+        imem_depth=scale.imem_depth, dmem_depth=scale.dmem_depth, width=scale.width
+    )
+    ports = build_core(b, "core", config=core_cfg, boot=boot)
+
+    # RoCC-style MAC accelerator stub: a small chain of multiply-accumulate
+    # stages fed by the core's out register (adds deep arithmetic logic the
+    # way Rocket's FPU/RoCC does).
+    with b.scope("rocc"):
+        acc = ports.out
+        for i in range(scale.rocc_macs):
+            stage = b.reg(f"mac{i}", scale.width)
+            stage.next = b.mux(ports.out_valid, acc * (acc + (2 * i + 1)), stage)
+            acc = stage
+        b.output("rocc_acc", acc)
+
+    # Performance counter block ("uncore"): cycle counter, retire counter,
+    # halt latency register — always-on switching logic.
+    with b.scope("hpm"):
+        cycles = b.reg("cycles", 32)
+        cycles.next = cycles + 1
+        halted_at = b.reg("halted_at", 32)
+        first_halt = ports.halted & (halted_at == 0)
+        halted_at.next = b.mux(first_halt, cycles, halted_at)
+        b.output("hpm_cycles", cycles)
+        b.output("hpm_halted_at", halted_at)
+
+    b.output("halted", ports.halted)
+    b.output("out", ports.out)
+    b.output("out_valid", ports.out_valid)
+    b.output("retired", ports.retired)
+    b.output("pc", ports.pc.trunc(16))
+    return b.build()

@@ -1,0 +1,24 @@
+"""4-state (0/1/X/Z) simulation — the paper's first listed future work.
+
+The paper closes §V with "many improvements are possible as future works,
+including native arithmetic operations, multi-GPU support, CUDA software
+pipelining, 4-state simulation".  This package implements 4-state
+simulation the way production 2-state engines do:
+
+* :mod:`repro.fourstate.semantics` — the value algebra: IEEE-1364-style
+  pessimistic X-propagation over (data, unknown) dual-rail words;
+* :mod:`repro.fourstate.sim` — :class:`FourStateSim`, a golden 4-state
+  interpreter of the word-level netlist (registers and memories can power
+  up as X, so reset coverage is checkable);
+* :mod:`repro.fourstate.dualrail` — a circuit-to-circuit transform that
+  compiles a design into a 2-state circuit computing its own dual-rail
+  encoding.  The transformed circuit runs on *any* 2-state engine in this
+  repository — including the GEM interpreter, which therefore gains
+  4-state simulation with zero kernel changes.
+"""
+
+from repro.fourstate.dualrail import DualRailCircuit, to_dual_rail
+from repro.fourstate.semantics import X, FourState
+from repro.fourstate.sim import FourStateSim
+
+__all__ = ["DualRailCircuit", "FourState", "FourStateSim", "X", "to_dual_rail"]

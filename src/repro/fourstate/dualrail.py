@@ -1,0 +1,310 @@
+"""Dual-rail transform: compile 4-state semantics into a 2-state circuit.
+
+``to_dual_rail(circuit)`` produces a new word-level circuit computing the
+(data, unknown) encoding of the original design.  Every input grows an
+``<name>__x`` companion (X-mask), every output an ``<name>__x`` rail, each
+register becomes a data/unknown register pair (optionally powering up as
+X), and each memory becomes a data/unknown memory pair plus a sticky
+poison register realizing the X-address write rule.
+
+Because the result is an ordinary 2-state circuit, it runs on *every*
+engine in this repository — WordSim, the event-driven/compiled/gate-level
+baselines, and the **GEM interpreter**, which thereby gains the 4-state
+simulation the paper lists as future work with zero changes to the
+virtual Boolean machine: 4-state is a compile-time transform, exactly as
+in production 2-state flows.
+
+The transform's semantics match :class:`repro.fourstate.sim.FourStateSim`
+bit-for-bit (tests/test_fourstate.py drives them in lockstep).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.fourstate.semantics import FourState
+from repro.rtl.builder import CircuitBuilder, Value
+from repro.rtl.ir import Circuit, Op, OpKind
+from repro.rtl.netlist import Netlist
+
+Rail = tuple[Value, Value]  # (data, unknown), normal form: data & unknown == 0
+
+
+@dataclass
+class DualRailCircuit:
+    """The transformed circuit plus host-side encode/decode helpers."""
+
+    circuit: Circuit
+    #: original input name -> (data input name, x-mask input name)
+    input_rails: dict[str, tuple[str, str]]
+    #: original output name -> (data output name, x-mask output name)
+    output_rails: dict[str, tuple[str, str]]
+    input_widths: dict[str, int]
+    output_widths: dict[str, int]
+
+    def encode_inputs(self, inputs: dict[str, "int | FourState"]) -> dict[str, int]:
+        """4-state (or plain int) input words -> 2-state stimulus dict."""
+        vec: dict[str, int] = {}
+        for name, value in inputs.items():
+            d_name, x_name = self.input_rails[name]
+            if isinstance(value, FourState):
+                vec[d_name] = value.data
+                vec[x_name] = value.unknown
+            else:
+                vec[d_name] = value
+                vec[x_name] = 0
+        return vec
+
+    def decode_outputs(self, outputs: dict[str, int]) -> dict[str, FourState]:
+        """2-state engine outputs -> 4-state words."""
+        decoded: dict[str, FourState] = {}
+        for name, (d_name, x_name) in self.output_rails.items():
+            decoded[name] = FourState(
+                data=outputs[d_name],
+                unknown=outputs[x_name],
+                width=self.output_widths[name],
+            )
+        return decoded
+
+
+def to_dual_rail(circuit: Circuit, x_reset: bool = True, x_memory: bool = True) -> DualRailCircuit:
+    """Build the dual-rail 2-state equivalent of ``circuit``."""
+    netlist = Netlist(circuit)
+    b = CircuitBuilder(f"{circuit.name}__4state")
+    env: dict[int, Rail] = {}
+
+    def ones(width: int) -> Value:
+        return b.const((1 << width) - 1, width)
+
+    def zero(width: int) -> Value:
+        return b.const(0, width)
+
+    input_rails: dict[str, tuple[str, str]] = {}
+    input_widths: dict[str, int] = {}
+    for sig in circuit.inputs:
+        d_in = b.input(sig.name, sig.width)
+        u_in = b.input(f"{sig.name}__x", sig.width)
+        env[sig.uid] = (d_in & ~u_in, u_in)  # normalize host-driven rails
+        input_rails[sig.name] = (sig.name, f"{sig.name}__x")
+        input_widths[sig.name] = sig.width
+
+    # State elements first (two-phase, like every other consumer of the IR).
+    reg_pairs: list[tuple[Op, Value, Value]] = []
+    for op in circuit.ops:
+        if op.kind is OpKind.CONST:
+            env[op.out.uid] = (b.const(op.attrs["value"], op.out.width), zero(op.out.width))
+        elif op.kind is OpKind.REG:
+            w = op.out.width
+            init = op.attrs.get("init", 0)
+            d_reg = b.reg(f"{op.out.name}__d", w, init=0 if x_reset else init)
+            u_reg = b.reg(f"{op.out.name}__u", w, init=(1 << w) - 1 if x_reset else 0)
+            env[op.out.uid] = (d_reg, u_reg)
+            reg_pairs.append((op, d_reg, u_reg))
+
+    mems = _build_memories(b, circuit, env, netlist, x_memory)
+
+    for op in netlist.order:
+        env[op.out.uid] = _lower(b, op, env, mems, netlist)
+
+    output_rails: dict[str, tuple[str, str]] = {}
+    output_widths: dict[str, int] = {}
+    for name, sig in circuit.outputs:
+        d, u = env[sig.uid]
+        b.output(name, d)
+        b.output(f"{name}__x", u)
+        output_rails[name] = (name, f"{name}__x")
+        output_widths[name] = sig.width
+
+    for op, d_reg, u_reg in reg_pairs:
+        d, u = env[op.inputs[0].uid]
+        d_reg.next = d
+        u_reg.next = u
+    _finish_memories(b, circuit, env, mems)
+
+    return DualRailCircuit(
+        circuit=b.build(),
+        input_rails=input_rails,
+        output_rails=output_rails,
+        input_widths=input_widths,
+        output_widths=output_widths,
+    )
+
+
+class _MemPair:
+    def __init__(self, b: CircuitBuilder, mem, x_memory: bool) -> None:
+        init = mem.initial_words()
+        known = len(mem.init)
+        self.mem = mem
+        self.d = b.memory(f"{mem.name}__d", mem.depth, mem.width, init=init)
+        u_init = ([0] * known + [(1 << mem.width) - 1] * (mem.depth - known)) if x_memory else []
+        self.u = b.memory(f"{mem.name}__u", mem.depth, mem.width, init=u_init)
+        self.poison = b.reg(f"{mem.name}__poison", 1, init=0)
+        #: per sync read port: (override reg, data reg, unknown reg)
+        self.sync_ports: list[tuple[Value, Value, Value] | None] = []
+
+
+def _build_memories(b, circuit, env, netlist, x_memory) -> dict[str, _MemPair]:
+    mems: dict[str, _MemPair] = {}
+    for mem in circuit.memories:
+        pair = _MemPair(b, mem, x_memory)
+        mems[mem.name] = pair
+        # Sync read data is state: build it from register pairs so the
+        # rails exist before the combinational pass (an async port plus a
+        # sampling register is semantically identical to a sync port).
+        for i, rp in enumerate(mem.read_ports):
+            if rp.sync:
+                ovr = b.reg(f"{mem.name}__ovr{i}", 1, init=1)
+                rd_d = b.reg(f"{mem.name}__rd{i}d", mem.width, init=0)
+                rd_u = b.reg(f"{mem.name}__rd{i}u", mem.width, init=0)
+                pair.sync_ports.append((ovr, rd_d, rd_u))
+                force_x = ovr | pair.poison
+                mw = mem.width
+                env[rp.data.uid] = (
+                    b.mux(force_x, b.const(0, mw), rd_d & ~rd_u),
+                    b.mux(force_x, b.const((1 << mw) - 1, mw), rd_u),
+                )
+            else:
+                pair.sync_ports.append(None)
+    return mems
+
+
+def _lower(b: CircuitBuilder, op: Op, env: dict[int, Rail], mems, netlist) -> Rail:
+    kind = op.kind
+    w = op.out.width
+    ins = [env[s.uid] for s in op.inputs]
+
+    def ones() -> Value:
+        return b.const((1 << w) - 1, w)
+
+    def zero() -> Value:
+        return b.const(0, w)
+
+    if kind is OpKind.AND:
+        (ad, au), (bd, bu) = ins
+        definitely_zero = (~ad & ~au) | (~bd & ~bu)
+        u = (au | bu) & ~definitely_zero
+        return (ad & bd, u)
+    if kind is OpKind.OR:
+        (ad, au), (bd, bu) = ins
+        one = ad | bd
+        return (one, (au | bu) & ~one)
+    if kind is OpKind.XOR:
+        (ad, au), (bd, bu) = ins
+        u = au | bu
+        return ((ad ^ bd) & ~u, u)
+    if kind is OpKind.NOT:
+        (ad, au) = ins[0]
+        return (~ad & ~au, au)
+    if kind in (OpKind.ADD, OpKind.SUB, OpKind.MUL):
+        (ad, au), (bd, bu) = ins
+        anyx = (au | bu).reduce_or()
+        result = {OpKind.ADD: ad + bd, OpKind.SUB: ad - bd, OpKind.MUL: ad * bd}[kind]
+        return (b.mux(anyx, zero(), result), b.mux(anyx, ones(), zero()))
+    if kind is OpKind.EQ:
+        (ad, au), (bd, bu) = ins
+        xs = au | bu
+        mismatch = ((ad ^ bd) & ~xs).reduce_or()
+        anyx = xs.reduce_or()
+        return (~mismatch & ~anyx, anyx & ~mismatch)
+    if kind is OpKind.LT:
+        (ad, au), (bd, bu) = ins
+        anyx = (au | bu).reduce_or()
+        return ((ad < bd) & ~anyx, anyx)
+    if kind is OpKind.MUX:
+        (sd, su), (ad, au), (bd, bu) = ins
+        agree = ~(au | bu) & ~(ad ^ bd)
+        merged_d = ad & agree
+        merged_u = ~agree
+        pick_d = b.mux(sd[0], ad, bd)
+        pick_u = b.mux(sd[0], au, bu)
+        return (b.mux(su[0], merged_d, pick_d), b.mux(su[0], merged_u, pick_u))
+    if kind is OpKind.REDAND:
+        (ad, au) = ins[0]
+        has_def0 = (~ad & ~au).reduce_or()
+        anyx = au.reduce_or()
+        return (~has_def0 & ~anyx, ~has_def0 & anyx)
+    if kind is OpKind.REDOR:
+        (ad, au) = ins[0]
+        one = ad.reduce_or()
+        return (one, au.reduce_or() & ~one)
+    if kind is OpKind.REDXOR:
+        (ad, au) = ins[0]
+        anyx = au.reduce_or()
+        return (ad.reduce_xor() & ~anyx, anyx)
+    if kind in (OpKind.SHLI, OpKind.SHRI):
+        (ad, au) = ins[0]
+        amount = op.attrs["amount"]
+        if kind is OpKind.SHLI:
+            return (ad << amount, au << amount)
+        return (ad >> amount, au >> amount)
+    if kind in (OpKind.SHL, OpKind.SHR):
+        (ad, au), (bd, bu) = ins
+        anyx = bu.reduce_or()
+        if kind is OpKind.SHL:
+            sd, su = ad << bd, au << bd
+        else:
+            sd, su = ad >> bd, au >> bd
+        return (b.mux(anyx, zero(), sd), b.mux(anyx, ones(), su))
+    if kind is OpKind.SLICE:
+        (ad, au) = ins[0]
+        lo = op.attrs["lo"]
+        hi = lo + w - 1
+        return (ad[hi:lo], au[hi:lo])
+    if kind is OpKind.CONCAT:
+        return (b.concat(*(d for d, _ in ins)), b.concat(*(u for _, u in ins)))
+    if kind is OpKind.MEMRD:  # asynchronous port
+        pair = mems[op.attrs["memory"]]
+        mem = pair.mem
+        (ad, au) = ins[0]
+        addr = ad.trunc(mem.addr_bits)
+        anyx = au[mem.addr_bits - 1 : 0].reduce_or() | pair.poison
+        rd_d = b.read(pair.d, addr, sync=False)
+        rd_u = b.read(pair.u, addr, sync=False)
+        mw = mem.width
+        return (
+            b.mux(anyx, b.const(0, mw), rd_d & ~rd_u),
+            b.mux(anyx, b.const((1 << mw) - 1, mw), rd_u),
+        )
+    raise NotImplementedError(str(kind))
+
+
+def _finish_memories(b: CircuitBuilder, circuit, env, mems) -> None:
+    for mem in circuit.memories:
+        pair = mems[mem.name]
+        mw = mem.width
+        ab = mem.addr_bits
+        all_ones = b.const((1 << mw) - 1, mw)
+        # Write side.
+        poison_next = pair.poison
+        for wp in mem.write_ports:
+            en_d, en_u = env[wp.en.uid]
+            ad, au = env[wp.addr.uid]
+            dd, du = env[wp.data.uid]
+            maybe = en_d | en_u
+            addr_x = au[ab - 1 : 0].reduce_or()
+            poison_next = poison_next | (maybe & addr_x)
+            wen = maybe & ~addr_x
+            # A maybe-write (X enable) stores an all-X word.
+            wdata_d = b.mux(en_u, b.const(0, mw), dd)
+            wdata_u = b.mux(en_u, all_ones, du)
+            b.write(pair.d, wen, ad.trunc(ab), wdata_d)
+            b.write(pair.u, wen, ad.trunc(ab), wdata_u)
+        pair.poison.next = poison_next
+        # Sync read ports: the sampling registers built up front latch the
+        # (read-first) memory contents whenever the port may be enabled.
+        for i, rp in enumerate(mem.read_ports):
+            if not rp.sync:
+                continue
+            ovr, rd_d, rd_u = pair.sync_ports[i]
+            if rp.en is not None:
+                en_d, en_u = env[rp.en.uid]
+            else:
+                en_d, en_u = b.const(1, 1), b.const(0, 1)
+            ad, au = env[rp.addr.uid]
+            sample = en_d | en_u
+            addr_x = au[ab - 1 : 0].reduce_or()
+            ovr.next = b.mux(sample, en_u | addr_x, ovr)
+            raw_d = b.read(pair.d, ad.trunc(ab), sync=False)
+            raw_u = b.read(pair.u, ad.trunc(ab), sync=False)
+            rd_d.next = b.mux(sample, raw_d, rd_d)
+            rd_u.next = b.mux(sample, raw_u, rd_u)

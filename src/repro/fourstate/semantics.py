@@ -1,0 +1,232 @@
+"""The 4-state value algebra: dual-rail words with pessimistic X-propagation.
+
+A 4-state word of width ``w`` is a pair of 2-state words ``(data, unknown)``:
+bit ``i`` is X when ``unknown[i] = 1``, otherwise it is ``data[i]``.  Z is
+collapsed to X on read (this is a simulator, not a strength resolver), the
+usual 2-state-engine treatment.
+
+Normal form: ``data & unknown == 0`` (data bits under an X are zero).  All
+operations below maintain it, which makes equality checks canonical.
+
+Propagation rules follow IEEE 1364's semantics for the operators our IR
+has (the same rules commercial X-prop uses):
+
+* bitwise ops are per-bit exact (``0 & X = 0``, ``1 | X = 1``, else X);
+* arithmetic, comparisons and variable shifts are *word-pessimistic*: any
+  X bit in an operand makes the whole result X;
+* ``mux`` with an X select merges the arms per bit (equal definite bits
+  survive, the rest go X);
+* reductions short-circuit on dominating definite bits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+def _mask(width: int) -> int:
+    return (1 << width) - 1
+
+
+@dataclass(frozen=True)
+class FourState:
+    """One 4-state word in normal form."""
+
+    data: int
+    unknown: int
+    width: int
+
+    def __post_init__(self) -> None:
+        m = _mask(self.width)
+        object.__setattr__(self, "data", self.data & m & ~self.unknown)
+        object.__setattr__(self, "unknown", self.unknown & m)
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def known(cls, value: int, width: int) -> "FourState":
+        return cls(data=value, unknown=0, width=width)
+
+    @classmethod
+    def all_x(cls, width: int) -> "FourState":
+        return cls(data=0, unknown=_mask(width), width=width)
+
+    # -- queries ---------------------------------------------------------------
+
+    @property
+    def is_fully_known(self) -> bool:
+        return self.unknown == 0
+
+    @property
+    def has_x(self) -> bool:
+        return self.unknown != 0
+
+    def value(self) -> int:
+        """The integer value; raises if any bit is X."""
+        if self.unknown:
+            raise ValueError(f"value has X bits: {self}")
+        return self.data
+
+    def compatible_with(self, value: int) -> bool:
+        """Could this 4-state word resolve to the 2-state ``value``?
+
+        True iff every *definite* bit matches — the monotonicity relation
+        X-propagation must respect (pessimism may add X, never flip a
+        definite bit).
+        """
+        definite = _mask(self.width) & ~self.unknown
+        return (self.data & definite) == (value & definite)
+
+    def __str__(self) -> str:
+        chars = []
+        for i in reversed(range(self.width)):
+            if (self.unknown >> i) & 1:
+                chars.append("x")
+            else:
+                chars.append(str((self.data >> i) & 1))
+        return "".join(chars)
+
+
+#: convenience singleton factory
+def X(width: int) -> FourState:
+    return FourState.all_x(width)
+
+
+# ---------------------------------------------------------------------------
+# Operator library (word in, word out).
+# ---------------------------------------------------------------------------
+
+
+def f_and(a: FourState, b: FourState) -> FourState:
+    # 0 dominates: a bit is definite-0 if either side is definite-0.
+    zero = (~a.data & ~a.unknown) | (~b.data & ~b.unknown)
+    data = a.data & b.data
+    unknown = (a.unknown | b.unknown) & ~zero
+    return FourState(data, unknown, a.width)
+
+
+def f_or(a: FourState, b: FourState) -> FourState:
+    one = a.data | b.data  # definite-1 dominates (data is 0 under X)
+    unknown = (a.unknown | b.unknown) & ~one
+    return FourState(one, unknown, a.width)
+
+
+def f_xor(a: FourState, b: FourState) -> FourState:
+    unknown = a.unknown | b.unknown
+    return FourState((a.data ^ b.data) & ~unknown, unknown, a.width)
+
+
+def f_not(a: FourState) -> FourState:
+    return FourState(~a.data & _mask(a.width) & ~a.unknown, a.unknown, a.width)
+
+
+def _word_pessimistic(width: int, *operands: FourState):
+    """None if all operands known, else the all-X word."""
+    if any(op.unknown for op in operands):
+        return FourState.all_x(width)
+    return None
+
+
+def f_add(a: FourState, b: FourState) -> FourState:
+    return _word_pessimistic(a.width, a, b) or FourState.known(
+        (a.data + b.data) & _mask(a.width), a.width
+    )
+
+
+def f_sub(a: FourState, b: FourState) -> FourState:
+    return _word_pessimistic(a.width, a, b) or FourState.known(
+        (a.data - b.data) & _mask(a.width), a.width
+    )
+
+
+def f_mul(a: FourState, b: FourState) -> FourState:
+    return _word_pessimistic(a.width, a, b) or FourState.known(
+        (a.data * b.data) & _mask(a.width), a.width
+    )
+
+
+def f_eq(a: FourState, b: FourState) -> FourState:
+    # Definite mismatch on any definite bit pair -> definite 0, even with
+    # other X bits (IEEE 1364: comparisons with X are X, but a 2-state
+    # mismatch is decidable; we use the tighter decidable rule).
+    definite = ~(a.unknown | b.unknown) & _mask(a.width)
+    if (a.data ^ b.data) & definite:
+        return FourState.known(0, 1)
+    if (a.unknown | b.unknown) == 0:
+        return FourState.known(1, 1)
+    return FourState.all_x(1)
+
+
+def f_lt(a: FourState, b: FourState) -> FourState:
+    return _word_pessimistic(1, a, b) or FourState.known(int(a.data < b.data), 1)
+
+
+def f_mux(sel: FourState, a: FourState, b: FourState) -> FourState:
+    if sel.unknown:
+        # Per-bit merge: definite-equal bits survive, everything else is X.
+        agree = ~(a.unknown | b.unknown) & ~(a.data ^ b.data) & _mask(a.width)
+        return FourState(a.data & agree, ~agree & _mask(a.width), a.width)
+    return a if sel.data else b
+
+
+def f_shli(a: FourState, amount: int) -> FourState:
+    return FourState(a.data << amount, a.unknown << amount, a.width)
+
+
+def f_shri(a: FourState, amount: int) -> FourState:
+    return FourState(a.data >> amount, a.unknown >> amount, a.width)
+
+
+def f_shl(a: FourState, amount: FourState) -> FourState:
+    if amount.unknown:
+        return FourState.all_x(a.width)
+    amt = amount.data
+    if amt >= a.width:
+        return FourState.known(0, a.width)
+    return f_shli(a, amt)
+
+
+def f_shr(a: FourState, amount: FourState) -> FourState:
+    if amount.unknown:
+        return FourState.all_x(a.width)
+    amt = amount.data
+    if amt >= a.width:
+        return FourState.known(0, a.width)
+    return f_shri(a, amt)
+
+
+def f_redand(a: FourState) -> FourState:
+    if (~a.data & ~a.unknown) & _mask(a.width):
+        return FourState.known(0, 1)  # a definite 0 dominates
+    if a.unknown:
+        return FourState.all_x(1)
+    return FourState.known(1, 1)
+
+
+def f_redor(a: FourState) -> FourState:
+    if a.data:
+        return FourState.known(1, 1)  # a definite 1 dominates
+    if a.unknown:
+        return FourState.all_x(1)
+    return FourState.known(0, 1)
+
+
+def f_redxor(a: FourState) -> FourState:
+    if a.unknown:
+        return FourState.all_x(1)
+    return FourState.known(bin(a.data).count("1") & 1, 1)
+
+
+def f_slice(a: FourState, lo: int, width: int) -> FourState:
+    return FourState((a.data >> lo), (a.unknown >> lo), width)
+
+
+def f_concat(parts: list[FourState]) -> FourState:
+    data = 0
+    unknown = 0
+    shift = 0
+    for p in parts:
+        data |= p.data << shift
+        unknown |= p.unknown << shift
+        shift += p.width
+    return FourState(data, unknown, shift)

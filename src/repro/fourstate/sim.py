@@ -1,0 +1,212 @@
+"""Golden 4-state simulator over the word-level netlist.
+
+Mirrors :class:`repro.rtl.netlist.WordSim` but computes
+:class:`~repro.fourstate.semantics.FourState` words, with the features
+4-state simulation exists for:
+
+* registers power up as **X** unless the design gave an init value and
+  ``x_reset`` is left on — running a workload and checking outputs are
+  fully known proves the design's reset sequence actually initializes its
+  state;
+* memory words are X until written (configurable), and a write through an
+  X address X-poisons the whole memory (the pessimistic-but-sound rule);
+* inputs may be driven with :class:`FourState` values (or plain ints).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.fourstate import semantics as fs
+from repro.fourstate.semantics import FourState
+from repro.rtl.ir import Op, OpKind, Signal
+from repro.rtl.netlist import Netlist
+
+
+class FourStateSim:
+    """4-state cycle simulation of a word-level netlist."""
+
+    def __init__(self, netlist: Netlist, x_reset: bool = True, x_memory: bool = True) -> None:
+        self.netlist = netlist
+        self.circuit = netlist.circuit
+        self.values: dict[int, FourState] = {}
+        self.x_writes = 0  # writes dropped/poisoned due to X controls
+        for op in self.circuit.ops:
+            if op.kind is OpKind.REG:
+                if x_reset:
+                    self.values[op.out.uid] = FourState.all_x(op.out.width)
+                else:
+                    self.values[op.out.uid] = FourState.known(
+                        op.attrs.get("init", 0), op.out.width
+                    )
+            elif op.kind is OpKind.CONST:
+                self.values[op.out.uid] = FourState.known(op.attrs["value"], op.out.width)
+        self.mem_state: dict[str, list[FourState]] = {}
+        for mem in self.circuit.memories:
+            words = []
+            init = mem.initial_words()
+            for w in range(mem.depth):
+                if x_memory and w >= len(mem.init):
+                    words.append(FourState.all_x(mem.width))
+                else:
+                    words.append(FourState.known(init[w], mem.width))
+            self.mem_state[mem.name] = words
+        self.sync_rd: dict[tuple[str, int], FourState] = {}
+        for mem in self.circuit.memories:
+            for i, rp in enumerate(mem.read_ports):
+                if rp.sync:
+                    self.sync_rd[(mem.name, i)] = (
+                        FourState.all_x(mem.width)
+                        if x_reset
+                        else FourState.known(0, mem.width)
+                    )
+        #: sticky X-poison per memory: set when a write's address was X
+        #: (the sound, hardware-realizable rule — see dualrail.py)
+        self.mem_poison: dict[str, bool] = {m.name: False for m in self.circuit.memories}
+        self.cycle = 0
+
+    # -- evaluation -----------------------------------------------------------
+
+    def _get(self, sig: Signal) -> FourState:
+        return self.values[sig.uid]
+
+    def _eval(self, op: Op) -> FourState:
+        get = self._get
+        kind = op.kind
+        ins = op.inputs
+        if kind is OpKind.AND:
+            return fs.f_and(get(ins[0]), get(ins[1]))
+        if kind is OpKind.OR:
+            return fs.f_or(get(ins[0]), get(ins[1]))
+        if kind is OpKind.XOR:
+            return fs.f_xor(get(ins[0]), get(ins[1]))
+        if kind is OpKind.NOT:
+            return fs.f_not(get(ins[0]))
+        if kind is OpKind.ADD:
+            return fs.f_add(get(ins[0]), get(ins[1]))
+        if kind is OpKind.SUB:
+            return fs.f_sub(get(ins[0]), get(ins[1]))
+        if kind is OpKind.MUL:
+            return fs.f_mul(get(ins[0]), get(ins[1]))
+        if kind is OpKind.EQ:
+            return fs.f_eq(get(ins[0]), get(ins[1]))
+        if kind is OpKind.LT:
+            return fs.f_lt(get(ins[0]), get(ins[1]))
+        if kind is OpKind.MUX:
+            return fs.f_mux(get(ins[0]), get(ins[1]), get(ins[2]))
+        if kind is OpKind.REDAND:
+            return fs.f_redand(get(ins[0]))
+        if kind is OpKind.REDOR:
+            return fs.f_redor(get(ins[0]))
+        if kind is OpKind.REDXOR:
+            return fs.f_redxor(get(ins[0]))
+        if kind is OpKind.SHLI:
+            return fs.f_shli(get(ins[0]), op.attrs["amount"])
+        if kind is OpKind.SHRI:
+            return fs.f_shri(get(ins[0]), op.attrs["amount"])
+        if kind is OpKind.SHL:
+            return fs.f_shl(get(ins[0]), get(ins[1]))
+        if kind is OpKind.SHR:
+            return fs.f_shr(get(ins[0]), get(ins[1]))
+        if kind is OpKind.SLICE:
+            return fs.f_slice(get(ins[0]), op.attrs["lo"], op.out.width)
+        if kind is OpKind.CONCAT:
+            return fs.f_concat([get(s) for s in ins])
+        if kind is OpKind.MEMRD:  # asynchronous port
+            mem = self.netlist.memories[op.attrs["memory"]]
+            addr = get(ins[0])
+            if addr.unknown or self.mem_poison[mem.name]:
+                return FourState.all_x(mem.width)
+            return self.mem_state[mem.name][addr.data % mem.depth]
+        raise NotImplementedError(str(kind))
+
+    def settle(self, inputs: Mapping[str, "int | FourState"]) -> None:
+        values = self.values
+        by_name = {s.name: s for s in self.circuit.inputs}
+        for sig in self.circuit.inputs:
+            values[sig.uid] = FourState.known(0, sig.width)
+        for name, value in inputs.items():
+            sig = by_name[name]
+            if isinstance(value, FourState):
+                if value.width != sig.width:
+                    raise ValueError(f"input {name!r}: width mismatch")
+                values[sig.uid] = value
+            else:
+                values[sig.uid] = FourState.known(value, sig.width)
+        for mem in self.circuit.memories:
+            for i, rp in enumerate(mem.read_ports):
+                if rp.sync:
+                    values[rp.data.uid] = self.sync_rd[(mem.name, i)]
+        for op in self.netlist.order:
+            values[op.out.uid] = self._eval(op)
+
+    def clock_edge(self) -> None:
+        get = self._get
+        reg_next = [
+            (op.out.uid, get(op.inputs[0]))
+            for op in self.circuit.ops
+            if op.kind is OpKind.REG
+        ]
+        new_sync: dict[tuple[str, int], FourState] = {}
+        for mem in self.circuit.memories:
+            words = self.mem_state[mem.name]
+            for i, rp in enumerate(mem.read_ports):
+                if not rp.sync:
+                    continue
+                en = get(rp.en) if rp.en is not None else FourState.known(1, 1)
+                addr = get(rp.addr)
+                old = self.sync_rd[(mem.name, i)]
+                if en.unknown:
+                    new_sync[(mem.name, i)] = FourState.all_x(mem.width)
+                elif not en.data:
+                    new_sync[(mem.name, i)] = old
+                elif addr.unknown:
+                    new_sync[(mem.name, i)] = FourState.all_x(mem.width)
+                else:
+                    new_sync[(mem.name, i)] = words[addr.data % mem.depth]
+        for mem in self.circuit.memories:
+            words = self.mem_state[mem.name]
+            for wp in mem.write_ports:
+                en = get(wp.en)
+                if not en.unknown and not en.data:
+                    continue  # definitely no write
+                addr = get(wp.addr)
+                if addr.unknown:
+                    # A write whose target is unknown poisons the memory:
+                    # every later read returns X (sticky — the rule a
+                    # dual-rail hardware transform can realize exactly).
+                    self.x_writes += 1
+                    self.mem_poison[mem.name] = True
+                elif en.unknown:
+                    # Maybe-write to a known address: that word goes X.
+                    self.x_writes += 1
+                    words[addr.data % mem.depth] = FourState.all_x(mem.width)
+                else:
+                    words[addr.data % mem.depth] = get(wp.data)
+        # Poison overrides sync read data from this edge onward (matching
+        # the transform, where the poison register ORs into read data).
+        for mem in self.circuit.memories:
+            if self.mem_poison[mem.name]:
+                for i, rp in enumerate(mem.read_ports):
+                    if rp.sync:
+                        new_sync[(mem.name, i)] = FourState.all_x(mem.width)
+        for uid, value in reg_next:
+            self.values[uid] = value
+        self.sync_rd.update(new_sync)
+        self.cycle += 1
+
+    def step(self, inputs: Mapping[str, "int | FourState"] | None = None) -> dict[str, FourState]:
+        self.settle(inputs or {})
+        outs = self.outputs()
+        self.clock_edge()
+        return outs
+
+    def outputs(self) -> dict[str, FourState]:
+        return {name: self.values[sig.uid] for name, sig in self.circuit.outputs}
+
+    def run(self, stimuli: Iterable[Mapping[str, int]]) -> list[dict[str, FourState]]:
+        return [self.step(vec) for vec in stimuli]
+
+    def unknown_output_bits(self) -> int:
+        """Total X bits currently visible on outputs (reset-coverage metric)."""
+        return sum(bin(v.unknown).count("1") for v in self.outputs().values())

@@ -1,0 +1,15 @@
+"""Experiment harness: design registry, measurements, tables, calibration.
+
+* :mod:`repro.harness.runner` — build/compile/measure pipeline with an
+  on-disk cache, shared by every benchmark;
+* :mod:`repro.harness.tables` — regenerate the paper's Table I and
+  Table II rows from real flow outputs plus the performance models;
+* :mod:`repro.harness.calibrate` — one-anchor-per-engine calibration
+  (EXPERIMENTS.md documents the methodology);
+* :mod:`repro.harness.cli` — ``gem-compile`` / ``gem-run`` / ``gem-tables``
+  command-line entry points (also ``python -m repro.harness.cli``).
+"""
+
+from repro.harness.runner import DESIGNS, compile_design, design_circuit, measure_activity
+
+__all__ = ["DESIGNS", "compile_design", "design_circuit", "measure_activity"]

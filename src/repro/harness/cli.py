@@ -1,0 +1,147 @@
+"""Command-line entry points.
+
+Usage (installed scripts or ``python -m repro.harness.cli``)::
+
+    gem-compile <design>            # run the flow, print the Table I row
+    gem-run <design> <workload>     # compile + execute a workload on GEM
+    gem-tables [table1|table2|all]  # regenerate the paper's tables
+
+``<design>`` is one of: nvdla, rocketchip, gemmini, openpiton1, openpiton8.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+
+def main_compile(argv: list[str] | None = None) -> int:
+    from repro.harness.runner import DESIGNS, compile_design
+
+    parser = argparse.ArgumentParser(prog="gem-compile", description="Run the GEM compile flow")
+    parser.add_argument("design", choices=sorted(DESIGNS))
+    parser.add_argument("--bitstream", help="write the assembled bitstream to this file")
+    args = parser.parse_args(argv)
+    t0 = time.time()
+    design = compile_design(args.design)
+    elapsed = time.time() - t0
+    report = design.report
+    print(f"compiled {args.design} in {elapsed:.1f}s (cached runs are instant)")
+    for key, value in report.row().items():
+        print(f"  {key:14s} {value}")
+    print(f"  {'replication':14s} {report.replication_cost:.1%}")
+    print(f"  {'utilization':14s} {report.mean_utilization:.1%}")
+    if args.bitstream:
+        design.program.words.tofile(args.bitstream)
+        print(f"bitstream written to {args.bitstream} ({design.program.num_bytes} bytes)")
+    return 0
+
+
+def main_run(argv: list[str] | None = None) -> int:
+    from repro.harness.runner import DESIGNS, compile_design, design_workloads
+
+    parser = argparse.ArgumentParser(prog="gem-run", description="Execute a workload on GEM")
+    parser.add_argument("design", choices=sorted(DESIGNS))
+    parser.add_argument("workload", nargs="?", help="workload name (default: first)")
+    parser.add_argument("--max-cycles", type=int, default=None)
+    args = parser.parse_args(argv)
+    workloads = design_workloads(args.design)
+    if args.workload is None:
+        args.workload = next(iter(workloads))
+    if args.workload not in workloads:
+        print(f"unknown workload {args.workload!r}; available: {', '.join(workloads)}")
+        return 2
+    wl = workloads[args.workload]
+    design = compile_design(args.design)
+    sim = design.simulator()
+    stimuli = wl.stimuli[: args.max_cycles] if args.max_cycles else wl.stimuli
+    t0 = time.time()
+    observed = []
+    last = {}
+    for vec in stimuli:
+        last = sim.step(vec)
+        if wl.valid_port in last and last.get(wl.valid_port):
+            observed.append(last[wl.out_port])
+    elapsed = time.time() - t0
+    print(f"{args.design}/{wl.name}: {len(stimuli)} cycles in {elapsed:.2f}s "
+          f"({len(stimuli) / max(elapsed, 1e-9):.0f} interpreted Hz on this host)")
+    if wl.expected_out is not None:
+        status = "MATCH" if observed == wl.expected_out else "MISMATCH"
+        print(f"observable output stream: {observed} [{status}]")
+    else:
+        shown = {k: v for k, v in list(last.items())[:6]}
+        print(f"final outputs: {shown}")
+    return 0
+
+
+def main_tables(argv: list[str] | None = None) -> int:
+    from repro.harness.tables import (
+        PAPER_AVERAGE_SPEEDUPS,
+        average_speedups,
+        format_table,
+        table1_rows,
+        table2_rows,
+    )
+
+    parser = argparse.ArgumentParser(prog="gem-tables", description="Regenerate the paper's tables")
+    parser.add_argument("which", nargs="?", default="all", choices=["table1", "table2", "all"])
+    parser.add_argument("--designs", nargs="*", default=None)
+    args = parser.parse_args(argv)
+    if args.which in ("table1", "all"):
+        print("Table I: design statistics and GEM mapping results")
+        print(format_table(table1_rows(args.designs)))
+    if args.which in ("table2", "all"):
+        print("Table II: simulation speed (Hz) and speed-up vs GEM-A100")
+        rows = table2_rows(args.designs)
+        print(format_table([r.as_dict() for r in rows], floatfmt=".0f"))
+        avg = average_speedups(rows)
+        print("average speed-ups (ours vs paper):")
+        for key, value in avg.items():
+            print(f"  {key:14s} {value:6.2f}   (paper: {PAPER_AVERAGE_SPEEDUPS[key]:.2f})")
+    return 0
+
+
+def main_cosim(argv: list[str] | None = None) -> int:
+    """Co-simulate GEM against the golden word-level model on a workload."""
+    from repro.harness.cosim import cosim
+    from repro.harness.runner import DESIGNS, compile_design, design_circuit, design_workloads
+    from repro.rtl import Netlist, WordSim
+
+    parser = argparse.ArgumentParser(prog="gem-cosim", description=main_cosim.__doc__)
+    parser.add_argument("design", choices=sorted(DESIGNS))
+    parser.add_argument("workload", nargs="?")
+    parser.add_argument("--max-cycles", type=int, default=None)
+    parser.add_argument("--keep-going", action="store_true", help="do not stop at the first divergence")
+    args = parser.parse_args(argv)
+    workloads = design_workloads(args.design)
+    wl = workloads[args.workload or next(iter(workloads))]
+    design = compile_design(args.design)
+    stimuli = wl.stimuli[: args.max_cycles] if args.max_cycles else wl.stimuli
+    result = cosim(
+        WordSim(Netlist(design_circuit(args.design))),
+        design.simulator(),
+        stimuli,
+        stop_on_divergence=not args.keep_going,
+    )
+    print(f"{args.design}/{wl.name}: {result.report()}")
+    return 0 if result.passed else 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    parser = argparse.ArgumentParser(prog="python -m repro.harness.cli")
+    parser.add_argument("command", choices=["compile", "run", "tables", "cosim"])
+    parser.add_argument("rest", nargs=argparse.REMAINDER)
+    args = parser.parse_args(argv)
+    if args.command == "compile":
+        return main_compile(args.rest)
+    if args.command == "run":
+        return main_run(args.rest)
+    if args.command == "cosim":
+        return main_cosim(args.rest)
+    return main_tables(args.rest)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

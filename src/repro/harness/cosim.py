@@ -1,0 +1,143 @@
+"""Co-simulation: run two engines in lockstep and localize divergence.
+
+The workflow every simulator project needs around itself: drive a
+reference engine and a device-under-test engine (any two objects with
+``step(inputs) -> outputs``) with the same stimuli — from a list or from a
+VCD file — and either certify agreement or report the *first* diverging
+cycle with the mismatching signals, recent input history, and an optional
+response waveform dump for offline debugging.
+
+Used by ``gem-cosim`` (CLI) and the examples; the GEM-vs-golden
+equivalence tests are the same loop with asserts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Protocol, Sequence
+
+
+class Steppable(Protocol):
+    def step(self, inputs: Mapping[str, int] | None = None) -> dict[str, int]: ...
+
+
+@dataclass
+class Divergence:
+    """First point where the two engines disagree."""
+
+    cycle: int
+    signals: dict[str, tuple[int, int]]  # name -> (reference, dut)
+    inputs: dict[str, int]
+    recent_inputs: list[dict[str, int]]
+
+    def describe(self) -> str:
+        lines = [f"first divergence at cycle {self.cycle}:"]
+        for name, (ref, dut) in sorted(self.signals.items()):
+            lines.append(f"  {name}: reference={ref:#x} dut={dut:#x}")
+        lines.append(f"  inputs that cycle: {self.inputs}")
+        if self.recent_inputs:
+            lines.append(f"  previous {len(self.recent_inputs)} input vectors:")
+            for i, vec in enumerate(self.recent_inputs):
+                lines.append(f"    t-{len(self.recent_inputs) - i}: {vec}")
+        return "\n".join(lines)
+
+
+@dataclass
+class CosimResult:
+    """Outcome of a co-simulation run."""
+
+    cycles: int
+    divergence: Divergence | None = None
+    #: per-cycle reference outputs (kept only when recording is on)
+    trace: list[dict[str, int]] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return self.divergence is None
+
+    def report(self) -> str:
+        if self.passed:
+            return f"PASS: {self.cycles} cycles, outputs identical"
+        return f"FAIL after {self.divergence.cycle + 1} cycles\n" + self.divergence.describe()
+
+
+def cosim(
+    reference: Steppable,
+    dut: Steppable,
+    stimuli: Iterable[Mapping[str, int]],
+    signals: Sequence[str] | None = None,
+    stop_on_divergence: bool = True,
+    history: int = 4,
+    record_trace: bool = False,
+) -> CosimResult:
+    """Run ``reference`` and ``dut`` in lockstep.
+
+    ``signals`` restricts the comparison (default: every output both
+    engines produce).  ``history`` controls how many preceding input
+    vectors the divergence report retains.
+    """
+    recent: list[dict[str, int]] = []
+    result = CosimResult(cycles=0)
+    for cycle, vec in enumerate(stimuli):
+        vec = dict(vec)
+        ref_out = reference.step(vec)
+        dut_out = dut.step(vec)
+        watch = signals if signals is not None else sorted(set(ref_out) & set(dut_out))
+        mismatches = {
+            name: (ref_out[name], dut_out[name])
+            for name in watch
+            if ref_out.get(name) != dut_out.get(name)
+        }
+        if record_trace:
+            result.trace.append(ref_out)
+        result.cycles = cycle + 1
+        if mismatches and result.divergence is None:
+            result.divergence = Divergence(
+                cycle=cycle,
+                signals=mismatches,
+                inputs=vec,
+                recent_inputs=list(recent),
+            )
+            if stop_on_divergence:
+                return result
+        recent.append(vec)
+        if len(recent) > history:
+            recent.pop(0)
+    return result
+
+
+def cosim_vcd(
+    reference: Steppable,
+    dut: Steppable,
+    vcd_path: str,
+    **kwargs,
+) -> CosimResult:
+    """Co-simulate with stimuli replayed from a VCD file."""
+    from repro.waveform.vcd import read_vcd_stimuli
+
+    return cosim(reference, dut, read_vcd_stimuli(vcd_path), **kwargs)
+
+
+def dump_response_vcd(
+    engine: Steppable,
+    stimuli: Sequence[Mapping[str, int]],
+    path: str,
+    widths: Mapping[str, int],
+    module: str = "dut",
+) -> int:
+    """Run ``engine`` over ``stimuli`` and dump its outputs as a VCD."""
+    from repro.waveform.vcd import VcdWriter
+
+    count = 0
+    with open(path, "w", encoding="ascii") as f:
+        writer = None
+        for vec in stimuli:
+            outs = engine.step(vec)
+            if writer is None:
+                known = {k: widths[k] for k in widths if k in outs}
+                writer = VcdWriter(f, known, module=module)
+            writer.sample(outs)
+            count += 1
+        if writer is not None:
+            writer.close()
+    return count

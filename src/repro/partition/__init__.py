@@ -1,0 +1,20 @@
+"""Hypergraph partitioning substrate.
+
+RepCut (Wang & Beamer, ASPLOS 2023) — the algorithm GEM's partitioning step
+adapts (§III-C) — relies on a weighted hypergraph partitioner (hMETIS in the
+original).  This package implements that substrate from scratch:
+
+* :mod:`repro.partition.hypergraph` — the weighted hypergraph container;
+* :mod:`repro.partition.fm` — Fiduccia–Mattheyses bipartition refinement;
+* :mod:`repro.partition.multilevel` — multilevel recursive bisection
+  (heavy-edge coarsening, greedy initial solutions, FM refinement);
+* :mod:`repro.partition.repcut` — replication-aided partitioning of E-AIGs:
+  endpoint fan-in cones, shared-logic hyperedges, and replication-cost
+  accounting.
+"""
+
+from repro.partition.hypergraph import Hypergraph
+from repro.partition.multilevel import partition_kway
+from repro.partition.repcut import RepCutResult, repcut_partition
+
+__all__ = ["Hypergraph", "RepCutResult", "partition_kway", "repcut_partition"]

@@ -1,0 +1,31 @@
+"""Word-level RTL substrate.
+
+This package is the front end of the reproduction: a small synchronous
+hardware IR (:mod:`repro.rtl.ir`), an ergonomic circuit construction DSL
+(:mod:`repro.rtl.builder`), behavioral memories (:mod:`repro.rtl.memory`),
+elaboration checks (:mod:`repro.rtl.elaborate`) and the canonical flat
+netlist with a golden word-level evaluator (:mod:`repro.rtl.netlist`).
+
+It stands in for the Verilog/SystemVerilog + Yosys front end the paper uses:
+designs are described directly in Python and lowered by
+:mod:`repro.core.synthesis` to the paper's E-AIG format.
+"""
+
+from repro.rtl.builder import CircuitBuilder, Value
+from repro.rtl.ir import Circuit, Op, OpKind, Signal
+from repro.rtl.memory import Memory, ReadPort, WritePort
+from repro.rtl.netlist import Netlist, WordSim
+
+__all__ = [
+    "Circuit",
+    "CircuitBuilder",
+    "Memory",
+    "Netlist",
+    "Op",
+    "OpKind",
+    "ReadPort",
+    "Signal",
+    "Value",
+    "WordSim",
+    "WritePort",
+]

@@ -1,0 +1,385 @@
+"""Ergonomic construction DSL for :class:`~repro.rtl.ir.Circuit`.
+
+The builder wraps every signal in a :class:`Value`, giving natural operator
+syntax (``a & b``, ``a + 1``, ``a[3:0]``, ``mux(sel, a, b)``) while recording
+word-level ops into the underlying circuit.  Hierarchy is expressed with
+plain Python functions plus :meth:`CircuitBuilder.scope`, which prefixes
+signal names so flattened netlists keep readable hierarchical names — our
+stand-in for Verilog module instantiation.
+
+Example
+-------
+>>> b = CircuitBuilder("counter")
+>>> en = b.input("en", 1)
+>>> count = b.reg("count", 8)
+>>> count.next = mux(en, count + 1, count)
+>>> b.output("q", count)
+>>> circuit = b.build()
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Iterable, Iterator, Sequence
+
+from repro.rtl.ir import Circuit, OpKind, Signal
+from repro.rtl.memory import Memory
+
+
+def _mask(width: int) -> int:
+    return (1 << width) - 1
+
+
+class Value:
+    """A signal handle bound to a builder, with operator overloading.
+
+    Integers used as operands are implicitly converted to constants of the
+    other operand's width (they must fit).
+    """
+
+    __slots__ = ("builder", "signal")
+
+    def __init__(self, builder: "CircuitBuilder", signal: Signal) -> None:
+        self.builder = builder
+        self.signal = signal
+
+    @property
+    def width(self) -> int:
+        return self.signal.width
+
+    @property
+    def name(self) -> str:
+        return self.signal.name
+
+    # -- helpers -----------------------------------------------------------
+
+    def _coerce(self, other: "Value | int") -> "Value":
+        if isinstance(other, Value):
+            if other.builder is not self.builder:
+                raise ValueError("cannot mix values from different builders")
+            return other
+        return self.builder.const(other, self.width)
+
+    def _bin(self, kind: OpKind, other: "Value | int", out_width: int | None = None, label: str = "v") -> "Value":
+        rhs = self._coerce(other)
+        width = out_width if out_width is not None else self.width
+        out = self.builder._emit(kind, width, (self.signal, rhs.signal), label)
+        return out
+
+    # -- bitwise -----------------------------------------------------------
+
+    def __and__(self, other: "Value | int") -> "Value":
+        return self._bin(OpKind.AND, other, label="and")
+
+    def __or__(self, other: "Value | int") -> "Value":
+        return self._bin(OpKind.OR, other, label="or")
+
+    def __xor__(self, other: "Value | int") -> "Value":
+        return self._bin(OpKind.XOR, other, label="xor")
+
+    def __invert__(self) -> "Value":
+        return self.builder._emit(OpKind.NOT, self.width, (self.signal,), "not")
+
+    __rand__ = __and__
+    __ror__ = __or__
+    __rxor__ = __xor__
+
+    # -- arithmetic ---------------------------------------------------------
+
+    def __add__(self, other: "Value | int") -> "Value":
+        return self._bin(OpKind.ADD, other, label="add")
+
+    def __sub__(self, other: "Value | int") -> "Value":
+        return self._bin(OpKind.SUB, other, label="sub")
+
+    def __rsub__(self, other: int) -> "Value":
+        return self._coerce(other).__sub__(self)
+
+    def __mul__(self, other: "Value | int") -> "Value":
+        return self._bin(OpKind.MUL, other, label="mul")
+
+    __radd__ = __add__
+    __rmul__ = __mul__
+
+    # -- comparisons (unsigned) ---------------------------------------------
+
+    def __eq__(self, other: object) -> "Value":  # type: ignore[override]
+        if not isinstance(other, (Value, int)):
+            return NotImplemented  # type: ignore[return-value]
+        return self._bin(OpKind.EQ, other, out_width=1, label="eq")
+
+    def __ne__(self, other: object) -> "Value":  # type: ignore[override]
+        return ~(self == other)  # type: ignore[operator]
+
+    # Comparisons call __lt__ explicitly instead of using the < operator:
+    # Reg subclasses Value, and Python's reflected-operand priority for
+    # subclasses would otherwise bounce Value < Reg into Reg.__gt__ forever.
+    def __lt__(self, other: "Value | int") -> "Value":
+        return self._bin(OpKind.LT, other, out_width=1, label="lt")
+
+    def __ge__(self, other: "Value | int") -> "Value":
+        return ~self.__lt__(other)
+
+    def __gt__(self, other: "Value | int") -> "Value":
+        return self._coerce(other).__lt__(self)
+
+    def __le__(self, other: "Value | int") -> "Value":
+        return ~self._coerce(other).__lt__(self)
+
+    def __hash__(self) -> int:
+        return hash(self.signal)
+
+    # -- shifts --------------------------------------------------------------
+
+    def __lshift__(self, amount: "Value | int") -> "Value":
+        if isinstance(amount, int):
+            return self.builder._emit(OpKind.SHLI, self.width, (self.signal,), "shl", amount=amount)
+        return self._bin(OpKind.SHL, amount, label="shl")
+
+    def __rshift__(self, amount: "Value | int") -> "Value":
+        if isinstance(amount, int):
+            return self.builder._emit(OpKind.SHRI, self.width, (self.signal,), "shr", amount=amount)
+        return self._bin(OpKind.SHR, amount, label="shr")
+
+    # -- bit selection --------------------------------------------------------
+
+    def __getitem__(self, index: "int | slice") -> "Value":
+        """Verilog-style bit select: ``v[i]`` or ``v[hi:lo]`` (inclusive)."""
+        if isinstance(index, int):
+            if index < 0:
+                index += self.width
+            return self.builder._emit(OpKind.SLICE, 1, (self.signal,), "bit", lo=index)
+        hi, lo = index.start, index.stop
+        if index.step is not None:
+            raise ValueError("bit slices do not support a step")
+        if hi is None:
+            hi = self.width - 1
+        if lo is None:
+            lo = 0
+        if hi < lo:
+            raise ValueError(f"slice [{hi}:{lo}] has hi < lo (use Verilog order [hi:lo])")
+        return self.builder._emit(OpKind.SLICE, hi - lo + 1, (self.signal,), "slice", lo=lo)
+
+    # -- reductions -----------------------------------------------------------
+
+    def reduce_and(self) -> "Value":
+        return self.builder._emit(OpKind.REDAND, 1, (self.signal,), "redand")
+
+    def reduce_or(self) -> "Value":
+        return self.builder._emit(OpKind.REDOR, 1, (self.signal,), "redor")
+
+    def reduce_xor(self) -> "Value":
+        return self.builder._emit(OpKind.REDXOR, 1, (self.signal,), "redxor")
+
+    def any(self) -> "Value":
+        """Alias of :meth:`reduce_or`, reads naturally in conditions."""
+        return self.reduce_or()
+
+    # -- width adjustment -------------------------------------------------------
+
+    def zext(self, width: int) -> "Value":
+        """Zero-extend to ``width`` (no-op if already that wide)."""
+        if width < self.width:
+            raise ValueError(f"zext to {width} narrower than {self.width}; use slicing")
+        if width == self.width:
+            return self
+        pad = self.builder.const(0, width - self.width)
+        return self.builder.concat(self, pad)
+
+    def trunc(self, width: int) -> "Value":
+        """Keep the low ``width`` bits."""
+        if width > self.width:
+            raise ValueError(f"trunc to {width} wider than {self.width}; use zext")
+        if width == self.width:
+            return self
+        return self[width - 1 : 0]
+
+    def resize(self, width: int) -> "Value":
+        return self.zext(width) if width >= self.width else self.trunc(width)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Value({self.signal.name}:{self.width})"
+
+
+class Reg(Value):
+    """A register value whose next-cycle input is assigned via ``.next``."""
+
+    __slots__ = ("_assigned", "_init")
+
+    def __init__(self, builder: "CircuitBuilder", signal: Signal) -> None:
+        super().__init__(builder, signal)
+        object.__setattr__(self, "_assigned", False)
+
+    @property
+    def next(self) -> Value:
+        raise AttributeError("reg .next is write-only")
+
+    @next.setter
+    def next(self, value: "Value | int") -> None:
+        if self._assigned:
+            raise ValueError(f"register {self.name!r} assigned twice")
+        val = self._coerce(value)
+        if val.width != self.width:
+            raise ValueError(f"register {self.name!r}: next width {val.width} != {self.width}")
+        self.builder._finish_reg(self, val)
+        object.__setattr__(self, "_assigned", True)
+
+    # Value uses __slots__; allow the one mutable flag through the property
+    # machinery above.
+    def __setattr__(self, key: str, value) -> None:
+        if key == "next":
+            Reg.next.fset(self, value)  # type: ignore[attr-defined]
+        else:
+            object.__setattr__(self, key, value)
+
+
+class CircuitBuilder:
+    """Incrementally constructs a :class:`~repro.rtl.ir.Circuit`."""
+
+    def __init__(self, name: str = "top") -> None:
+        self.circuit = Circuit(name)
+        self._scopes: list[str] = []
+        self._pending_regs: dict[int, Reg] = {}
+        self._const_cache: dict[tuple[int, int], Value] = {}
+
+    # -- naming ----------------------------------------------------------------
+
+    def _qualify(self, name: str) -> str:
+        return ".".join(self._scopes + [name]) if self._scopes else name
+
+    @contextlib.contextmanager
+    def scope(self, name: str) -> Iterator[None]:
+        """Prefix signal names created inside with ``name.`` (hierarchy)."""
+        self._scopes.append(name)
+        try:
+            yield
+        finally:
+            self._scopes.pop()
+
+    # -- primitives ---------------------------------------------------------------
+
+    def _emit(self, kind: OpKind, width: int, inputs: tuple[Signal, ...], label: str, **attrs) -> Value:
+        out = self.circuit.new_signal(self._qualify(label), width)
+        self.circuit.add_op(kind, out, inputs, **attrs)
+        return Value(self, out)
+
+    def const(self, value: int, width: int) -> Value:
+        """A constant; cached so repeated literals share one signal."""
+        if value < 0:
+            value &= _mask(width)
+        if value >> width:
+            raise ValueError(f"constant {value} does not fit in {width} bits")
+        key = (value, width)
+        cached = self._const_cache.get(key)
+        if cached is not None:
+            return cached
+        val = self._emit(OpKind.CONST, width, (), f"c{value}w{width}", value=value)
+        self._const_cache[key] = val
+        return val
+
+    def input(self, name: str, width: int) -> Value:
+        sig = self.circuit.add_input(self._qualify(name), width)
+        return Value(self, sig)
+
+    def output(self, name: str, value: "Value | int", width: int | None = None) -> None:
+        if isinstance(value, int):
+            if width is None:
+                raise ValueError("integer outputs need an explicit width")
+            value = self.const(value, width)
+        self.circuit.add_output(self._qualify(name), value.signal)
+
+    def reg(self, name: str, width: int, init: int = 0) -> Reg:
+        """Declare a register; assign its input later via ``r.next = ...``.
+
+        Declaring before assigning lets registers appear in feedback loops
+        (the natural RTL idiom).  :meth:`build` fails if any register is left
+        unassigned.
+        """
+        q = self.circuit.new_signal(self._qualify(name), width)
+        reg = Reg(self, q)
+        reg._init = init  # type: ignore[attr-defined]
+        self._pending_regs[q.uid] = reg
+        return reg
+
+    def _finish_reg(self, reg: Reg, d: Value) -> None:
+        if reg.signal.uid not in self._pending_regs:
+            raise ValueError(f"register {reg.name!r} is not pending (already assigned?)")
+        self.circuit.add_op(OpKind.REG, reg.signal, (d.signal,), init=getattr(reg, "_init", 0))
+        del self._pending_regs[reg.signal.uid]
+
+    # -- composite helpers ----------------------------------------------------------
+
+    def mux(self, sel: "Value | int", a: "Value | int", b: "Value | int") -> Value:
+        """``sel ? a : b``.  At least one of a/b must be a Value."""
+        if isinstance(a, int) and isinstance(b, int):
+            raise ValueError("mux needs at least one Value arm to infer width")
+        ref = a if isinstance(a, Value) else b
+        assert isinstance(ref, Value)
+        a_v = ref._coerce(a)
+        b_v = ref._coerce(b)
+        sel_v = a_v._coerce(sel) if isinstance(sel, int) else sel
+        if sel_v.width != 1:
+            raise ValueError("mux select must be 1 bit")
+        if a_v.width != b_v.width:
+            raise ValueError(f"mux arms differ in width ({a_v.width} vs {b_v.width})")
+        out = self.circuit.new_signal(self._qualify("mux"), a_v.width)
+        self.circuit.add_op(OpKind.MUX, out, (sel_v.signal, a_v.signal, b_v.signal))
+        return Value(self, out)
+
+    def concat(self, *parts: Value) -> Value:
+        """Concatenate values, first argument is the least significant."""
+        if not parts:
+            raise ValueError("concat needs at least one part")
+        if len(parts) == 1:
+            return parts[0]
+        width = sum(p.width for p in parts)
+        out = self.circuit.new_signal(self._qualify("cat"), width)
+        self.circuit.add_op(OpKind.CONCAT, out, tuple(p.signal for p in parts))
+        return Value(self, out)
+
+    def select(self, options: Sequence["Value | int"], index: Value) -> Value:
+        """A mux tree: ``options[index]`` (options padded with last entry)."""
+        vals: list[Value] = []
+        ref = next(o for o in options if isinstance(o, Value))
+        for o in options:
+            vals.append(ref._coerce(o))
+        n = len(vals)
+        if n == 0:
+            raise ValueError("select needs at least one option")
+        # Pad to a power of two with the final option so the tree is full.
+        size = 1 << max(1, (n - 1)).bit_length() if n > 1 else 1
+        vals = vals + [vals[-1]] * (size - n)
+        level = vals
+        bit = 0
+        needed = (len(level) - 1).bit_length()
+        if index.width < needed:
+            raise ValueError(f"select: index width {index.width} < {needed} needed for {n} options")
+        while len(level) > 1:
+            sel = index[bit]
+            level = [self.mux(sel, level[i + 1], level[i]) for i in range(0, len(level), 2)]
+            bit += 1
+        return level[0]
+
+    def memory(self, name: str, depth: int, width: int, init: Iterable[int] = ()) -> Memory:
+        mem = Memory(name=self._qualify(name), depth=depth, width=width, init=list(init))
+        self.circuit.memories.append(mem)
+        return mem
+
+    def read(self, mem: Memory, addr: Value, sync: bool = True, en: "Value | None" = None) -> Value:
+        data = mem.add_read_port(self.circuit, addr.signal, sync=sync, en=None if en is None else en.signal)
+        return Value(self, data)
+
+    def write(self, mem: Memory, en: Value, addr: Value, data: Value) -> None:
+        mem.add_write_port(en.signal, addr.signal, data.signal)
+
+    # -- finish --------------------------------------------------------------------
+
+    def build(self) -> Circuit:
+        """Validate and return the finished circuit."""
+        if self._pending_regs:
+            names = ", ".join(r.name for r in self._pending_regs.values())
+            raise ValueError(f"registers never assigned: {names}")
+        from repro.rtl.elaborate import check_circuit
+
+        check_circuit(self.circuit)
+        return self.circuit

@@ -1,0 +1,86 @@
+"""Elaboration checks for circuits.
+
+The builder produces flat circuits directly (hierarchy is expressed with
+Python function composition and :meth:`CircuitBuilder.scope` name prefixes),
+so "elaboration" here is the validation pass a Verilog front end would run
+after flattening: every signal driven, no combinational cycles, memory ports
+well-formed, output signals exist.
+
+``check_circuit`` raises on the first problem; ``dead_signals`` reports
+logic with no path to an output, register, or memory port (useful to catch
+generator bugs in :mod:`repro.designs`).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.rtl.ir import Circuit, OpKind, Signal
+
+
+class ElaborationError(ValueError):
+    """Raised when a circuit fails structural validation."""
+
+
+def check_circuit(circuit: Circuit) -> None:
+    """Validate structural well-formedness; raise :class:`ElaborationError`."""
+    driven = set(circuit.producer)
+    for op in circuit.ops:
+        for sig in op.inputs:
+            if sig.uid not in driven:
+                raise ElaborationError(f"op {op!r}: input {sig.name!r} has no driver")
+    for name, sig in circuit.outputs:
+        if sig.uid not in driven:
+            raise ElaborationError(f"output {name!r}: signal {sig.name!r} has no driver")
+    seen_outputs: set[str] = set()
+    for name, _ in circuit.outputs:
+        if name in seen_outputs:
+            raise ElaborationError(f"duplicate output name {name!r}")
+        seen_outputs.add(name)
+    for mem in circuit.memories:
+        for wp in mem.write_ports:
+            for sig in (wp.en, wp.addr, wp.data):
+                if sig.uid not in driven:
+                    raise ElaborationError(f"memory {mem.name!r}: port signal {sig.name!r} undriven")
+        for rp in mem.read_ports:
+            if rp.addr.uid not in driven:
+                raise ElaborationError(f"memory {mem.name!r}: read address {rp.addr.name!r} undriven")
+    # Combinational-cycle detection is delegated to Netlist's toposort; do it
+    # here so builder.build() fails fast with a precise error.
+    from repro.rtl.netlist import Netlist
+
+    Netlist(circuit)
+
+
+def live_signals(circuit: Circuit) -> set[int]:
+    """Signal uids reachable (backwards) from outputs, registers, memories."""
+    roots: list[Signal] = [sig for _, sig in circuit.outputs]
+    for op in circuit.ops:
+        if op.kind is OpKind.REG:
+            roots.append(op.inputs[0])
+            roots.append(op.out)
+    for mem in circuit.memories:
+        for wp in mem.write_ports:
+            roots.extend((wp.en, wp.addr, wp.data))
+        for rp in mem.read_ports:
+            roots.append(rp.addr)
+            roots.append(rp.data)
+            if rp.en is not None:
+                roots.append(rp.en)
+    live: set[int] = set()
+    queue = deque(roots)
+    while queue:
+        sig = queue.popleft()
+        if sig.uid in live:
+            continue
+        live.add(sig.uid)
+        op = circuit.producer.get(sig.uid)
+        if op is not None:
+            queue.extend(op.inputs)
+    return live
+
+
+def dead_signals(circuit: Circuit) -> list[Signal]:
+    """Signals whose values can never influence observable behaviour."""
+    live = live_signals(circuit)
+    return [s for s in circuit.signals if s.uid not in live]

@@ -1,0 +1,257 @@
+"""Core word-level hardware IR.
+
+A :class:`Circuit` is a flat dataflow graph of word-level operations over
+:class:`Signal` values, plus registers and behavioral memories.  It models a
+synthesizable synchronous design with a single implicit clock, which is the
+domain the paper targets (E-AIG supports combinational logic, D flip-flops
+and RAM blocks — §II, Fig. 2 of the paper).
+
+Semantics
+---------
+* Every signal is an unsigned bit vector of fixed ``width``; arithmetic wraps
+  modulo ``2**width``.
+* Registers sample their ``d`` input on the (implicit) rising clock edge.
+  Enables and synchronous resets are expressed by the builder as muxes in
+  front of ``d``.
+* Memories are described in :mod:`repro.rtl.memory`; synchronous read ports
+  register their read data (data valid the following cycle), asynchronous
+  read ports are combinational.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable
+
+if TYPE_CHECKING:
+    from repro.rtl.memory import Memory
+
+
+class OpKind(enum.Enum):
+    """Kinds of word-level operations.
+
+    The set intentionally matches what common RTL front ends produce after
+    parsing Verilog expressions, so that :mod:`repro.core.synthesis` has the
+    same lowering job as the paper's Yosys + ASIC-synthesis pipeline.
+    """
+
+    CONST = "const"  # attrs: value
+    INPUT = "input"
+    # Bitwise, same-width operands.
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    NOT = "not"
+    # Reductions: N-bit operand -> 1-bit result.
+    REDAND = "redand"
+    REDOR = "redor"
+    REDXOR = "redxor"
+    # Arithmetic (unsigned, wrapping).
+    ADD = "add"
+    SUB = "sub"
+    MUL = "mul"
+    # Comparisons (unsigned), 1-bit result.
+    EQ = "eq"
+    LT = "lt"
+    # 2:1 multiplexer: inputs (sel, a, b) -> sel ? a : b.
+    MUX = "mux"
+    # Shifts by a constant amount (attrs: amount).
+    SHLI = "shli"
+    SHRI = "shri"
+    # Shifts by a signal amount.
+    SHL = "shl"
+    SHR = "shr"
+    # Bit selection and concatenation.
+    SLICE = "slice"  # attrs: lo  (width gives hi = lo + width - 1)
+    CONCAT = "concat"  # inputs listed LSB-first
+    # State elements.
+    REG = "reg"  # attrs: init ; input: d
+    # Memory read data (combinational view of a read port).  attrs:
+    # memory name + port index; inputs resolved through Memory objects.
+    MEMRD = "memrd"
+
+
+#: Op kinds that take exactly one input signal.
+UNARY_KINDS = frozenset(
+    {OpKind.NOT, OpKind.REDAND, OpKind.REDOR, OpKind.REDXOR, OpKind.SHLI, OpKind.SHRI, OpKind.SLICE, OpKind.REG}
+)
+#: Op kinds that take exactly two input signals.
+BINARY_KINDS = frozenset(
+    {OpKind.AND, OpKind.OR, OpKind.XOR, OpKind.ADD, OpKind.SUB, OpKind.MUL, OpKind.EQ, OpKind.LT, OpKind.SHL, OpKind.SHR}
+)
+#: Op kinds whose output does not combinationally depend on their inputs.
+SEQUENTIAL_KINDS = frozenset({OpKind.REG})
+
+
+@dataclass(frozen=True)
+class Signal:
+    """A named, fixed-width unsigned bit vector."""
+
+    uid: int
+    name: str
+    width: int
+
+    def __post_init__(self) -> None:
+        if self.width < 1:
+            raise ValueError(f"signal {self.name!r}: width must be >= 1, got {self.width}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Signal({self.name}:{self.width})"
+
+
+@dataclass
+class Op:
+    """One word-level operation producing signal ``out`` from ``inputs``."""
+
+    kind: OpKind
+    out: Signal
+    inputs: tuple[Signal, ...]
+    attrs: dict = field(default_factory=dict)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        ins = ", ".join(s.name for s in self.inputs)
+        return f"Op({self.kind.value} {self.out.name} <- {ins} {self.attrs or ''})"
+
+
+class Circuit:
+    """A flat synchronous circuit: signals, ops, registers, memories, ports.
+
+    Instances are normally constructed through
+    :class:`repro.rtl.builder.CircuitBuilder` rather than directly.
+    """
+
+    def __init__(self, name: str = "top") -> None:
+        self.name = name
+        self.signals: list[Signal] = []
+        self.ops: list[Op] = []
+        #: producing op per signal uid (inputs have none).
+        self.producer: dict[int, Op] = {}
+        self.inputs: list[Signal] = []
+        self.outputs: list[tuple[str, Signal]] = []
+        self.memories: list["Memory"] = []
+        self._names: set[str] = set()
+
+    # -- construction ------------------------------------------------------
+
+    def new_signal(self, name: str, width: int) -> Signal:
+        """Create a fresh signal, uniquifying ``name`` if already taken."""
+        base = name
+        suffix = 0
+        while name in self._names:
+            suffix += 1
+            name = f"{base}${suffix}"
+        self._names.add(name)
+        sig = Signal(uid=len(self.signals), name=name, width=width)
+        self.signals.append(sig)
+        return sig
+
+    def add_op(self, kind: OpKind, out: Signal, inputs: Iterable[Signal], **attrs) -> Op:
+        """Append an operation; each signal may be produced at most once."""
+        if out.uid in self.producer:
+            raise ValueError(f"signal {out.name!r} already has a producer")
+        op = Op(kind=kind, out=out, inputs=tuple(inputs), attrs=dict(attrs))
+        _check_op(op)
+        self.ops.append(op)
+        self.producer[out.uid] = op
+        return op
+
+    def add_input(self, name: str, width: int) -> Signal:
+        sig = self.new_signal(name, width)
+        self.add_op(OpKind.INPUT, sig, ())
+        self.inputs.append(sig)
+        return sig
+
+    def add_output(self, name: str, sig: Signal) -> None:
+        self.outputs.append((name, sig))
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def registers(self) -> list[Op]:
+        """All REG ops, in creation order."""
+        return [op for op in self.ops if op.kind is OpKind.REG]
+
+    def stats(self) -> dict:
+        """Cheap structural statistics used by reports and tests."""
+        kinds: dict[str, int] = {}
+        for op in self.ops:
+            kinds[op.kind.value] = kinds.get(op.kind.value, 0) + 1
+        return {
+            "name": self.name,
+            "signals": len(self.signals),
+            "ops": len(self.ops),
+            "inputs": len(self.inputs),
+            "outputs": len(self.outputs),
+            "registers": kinds.get("reg", 0),
+            "memories": len(self.memories),
+            "op_kinds": kinds,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Circuit({self.name}: {len(self.ops)} ops, {len(self.memories)} memories)"
+
+
+def _check_op(op: Op) -> None:
+    """Validate operand counts and width rules for ``op``.
+
+    Raises :class:`ValueError` on malformed operations so errors surface at
+    construction time, not during simulation.
+    """
+    kind, out, ins = op.kind, op.out, op.inputs
+    if kind in UNARY_KINDS and len(ins) != 1:
+        raise ValueError(f"{kind.value} takes 1 input, got {len(ins)}")
+    if kind in BINARY_KINDS and len(ins) != 2:
+        raise ValueError(f"{kind.value} takes 2 inputs, got {len(ins)}")
+
+    if kind in (OpKind.AND, OpKind.OR, OpKind.XOR, OpKind.ADD, OpKind.SUB, OpKind.MUL):
+        a, b = ins
+        if not (a.width == b.width == out.width):
+            raise ValueError(f"{kind.value}: widths must match ({a.width}, {b.width}) -> {out.width}")
+    elif kind is OpKind.NOT:
+        if ins[0].width != out.width:
+            raise ValueError("not: input/output width mismatch")
+    elif kind in (OpKind.REDAND, OpKind.REDOR, OpKind.REDXOR, OpKind.EQ, OpKind.LT):
+        if out.width != 1:
+            raise ValueError(f"{kind.value}: output must be 1 bit")
+        if kind in (OpKind.EQ, OpKind.LT) and ins[0].width != ins[1].width:
+            raise ValueError(f"{kind.value}: operand widths must match")
+    elif kind is OpKind.MUX:
+        if len(ins) != 3:
+            raise ValueError("mux takes 3 inputs (sel, a, b)")
+        sel, a, b = ins
+        if sel.width != 1:
+            raise ValueError("mux: select must be 1 bit")
+        if not (a.width == b.width == out.width):
+            raise ValueError("mux: data widths must match output")
+    elif kind in (OpKind.SHLI, OpKind.SHRI):
+        if "amount" not in op.attrs or op.attrs["amount"] < 0:
+            raise ValueError(f"{kind.value}: non-negative 'amount' attr required")
+        if ins[0].width != out.width:
+            raise ValueError(f"{kind.value}: input/output width mismatch")
+    elif kind in (OpKind.SHL, OpKind.SHR):
+        if ins[0].width != out.width:
+            raise ValueError(f"{kind.value}: input/output width mismatch")
+    elif kind is OpKind.SLICE:
+        lo = op.attrs.get("lo")
+        if lo is None or lo < 0 or lo + out.width > ins[0].width:
+            raise ValueError(
+                f"slice: range [{lo}, {lo}+{out.width}) out of bounds for {ins[0].width}-bit input"
+            )
+    elif kind is OpKind.CONCAT:
+        if sum(s.width for s in ins) != out.width:
+            raise ValueError("concat: output width must equal sum of input widths")
+        if not ins:
+            raise ValueError("concat: needs at least one input")
+    elif kind is OpKind.REG:
+        if ins[0].width != out.width:
+            raise ValueError("reg: d/q width mismatch")
+        init = op.attrs.get("init", 0)
+        if not (0 <= init < (1 << out.width)):
+            raise ValueError(f"reg: init {init} does not fit in {out.width} bits")
+    elif kind is OpKind.CONST:
+        value = op.attrs.get("value")
+        if value is None or not (0 <= value < (1 << out.width)):
+            raise ValueError(f"const: value {value} does not fit in {out.width} bits")
+        if ins:
+            raise ValueError("const takes no inputs")

@@ -1,0 +1,117 @@
+"""Behavioral memories for the RTL IR.
+
+A :class:`Memory` is an array of ``depth`` words of ``width`` bits with any
+number of write ports and read ports.  Read ports come in two flavours, which
+matter a great deal to the paper:
+
+* **Synchronous** read ports register the read address internally: read data
+  corresponds to the address presented on the *previous* cycle.  These map
+  directly onto GEM's native 13-bit-address × 32-bit-data RAM blocks
+  (paper §III-B).
+* **Asynchronous** read ports are combinational.  The paper notes (§IV) that
+  asynchronous read ports cannot use the native RAM blocks and must be
+  polyfilled with flip-flops and decoder logic, which is why NVDLA (all-sync
+  RAMs) shows GEM's best speed-up.  :mod:`repro.core.ram_mapping` implements
+  exactly that polyfill.
+
+Write-port semantics: on the clock edge, if ``en`` is high, ``mem[addr]``
+takes the value of ``data``.  Multiple write ports writing the same address
+in the same cycle is a design error; the word simulator applies ports in
+declaration order (last write wins) and can be asked to trap on conflicts.
+Read-during-write (sync port reading the address being written) returns the
+*old* data, the common "read-first" BRAM behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.rtl.ir import Circuit, OpKind, Signal
+
+
+@dataclass
+class WritePort:
+    """One synchronous write port: ``if en: mem[addr] <= data``."""
+
+    en: Signal
+    addr: Signal
+    data: Signal
+
+
+@dataclass
+class ReadPort:
+    """One read port; ``sync`` selects registered (True) vs combinational."""
+
+    addr: Signal
+    data: Signal
+    sync: bool
+    #: For sync ports: optional read-enable; when low the output holds.
+    en: Signal | None = None
+
+
+@dataclass
+class Memory:
+    """A behavioral memory attached to a :class:`~repro.rtl.ir.Circuit`."""
+
+    name: str
+    depth: int
+    width: int
+    write_ports: list[WritePort] = field(default_factory=list)
+    read_ports: list[ReadPort] = field(default_factory=list)
+    init: list[int] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.depth < 1:
+            raise ValueError(f"memory {self.name!r}: depth must be >= 1")
+        if self.depth & (self.depth - 1):
+            raise ValueError(
+                f"memory {self.name!r}: depth must be a power of two (got {self.depth}); "
+                "declare the next power of two and leave the tail unused"
+            )
+        if self.width < 1:
+            raise ValueError(f"memory {self.name!r}: width must be >= 1")
+        for i, word in enumerate(self.init):
+            if not 0 <= word < (1 << self.width):
+                raise ValueError(f"memory {self.name!r}: init[{i}] = {word} does not fit in {self.width} bits")
+
+    @property
+    def addr_bits(self) -> int:
+        """Number of address bits needed to index ``depth`` words."""
+        return max(1, (self.depth - 1).bit_length())
+
+    def add_write_port(self, en: Signal, addr: Signal, data: Signal) -> WritePort:
+        if addr.width < self.addr_bits:
+            raise ValueError(f"memory {self.name!r}: write addr width {addr.width} < {self.addr_bits}")
+        if data.width != self.width:
+            raise ValueError(f"memory {self.name!r}: write data width {data.width} != {self.width}")
+        if en.width != 1:
+            raise ValueError(f"memory {self.name!r}: write enable must be 1 bit")
+        port = WritePort(en=en, addr=addr, data=data)
+        self.write_ports.append(port)
+        return port
+
+    def add_read_port(
+        self, circuit: Circuit, addr: Signal, sync: bool = True, en: Signal | None = None
+    ) -> Signal:
+        """Attach a read port and return its data signal.
+
+        The data signal is produced by a ``MEMRD`` op so it participates in
+        dataflow traversals like any other signal.
+        """
+        if addr.width < self.addr_bits:
+            raise ValueError(f"memory {self.name!r}: read addr width {addr.width} < {self.addr_bits}")
+        if en is not None and en.width != 1:
+            raise ValueError(f"memory {self.name!r}: read enable must be 1 bit")
+        if en is not None and not sync:
+            raise ValueError(f"memory {self.name!r}: async read ports have no enable")
+        data = circuit.new_signal(f"{self.name}_rd{len(self.read_ports)}", self.width)
+        inputs = (addr,) if en is None else (addr, en)
+        circuit.add_op(OpKind.MEMRD, data, inputs, memory=self.name, port=len(self.read_ports), sync=sync)
+        port = ReadPort(addr=addr, data=data, sync=sync, en=en)
+        self.read_ports.append(port)
+        return data
+
+    def initial_words(self) -> list[int]:
+        """The full ``depth``-long initial content (zero-padded)."""
+        words = list(self.init) + [0] * (self.depth - len(self.init))
+        return words[: self.depth]

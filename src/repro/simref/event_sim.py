@@ -1,0 +1,156 @@
+"""Gate-level event-driven simulator (the commercial-tool stand-in).
+
+Classic selective-trace simulation over the E-AIG: only nodes whose inputs
+changed are re-evaluated.  Zero-delay correctness is guaranteed by
+processing dirty nodes in ascending node index (node indices are
+topological in an :class:`~repro.core.eaig.EAIG`), via a heap.
+
+The property that matters for the paper's evaluation is captured exactly:
+per-cycle cost is proportional to **signal events**, so low-activity
+workloads (the OpenPiton8 anomaly of §IV, experiment X2 in DESIGN.md) run
+fast while GEM's full-cycle approach is activity-independent.  The
+simulator therefore tracks ``events_per_cycle`` — the same statistic the
+paper quotes from the commercial tool (8,612 events for OpenPiton1 vs
+28,789 for OpenPiton8).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterable, Mapping
+
+from repro.core.eaig import EAIG, NodeKind, lit_node
+from repro.core.synthesis import SynthesisResult
+
+
+class EventDrivenSim:
+    """Event-driven execution of a synthesized design with word-level I/O."""
+
+    def __init__(self, synth: SynthesisResult) -> None:
+        synth.eaig.check()
+        self.synth = synth
+        self.eaig = synth.eaig
+        eaig = self.eaig
+        n = len(eaig.kind)
+        self.value = [False] * n
+        #: consumers of each node among AND nodes
+        self.consumers: list[list[int]] = [[] for _ in range(n)]
+        for node in range(n):
+            if eaig.kind[node] is NodeKind.AND:
+                self.consumers[lit_node(eaig.fanin0[node])].append(node)
+                self.consumers[lit_node(eaig.fanin1[node])].append(node)
+        for ff in eaig.ffs:
+            self.value[ff] = bool(eaig.aux[ff])
+        self.ram_words: list[list[int]] = []
+        for ram in eaig.rams:
+            words = list(ram.init) + [0] * (ram.depth - len(ram.init))
+            self.ram_words.append(words[: ram.depth])
+        # Settle initial values (FF init values may imply non-zero logic).
+        self._dirty: list[int] = []
+        self._in_queue = [False] * n
+        for node in range(n):
+            if eaig.kind[node] is NodeKind.AND:
+                self._schedule(node)
+        self._events = 0
+        self._propagate()
+        self.cycle = 0
+        self.total_events = 0
+        self.events_last_cycle = 0
+
+    # -- core engine --------------------------------------------------------
+
+    def _schedule(self, node: int) -> None:
+        if not self._in_queue[node]:
+            self._in_queue[node] = True
+            heapq.heappush(self._dirty, node)
+
+    def _lit_value(self, literal: int) -> bool:
+        return self.value[literal >> 1] ^ bool(literal & 1)
+
+    def _set(self, node: int, value: bool) -> None:
+        """Update a source value, scheduling consumers on change."""
+        if self.value[node] != value:
+            self.value[node] = value
+            self._events += 1
+            for consumer in self.consumers[node]:
+                self._schedule(consumer)
+
+    def _propagate(self) -> None:
+        eaig = self.eaig
+        value = self.value
+        dirty = self._dirty
+        in_queue = self._in_queue
+        while dirty:
+            node = heapq.heappop(dirty)
+            in_queue[node] = False
+            a = eaig.fanin0[node]
+            b = eaig.fanin1[node]
+            new = (value[a >> 1] ^ bool(a & 1)) and (value[b >> 1] ^ bool(b & 1))
+            if new != value[node]:
+                value[node] = new
+                self._events += 1
+                for consumer in self.consumers[node]:
+                    self._schedule(consumer)
+
+    # -- cycle interface ------------------------------------------------------
+
+    def step(self, inputs: Mapping[str, int] | None = None) -> dict[str, int]:
+        eaig = self.eaig
+        self._events = 0
+        given = inputs or {}
+        for name, bits in self.synth.input_bits.items():
+            word = given.get(name, 0)
+            for i, literal in enumerate(bits):
+                self._set(literal >> 1, bool((word >> i) & 1))
+        self._propagate()
+        outs = self.outputs()
+        # Clock edge: sample FF inputs and RAM ports, then commit.
+        ff_next = [(ff, self._lit_value(eaig.fanin0[ff])) for ff in eaig.ffs]
+        ram_next: list[list[tuple[int, bool]]] = []
+        for ridx, ram in enumerate(eaig.rams):
+            updates: list[tuple[int, bool]] = []
+            if self._lit_value(ram.ren):
+                raddr = self._bits(ram.raddr)
+                word = self.ram_words[ridx][raddr]
+                for bit, node in enumerate(ram.data_nodes):
+                    updates.append((node, bool((word >> bit) & 1)))
+            if self._lit_value(ram.wen):
+                self.ram_words[ridx][self._bits(ram.waddr)] = self._bits(ram.wdata)
+            ram_next.append(updates)
+        for ff, val in ff_next:
+            self._set(ff, val)
+        for updates in ram_next:
+            for node, val in updates:
+                self._set(node, val)
+        self._propagate()
+        self.cycle += 1
+        self.events_last_cycle = self._events
+        self.total_events += self._events
+        return outs
+
+    def _bits(self, literals: Iterable[int]) -> int:
+        word = 0
+        for i, literal in enumerate(literals):
+            if self._lit_value(literal):
+                word |= 1 << i
+        return word
+
+    def outputs(self) -> dict[str, int]:
+        return {
+            name: self._word(bits) for name, bits in self.synth.output_bits.items()
+        }
+
+    def _word(self, literals: list[int]) -> int:
+        word = 0
+        for i, literal in enumerate(literals):
+            if self._lit_value(literal):
+                word |= 1 << i
+        return word
+
+    def run(self, stimuli: Iterable[Mapping[str, int]]) -> list[dict[str, int]]:
+        return [self.step(vec) for vec in stimuli]
+
+    @property
+    def events_per_cycle(self) -> float:
+        """Mean signal events per cycle (the paper's activity metric)."""
+        return self.total_events / self.cycle if self.cycle else 0.0

@@ -1,0 +1,75 @@
+"""CPU multi-thread scaling model for compiled RTL simulation.
+
+The paper runs Verilator with up to 8 threads because "16-threaded
+Verilator is only 80–95% the speed of 8 threads" (§IV) — CPU-parallel RTL
+simulation hits a wall from synchronization overhead and memory bandwidth.
+This module models that wall so Table II's Verilator-8T column and the X1
+scaling experiment can be regenerated.
+
+Model
+-----
+Compiled simulation splits each cycle's work over ``T`` threads through a
+levelized task graph.  Per-cycle time::
+
+    t(T) = W_par / (T * e(T)) + W_ser + S * B * (1 + alpha * T)
+
+* ``W_par``: parallelizable evaluation work (op count / single-thread rate);
+* ``e(T)``: parallel efficiency from load imbalance across partitions,
+  ``e(T) = 1 / (1 + beta * (T - 1))`` — partitions of a real netlist are
+  never perfectly balanced, and imbalance grows with finer partitions;
+* ``W_ser``: serial per-cycle overhead (eval scheduling, tracing hooks);
+* ``S``: synchronization barriers per cycle (one per task-graph level);
+* ``B * (1 + alpha * T)``: barrier cost growing with thread count
+  (cache-line ping-pong on the barrier, memory-bandwidth saturation).
+
+Defaults are calibrated in :mod:`repro.harness.calibrate` so that 8→16
+threads lands in the paper's observed 80–95% degradation band.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class ThreadScalingModel:
+    """Predict relative throughput of T-threaded compiled simulation."""
+
+    #: fraction of per-cycle work that parallelizes
+    parallel_fraction: float = 0.92
+    #: load-imbalance growth per extra thread
+    beta: float = 0.015
+    #: barrier base cost as a fraction of single-thread cycle time
+    barrier_cost: float = 0.0035
+    #: barrier cost growth per thread
+    alpha: float = 0.45
+    #: synchronization barriers per cycle (task-graph depth)
+    barriers_per_cycle: int = 12
+
+    def cycle_time(self, threads: int, single_thread_time: float = 1.0) -> float:
+        """Per-cycle wall time for ``threads`` threads (arbitrary units)."""
+        if threads < 1:
+            raise ValueError("threads must be >= 1")
+        if threads == 1:
+            return single_thread_time
+        w_par = self.parallel_fraction * single_thread_time
+        w_ser = (1.0 - self.parallel_fraction) * single_thread_time
+        efficiency = 1.0 / (1.0 + self.beta * (threads - 1))
+        sync = (
+            self.barriers_per_cycle
+            * self.barrier_cost
+            * single_thread_time
+            * (1.0 + self.alpha * threads)
+        )
+        return w_par / (threads * efficiency) + w_ser + sync
+
+    def speedup(self, threads: int) -> float:
+        """Throughput relative to one thread."""
+        return self.cycle_time(1) / self.cycle_time(threads)
+
+    def sweep(self, max_threads: int = 16) -> list[tuple[int, float]]:
+        return [(t, self.speedup(t)) for t in range(1, max_threads + 1)]
+
+    def degradation_16_vs_8(self) -> float:
+        """The paper's §IV statistic: speed(16T) / speed(8T)."""
+        return self.speedup(16) / self.speedup(8)

@@ -1,0 +1,11 @@
+"""Waveform I/O.
+
+The paper's execution stage consumes stimuli "provided as waveforms or
+recorded signal patterns (e.g., VCD or FSDB format)" (§II).  This package
+provides a VCD writer and reader so stimuli and responses can round-trip
+through the standard interchange format.
+"""
+
+from repro.waveform.vcd import VcdReader, VcdWriter, read_vcd_stimuli, write_vcd
+
+__all__ = ["VcdReader", "VcdWriter", "read_vcd_stimuli", "write_vcd"]

@@ -1,0 +1,169 @@
+"""Minimal, standard-conforming VCD (Value Change Dump) support.
+
+Covers what cycle-based RTL simulation needs:
+
+* :class:`VcdWriter` — dump named word-valued signals per cycle; only
+  changed values are emitted (real VCD semantics);
+* :class:`VcdReader` — parse a VCD back into per-cycle value maps;
+* :func:`write_vcd` / :func:`read_vcd_stimuli` — one-shot helpers used by
+  the examples and the stimulus replay path (paper §II's "execution stage"
+  consumes recorded signal patterns in exactly this format).
+
+One VCD timestep equals one simulated clock cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import IO, Iterable, Mapping
+
+_ID_CHARS = "".join(chr(c) for c in range(33, 127))
+
+
+def _make_id(index: int) -> str:
+    """Compact VCD identifier for the index-th variable."""
+    if index < 0:
+        raise ValueError("negative id")
+    chars = []
+    index += 1
+    while index:
+        index, rem = divmod(index - 1, len(_ID_CHARS))
+        chars.append(_ID_CHARS[rem])
+    return "".join(chars)
+
+
+class VcdWriter:
+    """Stream signal values, emitting change records."""
+
+    def __init__(self, stream: IO[str], signals: Mapping[str, int], module: str = "top") -> None:
+        """``signals`` maps name -> bit width."""
+        self.stream = stream
+        self.widths = dict(signals)
+        self.ids = {name: _make_id(i) for i, name in enumerate(self.widths)}
+        self.last: dict[str, int | None] = {name: None for name in self.widths}
+        self.time = 0
+        w = stream.write
+        w("$date reproduction run $end\n")
+        w("$version repro GEM VCD writer $end\n")
+        w("$timescale 1ns $end\n")
+        w(f"$scope module {module} $end\n")
+        for name, width in self.widths.items():
+            kind = "wire"
+            w(f"$var {kind} {width} {self.ids[name]} {name} $end\n")
+        w("$upscope $end\n")
+        w("$enddefinitions $end\n")
+
+    def sample(self, values: Mapping[str, int]) -> None:
+        """Record one cycle of values.
+
+        Unspecified signals are recorded as 0 — matching the repository-wide
+        simulator convention that undriven inputs read as zero — so a VCD
+        round-trip reproduces stimuli exactly.
+        """
+        w = self.stream.write
+        # Every cycle gets a timestamp (even with no changes) so readers
+        # recover the exact cycle count.
+        w(f"#{self.time}\n")
+        for name, width in self.widths.items():
+            value = values.get(name, 0)
+            if value == self.last[name]:
+                continue
+            self.last[name] = value
+            ident = self.ids[name]
+            if width == 1:
+                w(f"{value & 1}{ident}\n")
+            else:
+                w(f"b{value:b} {ident}\n")
+        self.time += 1
+
+    def close(self) -> None:
+        self.stream.write(f"#{self.time}\n")
+
+
+@dataclass
+class VcdSignal:
+    name: str
+    width: int
+    ident: str
+
+
+class VcdReader:
+    """Parse a VCD file into per-timestep value dictionaries."""
+
+    def __init__(self, stream: IO[str]) -> None:
+        self.signals: dict[str, VcdSignal] = {}
+        self._by_id: dict[str, VcdSignal] = {}
+        self.samples: list[dict[str, int]] = []
+        self._parse(stream)
+
+    def _parse(self, stream: IO[str]) -> None:
+        in_header = True
+        current: dict[str, int] = {}
+        started = False
+        scopes: list[str] = []
+        for raw in stream:
+            line = raw.strip()
+            if not line:
+                continue
+            if in_header:
+                tokens = line.split()
+                if tokens[0] == "$scope" and len(tokens) >= 3:
+                    scopes.append(tokens[2])
+                elif tokens[0] == "$upscope":
+                    if scopes:
+                        scopes.pop()
+                elif tokens[0] == "$var" and len(tokens) >= 5:
+                    width = int(tokens[2])
+                    ident = tokens[3]
+                    name = tokens[4]
+                    full = ".".join(scopes[1:] + [name]) if len(scopes) > 1 else name
+                    sig = VcdSignal(name=full, width=width, ident=ident)
+                    self.signals[full] = sig
+                    self._by_id[ident] = sig
+                elif tokens[0] == "$enddefinitions":
+                    in_header = False
+                continue
+            if line.startswith("#"):
+                if started:
+                    self.samples.append(dict(current))
+                started = True
+                continue
+            if line.startswith("b"):
+                value_str, ident = line[1:].split()
+                sig = self._by_id[ident]
+                current[sig.name] = int(value_str, 2)
+            elif line[0] in "01":
+                sig = self._by_id[line[1:]]
+                current[sig.name] = int(line[0])
+            elif line[0] in "xXzZ":
+                sig = self._by_id[line[1:]]
+                current[sig.name] = 0  # 2-state simulation: unknown -> 0
+        # VCD files end with a final timestamp marker; anything accumulated
+        # since the last '#' belongs to the final (already appended) sample.
+
+    def cycles(self) -> list[dict[str, int]]:
+        """Cumulative per-cycle values (each cycle holds previous values)."""
+        out: list[dict[str, int]] = []
+        state: dict[str, int] = {}
+        for sample in self.samples:
+            state.update(sample)
+            out.append(dict(state))
+        return out
+
+
+def write_vcd(path: str, stimuli: Iterable[Mapping[str, int]], widths: Mapping[str, int], module: str = "top") -> int:
+    """Write a stimulus sequence to ``path``; returns the cycle count."""
+    count = 0
+    with open(path, "w", encoding="ascii") as f:
+        writer = VcdWriter(f, widths, module=module)
+        for vec in stimuli:
+            writer.sample(vec)
+            count += 1
+        writer.close()
+    return count
+
+
+def read_vcd_stimuli(path: str) -> list[dict[str, int]]:
+    """Read a VCD back as per-cycle input dictionaries."""
+    with open(path, encoding="ascii") as f:
+        return VcdReader(f).cycles()

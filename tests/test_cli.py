@@ -1,0 +1,61 @@
+"""CLI entry points (repro.harness.cli) — smoke level, cheapest design.
+
+These use the harness cache like the benchmarks do; with a warm cache each
+command is fast, and with a cold cache they compile openpiton1 (~seconds),
+the smallest registered design.
+"""
+
+import pytest
+
+from repro.harness import cli
+
+
+class TestCompileCommand:
+    def test_compile_prints_table1_row(self, capsys, tmp_path):
+        bitstream = str(tmp_path / "op1.bin")
+        assert cli.main_compile(["openpiton1", "--bitstream", bitstream]) == 0
+        out = capsys.readouterr().out
+        assert "#E-AIG Gates" in out
+        assert "replication" in out
+        import os
+
+        assert os.path.getsize(bitstream) > 1000
+
+    def test_unknown_design_rejected(self):
+        with pytest.raises(SystemExit):
+            cli.main_compile(["no-such-design"])
+
+
+class TestRunCommand:
+    def test_run_reports_match(self, capsys):
+        assert cli.main_run(["openpiton1", "ldst_quad2"]) == 0
+        out = capsys.readouterr().out
+        assert "MATCH" in out
+
+    def test_run_default_workload(self, capsys):
+        assert cli.main_run(["openpiton1"]) == 0
+        assert "cycles in" in capsys.readouterr().out
+
+    def test_run_unknown_workload(self, capsys):
+        assert cli.main_run(["openpiton1", "nope"]) == 2
+        assert "available" in capsys.readouterr().out
+
+
+class TestCosimCommand:
+    def test_cosim_passes(self, capsys):
+        assert cli.main_cosim(["openpiton1", "asi_notused_priv"]) == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_cosim_max_cycles(self, capsys):
+        assert cli.main_cosim(["openpiton1", "ldst_quad2", "--max-cycles", "40"]) == 0
+        assert "40 cycles" in capsys.readouterr().out
+
+
+class TestDispatcher:
+    def test_main_routes_commands(self, capsys):
+        assert cli.main(["run", "openpiton1", "ldst_quad2"]) == 0
+        assert "MATCH" in capsys.readouterr().out
+
+    def test_main_rejects_unknown(self):
+        with pytest.raises(SystemExit):
+            cli.main(["frobnicate"])

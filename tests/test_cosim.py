@@ -1,0 +1,108 @@
+"""Co-simulation utility (repro.harness.cosim)."""
+
+import pytest
+
+from repro.harness.cosim import CosimResult, cosim, cosim_vcd, dump_response_vcd
+from repro.rtl import CircuitBuilder, Netlist, WordSim
+from repro.waveform.vcd import read_vcd_stimuli, write_vcd
+from tests.helpers import random_circuit, random_vectors
+
+
+def _counter(bug_at: int | None = None):
+    """8-bit counter; optionally with a planted off-by-one at a value."""
+    b = CircuitBuilder()
+    en = b.input("en", 1)
+    count = b.reg("count", 8)
+    step = b.const(1, 8)
+    if bug_at is not None:
+        step = b.mux(count == bug_at, b.const(2, 8), step)  # planted bug
+    count.next = b.mux(en, count + step, count)
+    b.output("q", count)
+    return b.build()
+
+
+class TestCosim:
+    def test_identical_engines_pass(self):
+        circuit = random_circuit(900, n_ops=40)
+        result = cosim(
+            WordSim(Netlist(circuit)),
+            WordSim(Netlist(circuit)),
+            random_vectors(circuit, 0, 30),
+        )
+        assert result.passed
+        assert result.cycles == 30
+        assert "PASS" in result.report()
+
+    def test_divergence_localized(self):
+        good = WordSim(Netlist(_counter()))
+        bad = WordSim(Netlist(_counter(bug_at=5)))
+        result = cosim(good, bad, [{"en": 1}] * 20)
+        assert not result.passed
+        d = result.divergence
+        # count reaches 5 at cycle 5; the wrong step lands at cycle 6.
+        assert d.cycle == 6
+        assert d.signals["q"] == (6, 7)
+        assert "first divergence at cycle 6" in d.describe()
+        assert result.cycles == 7  # stopped at divergence
+
+    def test_continue_past_divergence(self):
+        good = WordSim(Netlist(_counter()))
+        bad = WordSim(Netlist(_counter(bug_at=5)))
+        result = cosim(good, bad, [{"en": 1}] * 20, stop_on_divergence=False)
+        assert result.cycles == 20
+        assert result.divergence.cycle == 6  # still the first one
+
+    def test_signal_filter(self):
+        b1 = _counter()
+        good = WordSim(Netlist(b1))
+        bad = WordSim(Netlist(_counter(bug_at=3)))
+        result = cosim(good, bad, [{"en": 1}] * 10, signals=[])
+        assert result.passed  # nothing watched, nothing diverges
+
+    def test_history_depth(self):
+        good = WordSim(Netlist(_counter()))
+        bad = WordSim(Netlist(_counter(bug_at=5)))
+        result = cosim(good, bad, [{"en": 1}] * 20, history=2)
+        assert len(result.divergence.recent_inputs) == 2
+
+    def test_gem_vs_golden_through_cosim(self):
+        from repro.core.boomerang import BoomerangConfig
+        from repro.core.compiler import GemCompiler, GemConfig
+        from repro.core.partition import PartitionConfig
+
+        circuit = random_circuit(901, n_ops=50, n_regs=3)
+        design = GemCompiler(
+            GemConfig(
+                partition=PartitionConfig(gates_per_partition=400),
+                boomerang=BoomerangConfig(width_log2=10),
+            )
+        ).compile(circuit)
+        result = cosim(
+            WordSim(Netlist(circuit)),
+            design.simulator(),
+            random_vectors(circuit, 7, 30),
+            record_trace=True,
+        )
+        assert result.passed
+        assert len(result.trace) == 30
+
+
+class TestVcdIntegration:
+    def test_cosim_from_vcd(self, tmp_path):
+        circuit = _counter()
+        stimuli = [{"en": i % 2} for i in range(16)]
+        path = str(tmp_path / "stim.vcd")
+        write_vcd(path, stimuli, {"en": 1})
+        result = cosim_vcd(WordSim(Netlist(circuit)), WordSim(Netlist(circuit)), path)
+        assert result.passed
+        assert result.cycles == 16
+
+    def test_dump_response_roundtrip(self, tmp_path):
+        circuit = _counter()
+        path = str(tmp_path / "resp.vcd")
+        n = dump_response_vcd(
+            WordSim(Netlist(circuit)), [{"en": 1}] * 10, path, {"q": 8}
+        )
+        assert n == 10
+        responses = read_vcd_stimuli(path)
+        assert [r["q"] for r in responses] == list(range(10))

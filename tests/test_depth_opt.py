@@ -1,0 +1,100 @@
+"""Depth-oriented optimization (repro.core.depth_opt)."""
+
+import pytest
+
+from repro.core.depth_opt import compact, depth_report, optimize, rebuild
+from repro.core.eaig import EAIG, NodeKind
+from repro.core.synthesis import synthesize
+from repro.rtl import CircuitBuilder, Netlist, WordSim
+from tests.helpers import lockstep, random_circuit, random_vectors
+
+
+class TestDCE:
+    def test_dead_nodes_removed(self):
+        g = EAIG()
+        a, b = g.add_pi(), g.add_pi()
+        live = g.add_and(a, b)
+        g.add_and(a, g.add_and(a, lit_not_b := b ^ 1))  # dead cone
+        g.add_output("y", live)
+        new = compact(g)
+        assert new.num_gates() == 1
+
+    def test_ram_port_logic_is_live(self):
+        g = EAIG()
+        ram = g.add_ram("m", 2, 2)
+        a, b = g.add_pi(), g.add_pi()
+        ram.raddr = [g.add_and(a, b), a]
+        ram.waddr = [a, b]
+        ram.wdata = [a, b]
+        ram.wen = g.add_and(a, b)
+        ram.ren = 1
+        g.add_output("q", 2 * ram.data_nodes[0])
+        new = compact(g)
+        assert new.num_gates() == 1  # the shared AND survives once
+        assert len(new.rams) == 1
+        assert new.rams[0].init == ram.init
+
+
+class TestBalance:
+    def test_chain_becomes_tree(self):
+        # A linear AND chain of 16 inputs has depth 15; balance -> depth 4.
+        g = EAIG()
+        acc = g.add_pi()
+        for _ in range(15):
+            acc = g.add_and(acc, g.add_pi())
+        g.add_output("y", acc)
+        assert g.depth() == 15
+        new, _ = rebuild(g, balance=True)
+        assert new.depth() == 4
+
+    def test_balance_respects_fanout_boundaries(self):
+        # A node with external fanout must still be computed (not absorbed).
+        g = EAIG()
+        a, b, c = g.add_pi(), g.add_pi(), g.add_pi()
+        mid = g.add_and(a, b)
+        top = g.add_and(mid, c)
+        g.add_output("mid", mid)
+        g.add_output("top", top)
+        new, lit_map = rebuild(g, balance=True)
+        assert new.num_gates() == 2
+        assert dict(new.outputs)["mid"] != dict(new.outputs)["top"]
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_optimize_preserves_behaviour(self, seed):
+        circuit = random_circuit(seed + 10, n_ops=45, with_memory=True)
+        word = WordSim(Netlist(circuit))
+        optimized = optimize(synthesize(circuit)).make_sim()
+        lockstep({"word": word, "opt": optimized}, random_vectors(circuit, seed, 30))
+
+    def test_optimize_never_increases_gates_or_depth(self):
+        for seed in range(4):
+            circuit = random_circuit(seed + 30, n_ops=50)
+            base = synthesize(circuit)
+            opt = optimize(base)
+            assert opt.eaig.num_gates() <= base.eaig.num_gates()
+            assert opt.eaig.depth() <= base.eaig.depth()
+
+    def test_idempotent(self):
+        circuit = random_circuit(77, n_ops=40)
+        once = optimize(synthesize(circuit))
+        twice = optimize(once)
+        assert twice.eaig.num_gates() == once.eaig.num_gates()
+        assert twice.eaig.depth() == once.eaig.depth()
+
+
+class TestReport:
+    def test_depth_report_fields(self):
+        circuit = random_circuit(5, n_ops=40)
+        report = depth_report(synthesize(circuit).eaig)
+        assert report["gates"] == sum(report["histogram"].values())
+        assert 0.0 <= report["frontier_fraction"] <= 1.0
+        assert report["depth"] == max(report["histogram"])
+
+    def test_long_tail_observation(self):
+        """Observation 4 of the paper: most gates in the frontier levels."""
+        circuit = random_circuit(123, n_ops=120)
+        report = depth_report(synthesize(circuit).eaig)
+        if report["depth"] >= 8:
+            assert report["frontier_fraction"] > 0.25

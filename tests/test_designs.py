@@ -1,0 +1,196 @@
+"""Benchmark designs: structure properties and workload correctness."""
+
+import pytest
+
+from repro.core.synthesis import synthesize
+from repro.designs.gemmini_like import GemminiScale, build_gemmini_like
+from repro.designs.nvdla_like import NvdlaScale, build_nvdla_like
+from repro.designs.openpiton_like import OpenPitonScale, build_openpiton_like
+from repro.designs.rocket_like import RocketScale, build_rocket_like
+from repro.designs.workloads import (
+    gemmini_workloads,
+    nvdla_workloads,
+    openpiton_workloads,
+    rocket_workloads,
+    workloads_for,
+)
+from repro.rtl import Netlist, WordSim
+
+# Small scales so the whole file runs in seconds.
+SMALL_ROCKET = RocketScale(imem_depth=128, dmem_depth=128, rocc_macs=1)
+SMALL_NVDLA = NvdlaScale(engines=2, lanes=2, taps=2, act_depth=64, wgt_depth=16, out_depth=64)
+SMALL_GEMMINI = GemminiScale(dim=2, spad_depth=32)
+SMALL_OP = OpenPitonScale(cores=2, imem_depth=64, dmem_depth=64)
+
+
+class TestStructure:
+    def test_rocket_has_async_regfile_polyfill(self):
+        """The property driving §IV's analysis: the CPU designs pay the
+        async-RAM polyfill, NVDLA does not."""
+        result = synthesize(build_rocket_like(SMALL_ROCKET))
+        modes = {r.name.split(".")[-1]: r.mode for r in result.memory_reports}
+        assert modes["regfile"] == "polyfill"
+        assert modes["imem"] == "blocks"
+        assert modes["dmem"] == "blocks"
+
+    def test_nvdla_all_memories_block_mapped(self):
+        result = synthesize(build_nvdla_like(SMALL_NVDLA))
+        assert all(r.mode == "blocks" for r in result.memory_reports)
+        assert len(result.memory_reports) == 3 * SMALL_NVDLA.engines
+
+    def test_gemmini_has_async_transposer(self):
+        result = synthesize(build_gemmini_like(SMALL_GEMMINI))
+        modes = {r.name: r.mode for r in result.memory_reports}
+        assert modes["spad"] == "blocks"
+        assert modes["transposer"] == "polyfill"
+
+    def test_openpiton_scales_with_cores(self):
+        one = synthesize(build_openpiton_like(OpenPitonScale(cores=1, imem_depth=64, dmem_depth=64))).eaig
+        two = synthesize(build_openpiton_like(SMALL_OP)).eaig
+        assert 1.7 * one.num_gates() <= two.num_gates() <= 2.4 * one.num_gates()
+
+    def test_gemmini_is_deepest_per_gate(self):
+        """Spatial row accumulation gives Gemmini the paper's depth
+        profile: deeper than the similarly-sized NVDLA analogue."""
+        gm = synthesize(build_gemmini_like(GemminiScale(dim=4))).eaig
+        nv = synthesize(build_nvdla_like(SMALL_NVDLA)).eaig
+        assert gm.depth() > nv.depth()
+
+
+def _run_cpu_workload(circuit, wl):
+    sim = WordSim(Netlist(circuit))
+    outs = []
+    for vec in wl.stimuli:
+        o = sim.step(vec)
+        if o.get(wl.valid_port):
+            outs.append(o[wl.out_port])
+    return outs
+
+
+class TestRocketWorkloads:
+    @pytest.mark.parametrize("name", ["dhrystone", "pmp", "spmv"])
+    def test_workload_runs_correctly(self, name):
+        circuit = build_rocket_like(SMALL_ROCKET)
+        wl = rocket_workloads(dmem_depth=SMALL_ROCKET.dmem_depth)[name]
+        assert _run_cpu_workload(circuit, wl) == wl.expected_out
+
+    def test_workloads_have_expected_outputs(self):
+        for name, wl in rocket_workloads().items():
+            assert wl.expected_out, name  # golden model produced output
+            assert wl.cycles > 50
+
+
+class TestOpenPitonWorkloads:
+    def test_two_core_workload(self):
+        circuit = build_openpiton_like(SMALL_OP)
+        wl = openpiton_workloads(cores=2, dmem_depth=64)["fp_mt_combo0"]
+        assert _run_cpu_workload(circuit, wl) == wl.expected_out
+
+    def test_idle_tiles_halt_quickly(self):
+        circuit = build_openpiton_like(SMALL_OP)
+        wl = openpiton_workloads(cores=2, dmem_depth=64)["asi_notused_priv"]
+        sim = WordSim(Netlist(circuit))
+        last = {}
+        for vec in wl.stimuli:
+            last = sim.step(vec)
+        assert last["halted0"] == 1
+        assert last["halted1"] == 1
+
+    def test_ring_delivers_messages(self):
+        circuit = build_openpiton_like(SMALL_OP)
+        wl = openpiton_workloads(cores=2, dmem_depth=64)["ldst_quad2"]
+        sim = WordSim(Netlist(circuit))
+        for vec in wl.stimuli:
+            last = sim.step(vec)
+        assert last["ring.ring_delivered"] >= 1
+
+
+class TestAcceleratorWorkloads:
+    def test_nvdla_conv_matches_software_model(self):
+        scale = SMALL_NVDLA
+        circuit = build_nvdla_like(scale)
+        wl = nvdla_workloads(scale)["pdpmax_int8_0"]
+        engine = wl.stimuli[0]["engine"]
+        sim = WordSim(Netlist(circuit))
+        acts: dict[int, int] = {}
+        wgts: dict[int, int] = {}
+        length = None
+        for vec in wl.stimuli:
+            if vec.get("act_wen"):
+                acts[vec["load_addr"]] = vec["load_data"]
+            if vec.get("wgt_wen"):
+                wgts[vec["load_addr"]] = vec["load_data"]
+            if vec.get("start"):
+                length = vec["length"]
+            out = sim.step(vec)
+        assert out["done"] == 1
+
+        # Software conv model reproducing the datapath.
+        def lanes_of(word):
+            w = scale.data_width
+            return [(word >> (i * w)) & ((1 << w) - 1) for i in range(scale.lanes)]
+
+        mask = (1 << scale.acc_width) - 1
+        checksum = 0
+        for opos in range(length):
+            acc = 0
+            for tap in range(scale.taps):
+                a = lanes_of(acts.get(opos + tap, 0))
+                w = lanes_of(wgts.get(tap, 0))
+                acc = (acc + sum(x * y for x, y in zip(a, w))) & mask
+            relu = 0 if acc >> (scale.acc_width - 1) else acc
+            checksum ^= relu ^ opos
+        assert out[f"checksum{engine}"] == checksum
+        # Untouched engines stay at zero.
+        for other in range(scale.engines):
+            if other != engine:
+                assert out[f"checksum{other}"] == 0
+
+    def test_gemmini_matmul_matches_software_model(self):
+        scale = SMALL_GEMMINI
+        circuit = build_gemmini_like(scale)
+        wl = gemmini_workloads(scale)["tiled_matmul_ws_perf"]
+        sim = WordSim(Netlist(circuit))
+        N, W, A = scale.dim, scale.data_width, scale.acc_width
+        maskA = (1 << A) - 1
+        weights = [[0] * N for _ in range(N)]
+        accs = [0] * N
+        checksum = 0
+        spad = {}
+        for vec in wl.stimuli:
+            out = sim.step(vec)
+            # software model mirrors the datapath cycle by cycle
+            if vec.get("acc_clear"):
+                accs = [0] * N
+            elif vec.get("wgt_wen"):
+                row = vec["wgt_row"]
+                for j in range(N):
+                    weights[row][j] = (vec["wgt_bus"] >> (j * W)) & ((1 << W) - 1)
+            elif vec.get("act_valid"):
+                a = [(vec["act_bus"] >> (j * W)) & ((1 << W) - 1) for j in range(N)]
+                for i in range(N):
+                    accs[i] = (accs[i] + sum(weights[i][j] * a[j] for j in range(N))) & maskA
+            elif vec.get("drain"):
+                sel = accs[vec["drain_row"] % N]
+                spad[vec["drain_addr"] % scale.spad_depth] = sel
+                checksum = ((checksum ^ sel) + vec["drain_addr"] + 1) & maskA
+        assert out["checksum"] == checksum
+
+
+class TestWorkloadRegistry:
+    def test_dispatch(self):
+        assert set(workloads_for("rocket_like")) == {
+            "dhrystone", "mt-memcpy", "pmp", "qsort", "spmv",
+        }
+        assert len(workloads_for("nvdla_like")) == 5
+        assert len(workloads_for("gemmini_like")) == 2
+        assert len(workloads_for("openpiton1_like")) == 3
+        with pytest.raises(KeyError):
+            workloads_for("unknown")
+
+    def test_stimuli_only_use_circuit_inputs(self):
+        circuit = build_rocket_like()
+        names = {s.name for s in circuit.inputs}
+        for wl in rocket_workloads().values():
+            for vec in wl.stimuli[:30]:
+                assert set(vec) <= names

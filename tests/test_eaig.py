@@ -1,0 +1,199 @@
+"""E-AIG structure, strashing, and the bit-level golden simulator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.eaig import EAIG, EAIGSim, FALSE, TRUE, NodeKind, lit_not
+
+
+class TestLiterals:
+    def test_constants(self):
+        assert FALSE == 0
+        assert TRUE == 1
+        assert lit_not(FALSE) == TRUE
+
+
+class TestStrash:
+    def test_and_constant_folding(self):
+        g = EAIG()
+        a = g.add_pi("a")
+        assert g.add_and(a, FALSE) == FALSE
+        assert g.add_and(a, TRUE) == a
+        assert g.add_and(a, a) == a
+        assert g.add_and(a, lit_not(a)) == FALSE
+
+    def test_structural_hashing_dedupes(self):
+        g = EAIG()
+        a = g.add_pi()
+        b = g.add_pi()
+        x = g.add_and(a, b)
+        y = g.add_and(b, a)  # commuted
+        assert x == y
+        assert g.num_gates() == 1
+
+    def test_or_xor_mux_built_from_ands(self):
+        g = EAIG()
+        a = g.add_pi()
+        b = g.add_pi()
+        g.add_or(a, b)
+        g.add_xor(a, b)
+        sel = g.add_pi()
+        g.add_mux(sel, a, b)
+        assert g.num_gates() > 0
+
+    def test_mux_simplifications(self):
+        g = EAIG()
+        a = g.add_pi()
+        b = g.add_pi()
+        sel = g.add_pi()
+        assert g.add_mux(sel, a, a) == a
+        assert g.add_mux(TRUE, a, b) == a
+        assert g.add_mux(FALSE, a, b) == b
+
+
+class TestState:
+    def test_ff_two_phase_wiring(self):
+        g = EAIG()
+        a = g.add_pi()
+        q = g.add_ff(init=1)
+        g.set_ff_input(q, lit_not(a))
+        g.add_output("q", q)
+        g.check()
+
+    def test_pending_ff_fails_check(self):
+        g = EAIG()
+        g.add_ff()
+        with pytest.raises(ValueError, match="no d input"):
+            g.check()
+
+    def test_ff_input_set_twice_rejected(self):
+        g = EAIG()
+        q = g.add_ff()
+        g.set_ff_input(q, TRUE)
+        with pytest.raises(ValueError, match="already set"):
+            g.set_ff_input(q, FALSE)
+
+    def test_ram_requires_full_ports(self):
+        g = EAIG()
+        ram = g.add_ram("r", addr_bits=2, data_bits=4)
+        with pytest.raises(ValueError, match="address ports incomplete"):
+            g.check()
+        ram.raddr = [FALSE] * 2
+        ram.waddr = [FALSE] * 2
+        ram.wdata = [FALSE] * 4
+        g.check()
+
+
+class TestAnalysis:
+    def test_levels_count_ands_only(self):
+        g = EAIG()
+        a = g.add_pi()
+        b = g.add_pi()
+        x = g.add_and(a, b)  # level 1
+        y = g.add_and(x, lit_not(b))  # level 2; inversion is free
+        g.add_output("y", y)
+        assert g.depth() == 2
+        assert g.lit_level(y) == 2
+
+    def test_level_histogram(self):
+        g = EAIG()
+        a, b, c = g.add_pi(), g.add_pi(), g.add_pi()
+        x = g.add_and(a, b)
+        g.add_and(x, c)
+        hist = g.level_histogram()
+        assert hist == {1: 1, 2: 1}
+
+    def test_cone(self):
+        g = EAIG()
+        a, b, c = g.add_pi(), g.add_pi(), g.add_pi()
+        x = g.add_and(a, b)
+        y = g.add_and(x, c)
+        cone = g.cone([y])
+        assert cone == {x >> 1, y >> 1}
+
+    def test_fanout_counts(self):
+        g = EAIG()
+        a, b = g.add_pi(), g.add_pi()
+        x = g.add_and(a, b)
+        g.add_and(x, lit_not(a))
+        g.add_output("o", x)
+        counts = g.fanout_counts()
+        assert counts[x >> 1] == 2  # one AND consumer + one output
+
+    def test_stats(self):
+        g = EAIG("t")
+        a = g.add_pi()
+        q = g.add_ff()
+        g.set_ff_input(q, a)
+        s = g.stats()
+        assert s["pis"] == 1 and s["ffs"] == 1
+
+
+class TestEAIGSim:
+    def _xor_graph(self):
+        g = EAIG()
+        a = g.add_pi("a")
+        b = g.add_pi("b")
+        g.add_output("y", g.add_xor(a, b))
+        return g
+
+    @given(st.integers(0, 1), st.integers(0, 1))
+    @settings(max_examples=8, deadline=None)
+    def test_xor_truth_table(self, a, b):
+        sim = EAIGSim(self._xor_graph())
+        assert sim.step([a, b])["y"] == a ^ b
+
+    def test_time_parallel_lanes(self):
+        # 4 lanes simulate 4 independent stimuli at once.
+        sim = EAIGSim(self._xor_graph(), vectors=4)
+        # lanes: a = 0b0011, b = 0b0101 -> y = 0b0110
+        outs = sim.step([0b0011, 0b0101])
+        assert outs["y"] == 0b0110
+
+    def test_ff_sequence(self):
+        g = EAIG()
+        a = g.add_pi("a")
+        q = g.add_ff(init=0, name="q")
+        g.set_ff_input(q, g.add_xor(a, q))
+        g.add_output("q", q)
+        sim = EAIGSim(g)
+        seq = [1, 1, 0, 1]
+        expect = []
+        state = 0
+        for bit in seq:
+            expect.append(state)
+            state ^= bit
+        got = [sim.step([bit])["q"] for bit in seq]
+        assert got == expect
+
+    def test_ram_read_write(self):
+        g = EAIG()
+        ram = g.add_ram("m", addr_bits=2, data_bits=4, init=[5])
+        addr = [g.add_pi(f"a{i}") for i in range(2)]
+        data = [g.add_pi(f"d{i}") for i in range(4)]
+        wen = g.add_pi("wen")
+        ram.raddr = list(addr)
+        ram.ren = TRUE
+        ram.waddr = list(addr)
+        ram.wdata = list(data)
+        ram.wen = wen
+        for i, node in enumerate(ram.data_nodes):
+            g.add_output(f"q{i}", 2 * node)
+        sim = EAIGSim(g)
+
+        def step(a, d, w):
+            bits = [(a >> 0) & 1, (a >> 1) & 1] + [(d >> i) & 1 for i in range(4)] + [w]
+            outs = sim.step(bits)
+            return sum(outs[f"q{i}"] << i for i in range(4))
+
+        step(0, 0, 0)
+        assert step(0, 0, 0) == 5  # init value at addr 0
+        step(2, 9, 1)  # write 9 to addr 2 (read-first: sampled old)
+        assert step(2, 0, 0) == 0  # read of addr 2 sampled before write
+        assert step(0, 0, 0) == 9  # now the write is visible
+
+    def test_pi_count_mismatch_rejected(self):
+        sim = EAIGSim(self._xor_graph())
+        with pytest.raises(ValueError):
+            sim.step([1])

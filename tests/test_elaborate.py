@@ -1,0 +1,107 @@
+"""Elaboration checks: cycles, drivers, dead logic (repro.rtl.elaborate)."""
+
+import pytest
+
+from repro.rtl import CircuitBuilder, Netlist
+from repro.rtl.elaborate import ElaborationError, check_circuit, dead_signals, live_signals
+from repro.rtl.ir import Circuit, OpKind
+from repro.rtl.netlist import CombinationalLoopError
+
+
+class TestCycles:
+    def test_combinational_loop_detected(self):
+        c = Circuit()
+        a = c.new_signal("a", 1)
+        b = c.new_signal("b", 1)
+        c.add_op(OpKind.AND, a, (b, b))
+        c.add_op(OpKind.NOT, b, (a,))
+        c.add_output("y", a)
+        with pytest.raises(CombinationalLoopError):
+            Netlist(c)
+
+    def test_register_breaks_loop(self):
+        b = CircuitBuilder()
+        r = b.reg("r", 1)
+        r.next = ~r
+        b.output("y", r)
+        Netlist(b.build())  # no exception
+
+    def test_async_memrd_participates_in_loop(self):
+        # async read data feeding the same port's address is a loop.
+        b = CircuitBuilder()
+        mem = b.memory("m", 4, 2)
+        # Construct manually to bypass builder ordering.
+        c = b.circuit
+        addr = c.new_signal("addr", 2)
+        data = mem.add_read_port(c, addr, sync=False)
+        c.add_op(OpKind.SLICE, addr, (data,), lo=0)
+        c.add_output("y", data)
+        with pytest.raises(CombinationalLoopError):
+            Netlist(c)
+
+    def test_sync_memrd_breaks_loop(self):
+        b = CircuitBuilder()
+        mem = b.memory("m", 4, 2)
+        c = b.circuit
+        addr = c.new_signal("addr", 2)
+        data = mem.add_read_port(c, addr, sync=True)
+        c.add_op(OpKind.SLICE, addr, (data,), lo=0)
+        c.add_output("y", data)
+        Netlist(c)  # registered read data: no combinational cycle
+
+
+class TestDrivers:
+    def test_undriven_input_caught(self):
+        c = Circuit()
+        a = c.new_signal("a", 1)  # never driven
+        out = c.new_signal("out", 1)
+        c.add_op(OpKind.NOT, out, (a,))
+        c.add_output("y", out)
+        with pytest.raises(ElaborationError, match="no driver"):
+            check_circuit(c)
+
+    def test_undriven_output_caught(self):
+        c = Circuit()
+        ghost = c.new_signal("ghost", 1)
+        c.add_output("y", ghost)
+        with pytest.raises(ElaborationError, match="no driver"):
+            check_circuit(c)
+
+    def test_duplicate_output_names(self):
+        c = Circuit()
+        a = c.add_input("a", 1)
+        c.add_output("y", a)
+        c.add_output("y", a)
+        with pytest.raises(ElaborationError, match="duplicate output"):
+            check_circuit(c)
+
+
+class TestLiveness:
+    def test_dead_signals_found(self):
+        b = CircuitBuilder()
+        x = b.input("x", 4)
+        _unused = x + 1  # dead
+        b.output("y", x)
+        circuit = b.build()
+        dead = {s.name for s in dead_signals(circuit)}
+        assert any("add" in name for name in dead)
+
+    def test_register_feedback_is_live(self):
+        b = CircuitBuilder()
+        r = b.reg("r", 4)
+        r.next = r + 1
+        b.output("y", r)
+        circuit = b.build()
+        live = live_signals(circuit)
+        assert all(s.uid in live for s in circuit.signals if s.name == "r")
+
+    def test_memory_ports_are_live(self):
+        b = CircuitBuilder()
+        en = b.input("en", 1)
+        addr = b.input("addr", 2)
+        data = b.input("data", 4)
+        mem = b.memory("m", 4, 4)
+        b.write(mem, en, addr, data)
+        b.output("rd", b.read(mem, addr, sync=True))
+        circuit = b.build()
+        assert not dead_signals(circuit)

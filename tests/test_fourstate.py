@@ -1,0 +1,257 @@
+"""4-state simulation: semantics, golden sim, dual-rail transform, and GEM.
+
+The paper lists 4-state simulation as future work; this extension
+implements it as a compile-time dual-rail transform (see
+repro/fourstate/dualrail.py).  Tests close the loop three ways:
+
+1. the value algebra is *monotone*: resolving X inputs to any 2-state
+   value never contradicts a definite output bit (hypothesis-driven);
+2. the golden FourStateSim collapses to WordSim when nothing is X;
+3. the dual-rail transform run on WordSim — and through the full GEM
+   flow — matches FourStateSim bit-for-bit, X-for-X.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fourstate import FourState, FourStateSim, X, to_dual_rail
+from repro.fourstate import semantics as fs
+from repro.rtl import CircuitBuilder, Netlist, WordSim
+from tests.helpers import random_circuit, random_vectors
+
+W = 6
+MASK = (1 << W) - 1
+
+words = st.tuples(st.integers(0, MASK), st.integers(0, MASK)).map(
+    lambda t: FourState(t[0], t[1], W)
+)
+
+
+def _resolutions(value: FourState, rng: random.Random) -> int:
+    """One random 2-state resolution of a 4-state word."""
+    return (value.data & ~value.unknown) | (rng.getrandbits(W) & value.unknown)
+
+
+_BINOPS = {
+    "and": (fs.f_and, lambda a, b: a & b),
+    "or": (fs.f_or, lambda a, b: a | b),
+    "xor": (fs.f_xor, lambda a, b: a ^ b),
+    "add": (fs.f_add, lambda a, b: (a + b) & MASK),
+    "sub": (fs.f_sub, lambda a, b: (a - b) & MASK),
+    "mul": (fs.f_mul, lambda a, b: (a * b) & MASK),
+}
+
+
+class TestSemantics:
+    def test_normal_form(self):
+        v = FourState(data=0b1111, unknown=0b1010, width=4)
+        assert v.data == 0b0101  # data zeroed under X
+        assert str(v) == "x1x1"
+
+    def test_known_and_x_constructors(self):
+        assert FourState.known(5, 4).value() == 5
+        assert X(4).has_x
+        with pytest.raises(ValueError):
+            X(4).value()
+
+    @pytest.mark.parametrize("name", sorted(_BINOPS))
+    @given(a=words, b=words, seed=st.integers(0, 2**16))
+    @settings(max_examples=60, deadline=None)
+    def test_binop_monotone(self, name, a, b, seed):
+        """Any resolution of the inputs must be compatible with the
+        4-state output (pessimism may add X, never flip definite bits)."""
+        f4, f2 = _BINOPS[name]
+        out4 = f4(a, b)
+        rng = random.Random(seed)
+        for _ in range(4):
+            ra, rb = _resolutions(a, rng), _resolutions(b, rng)
+            assert out4.compatible_with(f2(ra, rb)), (name, str(a), str(b), str(out4))
+
+    @given(a=words, b=words, sel=st.tuples(st.integers(0, 1), st.integers(0, 1)), seed=st.integers(0, 2**16))
+    @settings(max_examples=60, deadline=None)
+    def test_mux_monotone(self, a, b, sel, seed):
+        s = FourState(sel[0], sel[1], 1)
+        out4 = fs.f_mux(s, a, b)
+        rng = random.Random(seed)
+        for _ in range(4):
+            rs = (s.data | (rng.getrandbits(1) & s.unknown)) & 1
+            ra, rb = _resolutions(a, rng), _resolutions(b, rng)
+            assert out4.compatible_with(ra if rs else rb)
+
+    @given(a=words, seed=st.integers(0, 2**16))
+    @settings(max_examples=40, deadline=None)
+    def test_reductions_monotone(self, a, seed):
+        rng = random.Random(seed)
+        for _ in range(4):
+            ra = _resolutions(a, rng)
+            assert fs.f_redand(a).compatible_with(int(ra == MASK))
+            assert fs.f_redor(a).compatible_with(int(ra != 0))
+            assert fs.f_redxor(a).compatible_with(bin(ra).count("1") & 1)
+
+    def test_zero_dominates_and(self):
+        assert fs.f_and(FourState.known(0, 4), X(4)) == FourState.known(0, 4)
+
+    def test_one_dominates_or(self):
+        assert fs.f_or(FourState.known(0xF, 4), X(4)) == FourState.known(0xF, 4)
+
+    def test_eq_decidable_mismatch(self):
+        a = FourState(0b0001, 0b1000, 4)  # x001
+        b = FourState(0b0010, 0b1000, 4)  # x010
+        assert fs.f_eq(a, b) == FourState.known(0, 1)  # low bits differ
+
+    def test_compatible_with(self):
+        v = FourState(0b0101, 0b1010, 4)
+        assert v.compatible_with(0b0101)
+        assert v.compatible_with(0b1111)
+        assert not v.compatible_with(0b0100)
+
+
+class TestFourStateSim:
+    def _counter(self, with_reset: bool):
+        b = CircuitBuilder()
+        en = b.input("en", 1)
+        rst = b.input("rst", 1)
+        count = b.reg("count", 8, init=0)
+        nxt = b.mux(en, count + 1, count)
+        if with_reset:
+            nxt = b.mux(rst, b.const(0, 8), nxt)
+        count.next = nxt
+        b.output("q", count)
+        return b.build()
+
+    def test_collapses_to_wordsim_when_known(self):
+        circuit = random_circuit(70, n_ops=40, with_memory=True)
+        word = WordSim(Netlist(circuit))
+        four = FourStateSim(Netlist(circuit), x_reset=False, x_memory=False)
+        for vec in random_vectors(circuit, 3, 30):
+            expect = word.step(vec)
+            got = four.step(vec)
+            for name, value in got.items():
+                assert value.is_fully_known, name
+                assert value.value() == expect[name], name
+
+    def test_x_reset_without_reset_logic_stays_x(self):
+        sim = FourStateSim(Netlist(self._counter(with_reset=False)))
+        for _ in range(5):
+            out = sim.step({"en": 1})
+        assert out["q"].has_x  # X + 1 is X forever
+
+    def test_reset_sequence_clears_x(self):
+        sim = FourStateSim(Netlist(self._counter(with_reset=True)))
+        assert sim.step({"rst": 1})["q"].has_x  # pre-reset output is X
+        assert sim.step({"en": 1})["q"] == FourState.known(0, 8)
+        assert sim.step({"en": 1})["q"] == FourState.known(1, 8)
+
+    def test_unknown_output_bits_metric(self):
+        sim = FourStateSim(Netlist(self._counter(with_reset=True)))
+        assert sim.unknown_output_bits() == 8
+        sim.step({"rst": 1})
+        sim.step({})
+        assert sim.unknown_output_bits() == 0
+
+    def test_x_input_propagates(self):
+        b = CircuitBuilder()
+        x = b.input("x", 4)
+        b.output("y", x + 1)
+        sim = FourStateSim(Netlist(b.build()))
+        out = sim.step({"x": FourState(0b0001, 0b0100, 4)})
+        assert out["y"].has_x  # arithmetic is word-pessimistic
+
+    def test_memory_poison_on_x_address(self):
+        b = CircuitBuilder()
+        wen = b.input("wen", 1)
+        waddr = b.input("waddr", 2)
+        raddr = b.input("raddr", 2)
+        data = b.input("data", 4)
+        mem = b.memory("m", 4, 4, init=[1, 2, 3, 4])
+        b.write(mem, wen, waddr, data)
+        b.output("rd", b.read(mem, raddr, sync=False))
+        sim = FourStateSim(Netlist(b.build()), x_memory=False)
+        assert sim.step({"raddr": 2})["rd"] == FourState.known(3, 4)
+        sim.step({"wen": 1, "waddr": FourState(0, 0b11, 2), "data": 9})
+        # After a write through an X address, every read is X — forever.
+        assert sim.step({"raddr": 2})["rd"].has_x
+        assert sim.step({"raddr": 0})["rd"].has_x
+        assert sim.x_writes == 1
+
+
+def _lockstep_dualrail(circuit, stimuli_4state, engine="word"):
+    """Run FourStateSim vs the dual-rail transform on a 2-state engine."""
+    dual = to_dual_rail(circuit)
+    golden = FourStateSim(Netlist(circuit))
+    if engine == "word":
+        two_state = WordSim(Netlist(dual.circuit))
+    else:
+        from repro.core.boomerang import BoomerangConfig
+        from repro.core.compiler import GemCompiler, GemConfig
+        from repro.core.partition import PartitionConfig
+
+        design = GemCompiler(
+            GemConfig(
+                partition=PartitionConfig(gates_per_partition=2500),
+                boomerang=BoomerangConfig(width_log2=13),
+            )
+        ).compile(dual.circuit)
+        two_state = design.simulator()
+    for cycle, vec in enumerate(stimuli_4state):
+        expect = golden.step(vec)
+        got = dual.decode_outputs(two_state.step(dual.encode_inputs(vec)))
+        assert got == expect, (cycle, vec, {k: str(v) for k, v in got.items()},
+                               {k: str(v) for k, v in expect.items()})
+
+
+def _x_stimuli(circuit, seed, cycles, x_rate=0.3):
+    rng = random.Random(seed)
+    out = []
+    for _ in range(cycles):
+        vec = {}
+        for sig in circuit.inputs:
+            data = rng.getrandbits(sig.width)
+            unknown = rng.getrandbits(sig.width) if rng.random() < x_rate else 0
+            vec[sig.name] = FourState(data, unknown, sig.width)
+        out.append(vec)
+    return out
+
+
+class TestDualRail:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_transform_matches_golden_on_wordsim(self, seed):
+        circuit = random_circuit(seed + 200, n_ops=45)
+        _lockstep_dualrail(circuit, _x_stimuli(circuit, seed, 30))
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_transform_with_memories(self, seed):
+        circuit = random_circuit(seed + 230, n_ops=40, with_memory=True, with_async_memory=True)
+        _lockstep_dualrail(circuit, _x_stimuli(circuit, seed + 9, 40))
+
+    def test_rail_naming(self):
+        b = CircuitBuilder()
+        x = b.input("x", 4)
+        b.output("y", ~x)
+        dual = to_dual_rail(b.build())
+        assert dual.input_rails["x"] == ("x", "x__x")
+        assert dual.output_rails["y"] == ("y", "y__x")
+
+    def test_known_inputs_known_outputs_when_no_state(self):
+        b = CircuitBuilder()
+        x = b.input("x", 8)
+        y = b.input("y", 8)
+        b.output("z", (x + y) ^ (x & y))
+        circuit = b.build()
+        dual = to_dual_rail(circuit)
+        sim = WordSim(Netlist(dual.circuit))
+        outs = sim.step(dual.encode_inputs({"x": 7, "y": 9}))
+        z = dual.decode_outputs(outs)["z"]
+        assert z.is_fully_known
+        assert z.value() == ((7 + 9) ^ (7 & 9)) & 0xFF
+
+
+class TestGemFourState:
+    def test_gem_runs_4state_via_dual_rail(self):
+        """The headline: the unmodified GEM flow + interpreter performs
+        4-state simulation of a stateful design, X-reset included."""
+        circuit = random_circuit(777, n_ops=35, n_regs=3)
+        _lockstep_dualrail(circuit, _x_stimuli(circuit, 42, 25), engine="gem")

@@ -1,0 +1,128 @@
+"""Harness utilities: registry, cache, tables, paper data, CLI parsing."""
+
+import os
+
+import pytest
+
+from repro.harness.runner import DESIGNS, _cached
+from repro.harness.tables import (
+    PAPER_AVERAGE_SPEEDUPS,
+    PAPER_EVENTS,
+    PAPER_TABLE1,
+    PAPER_TABLE2,
+    Table2Row,
+    average_speedups,
+    format_table,
+    geomean,
+)
+
+
+class TestRegistry:
+    def test_five_designs(self):
+        assert set(DESIGNS) == {"nvdla", "rocketchip", "gemmini", "openpiton1", "openpiton8"}
+
+    def test_entries_buildable(self):
+        # openpiton1 is the cheapest; build it for real.
+        circuit = DESIGNS["openpiton1"].build()
+        assert circuit.name == "openpiton1_like"
+
+
+class TestCache:
+    def test_memory_and_disk_roundtrip(self, tmp_path, monkeypatch):
+        import repro.harness.runner as runner
+
+        monkeypatch.setattr(runner, "CACHE_DIR", str(tmp_path))
+        monkeypatch.setattr(runner, "_memory_cache", {})
+        calls = []
+
+        def make():
+            calls.append(1)
+            return {"v": 42}
+
+        assert runner._cached("test:key", make) == {"v": 42}
+        assert runner._cached("test:key", make) == {"v": 42}
+        assert len(calls) == 1
+        # New process simulation: clear memory cache, hits disk.
+        monkeypatch.setattr(runner, "_memory_cache", {})
+        assert runner._cached("test:key", make) == {"v": 42}
+        assert len(calls) == 1
+
+    def test_corrupt_cache_rebuilds(self, tmp_path, monkeypatch):
+        import repro.harness.runner as runner
+
+        monkeypatch.setattr(runner, "CACHE_DIR", str(tmp_path))
+        monkeypatch.setattr(runner, "_memory_cache", {})
+        path = runner._cache_path("test:bad")
+        os.makedirs(tmp_path, exist_ok=True)
+        with open(path, "wb") as f:
+            f.write(b"not a pickle")
+        assert runner._cached("test:bad", lambda: 7) == 7
+
+
+class TestPaperData:
+    def test_table1_complete(self):
+        assert set(PAPER_TABLE1) == set(DESIGNS)
+        for row in PAPER_TABLE1.values():
+            assert row["layers"] < row["levels"]
+
+    def test_table2_row_counts(self):
+        counts = {d: len(tests) for d, tests in PAPER_TABLE2.items()}
+        assert counts == {
+            "nvdla": 5, "rocketchip": 5, "gemmini": 2, "openpiton1": 3, "openpiton8": 3,
+        }
+        assert sum(counts.values()) == 18
+
+    def test_paper_speedup_recomputation(self):
+        """Recompute the paper's bottom-row averages from its own table —
+        guards our transcription of Table II."""
+        ratios = {"commercial": [], "verilator_8t": [], "verilator_1t": [], "gl0am": []}
+        for tests in PAPER_TABLE2.values():
+            for row in tests.values():
+                for key in ratios:
+                    if row[key] is not None:
+                        ratios[key].append(row["gem_a100"] / row[key])
+        for key, values in ratios.items():
+            ours = sum(values) / len(values)
+            assert ours == pytest.approx(PAPER_AVERAGE_SPEEDUPS[key], rel=0.02), key
+
+    def test_openpiton_event_anomaly_recorded(self):
+        assert PAPER_EVENTS["openpiton8"] / PAPER_EVENTS["openpiton1"] == pytest.approx(
+            3.34, rel=0.01
+        )
+
+
+class TestTableFormatting:
+    def test_format_table_alignment(self):
+        rows = [{"a": 1, "b": 2.5}, {"a": 100, "b": 0.125}]
+        text = format_table(rows)
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert len(lines) == 4
+        assert "100" in lines[3]
+
+    def test_format_empty(self):
+        assert "empty" in format_table([])
+
+    def test_geomean(self):
+        assert geomean([2.0, 8.0]) == pytest.approx(4.0)
+
+    def test_average_speedups(self):
+        rows = [
+            Table2Row("d", "t", commercial=10, verilator_8t=20, verilator_1t=5,
+                      gl0am=10, gem_a100=100, gem_3090=90),
+            Table2Row("d", "u", commercial=20, verilator_8t=25, verilator_1t=10,
+                      gl0am=50, gem_a100=100, gem_3090=90),
+        ]
+        avg = average_speedups(rows)
+        assert avg["commercial"] == pytest.approx((10 + 5) / 2)
+        assert avg["gl0am"] == pytest.approx((10 + 2) / 2)
+
+
+class TestCli:
+    def test_main_dispatch_tables_help(self, capsys):
+        from repro.harness.cli import main_compile, main_run
+
+        with pytest.raises(SystemExit):
+            main_compile(["--help"])
+        with pytest.raises(SystemExit):
+            main_run(["not-a-design"])

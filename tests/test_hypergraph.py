@@ -1,0 +1,67 @@
+"""Hypergraph container and objectives (repro.partition.hypergraph)."""
+
+import pytest
+
+from repro.partition.hypergraph import Hypergraph
+
+
+def _triangle() -> Hypergraph:
+    g = Hypergraph(vertex_weight=[1, 2, 3])
+    g.add_net([0, 1], weight=5)
+    g.add_net([1, 2], weight=1)
+    g.add_net([0, 1, 2], weight=2)
+    return g
+
+
+class TestConstruction:
+    def test_counts(self):
+        g = _triangle()
+        assert g.num_vertices == 3
+        assert g.num_nets == 3
+        assert g.total_weight == 6
+
+    def test_single_pin_nets_dropped(self):
+        g = Hypergraph(vertex_weight=[1, 1])
+        g.add_net([0])
+        g.add_net([1, 1])  # dedupes to single pin
+        assert g.num_nets == 0
+
+    def test_pin_out_of_range(self):
+        with pytest.raises(ValueError, match="out of range"):
+            Hypergraph(vertex_weight=[1], nets=[(0, 5)], net_weight=[1])
+
+    def test_duplicate_pins_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Hypergraph(vertex_weight=[1, 1], nets=[(0, 0)], net_weight=[1])
+
+    def test_mismatched_weights(self):
+        with pytest.raises(ValueError, match="equal length"):
+            Hypergraph(vertex_weight=[1], nets=[(0,)], net_weight=[])
+
+
+class TestObjectives:
+    def test_cut_weight(self):
+        g = _triangle()
+        assert g.cut_weight([0, 0, 0]) == 0
+        assert g.cut_weight([0, 0, 1]) == 1 + 2
+        assert g.cut_weight([0, 1, 1]) == 5 + 2
+
+    def test_km1_equals_cut_for_two_parts(self):
+        g = _triangle()
+        for parts in ([0, 0, 1], [0, 1, 0], [0, 1, 1]):
+            assert g.connectivity_minus_one(parts) == g.cut_weight(parts)
+
+    def test_km1_counts_extra_parts(self):
+        g = _triangle()
+        # Net {0,1,2} spans 3 parts -> contributes 2 * weight.
+        assert g.connectivity_minus_one([0, 1, 2]) == 5 + 1 + 2 * 2
+
+    def test_part_weights(self):
+        g = _triangle()
+        assert g.part_weights([0, 1, 1], 2) == [1, 5]
+
+    def test_incidence(self):
+        g = _triangle()
+        inc = g.incidence()
+        assert inc[1] == [0, 1, 2]
+        assert inc[0] == [0, 2]

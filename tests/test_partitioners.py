@@ -1,0 +1,120 @@
+"""FM refinement and multilevel k-way partitioning."""
+
+import random
+
+import pytest
+
+from repro.partition.fm import refine_bipartition
+from repro.partition.hypergraph import Hypergraph
+from repro.partition.multilevel import bisect, coarsen, partition_kway
+
+
+def _two_clusters(n_per_side=12, cross_nets=2, seed=0) -> Hypergraph:
+    """Two dense clusters joined by a few weak nets: the planted optimum
+    is the cluster boundary."""
+    rng = random.Random(seed)
+    n = 2 * n_per_side
+    g = Hypergraph(vertex_weight=[1] * n)
+    for side in (0, 1):
+        base = side * n_per_side
+        for _ in range(4 * n_per_side):
+            a, b = rng.sample(range(base, base + n_per_side), 2)
+            g.add_net([a, b], weight=3)
+    for _ in range(cross_nets):
+        g.add_net([rng.randrange(n_per_side), n_per_side + rng.randrange(n_per_side)], weight=1)
+    return g
+
+
+class TestFM:
+    def test_improves_bad_start(self):
+        g = _two_clusters()
+        n = g.num_vertices
+        # Interleaved start: terrible cut.
+        parts = [v % 2 for v in range(n)]
+        start_cut = g.cut_weight(parts)
+        final = refine_bipartition(g, parts, [n, n])
+        assert final < start_cut
+        assert final <= 2  # planted boundary weight
+
+    def test_respects_balance_bound(self):
+        g = _two_clusters()
+        n = g.num_vertices
+        parts = [v % 2 for v in range(n)]
+        cap = n // 2 + 1
+        refine_bipartition(g, parts, [cap, cap])
+        weights = g.part_weights(parts, 2)
+        assert max(weights) <= cap
+
+    def test_no_nets_is_noop(self):
+        g = Hypergraph(vertex_weight=[1] * 4)
+        parts = [0, 1, 0, 1]
+        assert refine_bipartition(g, parts, [4, 4]) == 0
+
+
+class TestCoarsen:
+    def test_weight_preserved(self):
+        g = _two_clusters()
+        coarse, vmap = coarsen(g, random.Random(0))
+        assert coarse.total_weight == g.total_weight
+        assert len(vmap) == g.num_vertices
+        assert coarse.num_vertices < g.num_vertices
+
+    def test_net_projection(self):
+        g = Hypergraph(vertex_weight=[1] * 4)
+        g.add_net([0, 1], weight=2)
+        g.add_net([2, 3], weight=2)
+        g.add_net([0, 2], weight=1)
+        coarse, vmap = coarsen(g, random.Random(1))
+        # Any surviving net must have >= 2 distinct coarse pins.
+        for net in coarse.nets:
+            assert len(net) >= 2
+
+
+class TestBisect:
+    def test_finds_planted_cut(self):
+        g = _two_clusters(n_per_side=16)
+        parts = bisect(g, rng=random.Random(3))
+        assert g.cut_weight(parts) <= 2
+
+    def test_weight_fraction(self):
+        g = Hypergraph(vertex_weight=[1] * 30)
+        for i in range(29):
+            g.add_net([i, i + 1])
+        parts = bisect(g, weight_fraction0=1 / 3, epsilon=0.15, rng=random.Random(0))
+        w0 = sum(1 for p in parts if p == 0)
+        assert 6 <= w0 <= 14  # about a third, with slack
+
+
+class TestKway:
+    def test_all_parts_used(self):
+        g = _two_clusters(n_per_side=16)
+        parts = partition_kway(g, 4)
+        assert set(parts) == {0, 1, 2, 3}
+
+    def test_k_one(self):
+        g = _two_clusters()
+        assert set(partition_kway(g, 1)) == {0}
+
+    def test_k_larger_than_n(self):
+        g = Hypergraph(vertex_weight=[1, 1, 1])
+        parts = partition_kway(g, 8)
+        assert len(parts) == 3
+        assert all(0 <= p < 8 for p in parts)
+
+    def test_deterministic_for_seed(self):
+        g = _two_clusters(seed=5)
+        assert partition_kway(g, 4, seed=9) == partition_kway(g, 4, seed=9)
+
+    def test_balance_roughly_even(self):
+        g = Hypergraph(vertex_weight=[1] * 64)
+        rng = random.Random(2)
+        for _ in range(200):
+            a, b = rng.sample(range(64), 2)
+            g.add_net([a, b])
+        parts = partition_kway(g, 4, epsilon=0.1)
+        weights = g.part_weights(parts, 4)
+        assert max(weights) <= 1.5 * (64 / 4)
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            partition_kway(Hypergraph(vertex_weight=[1]), 0)

@@ -1,0 +1,159 @@
+"""Boomerang layers and Algorithm 2 placement (paper §III-A/D)."""
+
+import numpy as np
+import pytest
+
+from repro.core.boomerang import BoomerangConfig, Layer, count_layer_work
+from repro.core.eaig import EAIGSim, NodeKind
+from repro.core.partition import PartitionConfig, partition_design
+from repro.core.placement import (
+    UnmappableError,
+    is_mappable,
+    naive_levelized_layers,
+    place_partition,
+)
+from repro.core.synthesis import synthesize
+from tests.helpers import random_circuit
+
+
+def _reference_fold(layer: Layer, state: np.ndarray) -> np.ndarray:
+    """Slow, obviously-correct model of a boomerang layer's semantics."""
+    state = state.copy()
+    vec = np.array(
+        [bool(state[s]) if s >= 0 else False for s in layer.perm], dtype=bool
+    )
+    for step in range(layer.config.width_log2):
+        nxt = np.zeros(len(vec) // 2, dtype=bool)
+        for i in range(len(nxt)):
+            a = vec[2 * i] ^ layer.xor_a[step][i]
+            b = (vec[2 * i + 1] ^ layer.xor_b[step][i]) | layer.or_b[step][i]
+            nxt[i] = a & b
+        vec = nxt
+        for pos, slot in layer.writebacks[step]:
+            state[slot] = vec[pos]
+    return state
+
+
+class TestBoomerangLayer:
+    def test_empty_layer_defaults(self):
+        cfg = BoomerangConfig(width_log2=4)
+        layer = Layer.empty(cfg)
+        assert layer.perm.shape == (16,)
+        assert all((layer.or_b[s] == True).all() for s in range(4))  # noqa: E712
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_execute_matches_reference(self, seed):
+        rng = np.random.default_rng(seed)
+        cfg = BoomerangConfig(width_log2=5)
+        layer = Layer.empty(cfg)
+        layer.perm = rng.integers(-1, cfg.state_size, size=cfg.width).astype(np.int32)
+        for step in range(cfg.width_log2):
+            layer.xor_a[step] = rng.random(len(layer.xor_a[step])) < 0.5
+            layer.xor_b[step] = rng.random(len(layer.xor_b[step])) < 0.5
+            layer.or_b[step] = rng.random(len(layer.or_b[step])) < 0.5
+            size = cfg.width >> (step + 1)
+            # one random writeback per step to a high slot
+            layer.writebacks[step] = [(int(rng.integers(size)), int(rng.integers(1, cfg.state_size)))]
+        state = rng.random(cfg.state_size) < 0.5
+        expected = _reference_fold(layer, state)
+        got = state.copy()
+        layer.execute(got)
+        assert (got == expected).all()
+
+    def test_count_layer_work(self):
+        cfg = BoomerangConfig(width_log2=4)
+        layers = [Layer.empty(cfg), Layer.empty(cfg)]
+        work = count_layer_work(layers)
+        assert work["layers"] == 2
+        assert work["fold_steps"] == 8
+        assert count_layer_work([])["layers"] == 0
+
+    def test_config_properties(self):
+        cfg = BoomerangConfig()
+        assert cfg.width == 8192
+        assert cfg.state_size == 8192
+        assert cfg.threads == 256
+
+
+def _placed_design(seed=2, n_ops=80, width_log2=10):
+    eaig = synthesize(random_circuit(seed, n_ops=n_ops, n_regs=5)).eaig
+    plan = partition_design(eaig, PartitionConfig(gates_per_partition=500, num_stages=1))
+    cfg = BoomerangConfig(width_log2=width_log2)
+    placed = [place_partition(eaig, spec, cfg) for spec in plan.partitions]
+    return eaig, plan, placed, cfg
+
+
+class TestPlacement:
+    def test_all_partition_values_computed_correctly(self):
+        eaig, plan, placed, cfg = _placed_design()
+        sim = EAIGSim(eaig)
+        import random as _r
+
+        rng = _r.Random(0)
+        for _ in range(10):
+            sim.settle([rng.getrandbits(1) for _ in eaig.pis])
+            for pp in placed:
+                local_nodes = set(pp.spec.nodes)
+                state = np.zeros(cfg.state_size, dtype=bool)
+                for node, slot in pp.slot_of.items():
+                    if node not in local_nodes:
+                        state[slot] = bool(sim.value[node])
+                for layer in pp.layers:
+                    layer.execute(state)
+                for node, slot in pp.slot_of.items():
+                    assert bool(state[slot]) == bool(sim.value[node]), node
+            sim.clock_edge()
+
+    def test_layers_beat_levelization(self):
+        """Fig. 3's claim at unit scale: boomerang layers need far fewer
+        synchronizations than one-per-level execution."""
+        eaig, plan, placed, cfg = _placed_design(n_ops=120)
+        for pp in placed:
+            naive = naive_levelized_layers(eaig, pp.spec, cfg)
+            if naive["layers"] >= 10:
+                assert len(pp.layers) * 2 <= naive["layers"]
+
+    def test_slot_accounting(self):
+        eaig, plan, placed, cfg = _placed_design()
+        for pp in placed:
+            assert pp.num_slots <= cfg.state_size
+            # sources all have slots, slot 0 reserved for constant
+            assert 0 not in pp.slot_of.values()
+            for src in pp.spec.sources:
+                assert src in pp.slot_of
+
+    def test_root_literals_resolvable(self):
+        eaig, plan, placed, cfg = _placed_design()
+        for pp in placed:
+            for literal in pp.spec.root_literals():
+                slot, inv = pp.slot_and_invert(literal)
+                assert 0 <= slot < pp.num_slots
+
+    def test_unmappable_raises(self):
+        eaig = synthesize(random_circuit(4, n_ops=150, n_regs=4)).eaig
+        plan = partition_design(eaig, PartitionConfig(gates_per_partition=10_000, num_stages=1))
+        tiny = BoomerangConfig(width_log2=5)  # 32-bit state: hopeless
+        with pytest.raises(UnmappableError):
+            for spec in plan.partitions:
+                place_partition(eaig, spec, tiny)
+
+    def test_is_mappable_predicate(self):
+        eaig = synthesize(random_circuit(5, n_ops=60, n_regs=3)).eaig
+        plan = partition_design(eaig, PartitionConfig(gates_per_partition=5_000, num_stages=1))
+        spec = plan.partitions[0]
+        assert is_mappable(eaig, spec, BoomerangConfig(width_log2=12))
+        assert not is_mappable(eaig, spec, BoomerangConfig(width_log2=4))
+
+    def test_empty_partition_places_to_zero_layers(self):
+        # A partition whose endpoints are fed directly by sources.
+        from repro.rtl import CircuitBuilder
+
+        b = CircuitBuilder()
+        x = b.input("x", 4)
+        r = b.reg("r", 4)
+        r.next = x
+        b.output("q", r)
+        eaig = synthesize(b.build()).eaig
+        plan = partition_design(eaig, PartitionConfig())
+        pp = place_partition(eaig, plan.partitions[0], BoomerangConfig(width_log2=6))
+        assert pp.layers == []

@@ -1,0 +1,166 @@
+"""Cross-cutting property-based tests on the core data structures.
+
+Hypothesis-driven invariants that no directed test pins down:
+
+* random E-AIGs placed onto random-width boomerang configurations execute
+  bit-exactly (placement is total and correct for any mappable shape);
+* the bitstream survives assembly/decode for random designs, and corrupt
+  binaries fail loudly instead of mis-executing;
+* RepCut's accounting identities hold on random cone structures;
+* the compiled cycle simulator's generated code is deterministic.
+"""
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.boomerang import BoomerangConfig
+from repro.core.eaig import EAIG, EAIGSim, FALSE, TRUE, lit_not
+from repro.core.partition import PartitionConfig, partition_design
+from repro.core.placement import UnmappableError, place_partition
+from repro.core.synthesis import synthesize
+from repro.partition.repcut import repcut_partition
+from tests.helpers import random_circuit, random_vectors
+
+
+def random_eaig(rng: random.Random, n_pis: int, n_ffs: int, n_gates: int) -> EAIG:
+    """A random, well-formed E-AIG with feedback through FFs."""
+    g = EAIG(f"rand{rng.randrange(1 << 30)}")
+    literals = [TRUE]
+    for i in range(n_pis):
+        literals.append(g.add_pi(f"p{i}"))
+    ffs = [g.add_ff(init=rng.randrange(2), name=f"f{i}") for i in range(n_ffs)]
+    literals.extend(ffs)
+    for _ in range(n_gates):
+        a = rng.choice(literals) ^ rng.randrange(2)
+        b = rng.choice(literals) ^ rng.randrange(2)
+        literals.append(g.add_and(a, b))
+    for ff in ffs:
+        g.set_ff_input(ff, rng.choice(literals) ^ rng.randrange(2))
+    for i in range(4):
+        g.add_output(f"o{i}[0]", rng.choice(literals) ^ rng.randrange(2))
+    g.check()
+    return g
+
+
+class TestPlacementProperty:
+    @given(seed=st.integers(0, 10_000), width_log2=st.integers(6, 9))
+    @settings(max_examples=15, deadline=None)
+    def test_random_eaig_placement_is_correct(self, seed, width_log2):
+        rng = random.Random(seed)
+        eaig = random_eaig(rng, n_pis=5, n_ffs=3, n_gates=40)
+        plan = partition_design(eaig, PartitionConfig(gates_per_partition=1000, num_stages=1))
+        cfg = BoomerangConfig(width_log2=width_log2)
+        try:
+            placed = [place_partition(eaig, spec, cfg) for spec in plan.partitions]
+        except UnmappableError:
+            return  # legitimately too small a core for this shape
+        sim = EAIGSim(eaig)
+        for _ in range(5):
+            sim.settle([rng.getrandbits(1) for _ in eaig.pis])
+            for pp in placed:
+                local = set(pp.spec.nodes)
+                state = np.zeros(cfg.state_size, dtype=bool)
+                for node, slot in pp.slot_of.items():
+                    if node not in local:
+                        state[slot] = bool(sim.value[node])
+                for layer in pp.layers:
+                    layer.execute(state)
+                for node, slot in pp.slot_of.items():
+                    assert bool(state[slot]) == bool(sim.value[node])
+            sim.clock_edge()
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_layer_count_bounded_by_local_depth(self, seed):
+        rng = random.Random(seed)
+        eaig = random_eaig(rng, n_pis=4, n_ffs=2, n_gates=60)
+        plan = partition_design(eaig, PartitionConfig(gates_per_partition=1000, num_stages=1))
+        for spec in plan.partitions:
+            pp = place_partition(eaig, spec, BoomerangConfig(width_log2=10))
+            # A layer always realizes at least one level, so layers never
+            # exceed the node count; and every node ends up with a slot or
+            # is consumed purely in-tree.
+            assert len(pp.layers) <= max(1, len(spec.nodes))
+            for literal in spec.root_literals():
+                pp.slot_and_invert(literal)  # resolvable
+
+
+class TestRepcutProperty:
+    @given(seed=st.integers(0, 10_000), k=st.integers(1, 6))
+    @settings(max_examples=15, deadline=None)
+    def test_accounting_identities(self, seed, k):
+        rng = random.Random(seed)
+        eaig = random_eaig(rng, n_pis=4, n_ffs=4, n_gates=50)
+        groups = [[eaig.fanin0[ff]] for ff in eaig.ffs]
+        groups += [[lit] for _, lit in eaig.outputs]
+        result = repcut_partition(eaig, groups, k=k, seed=seed)
+        # Every group assigned to exactly one part.
+        assert sorted(g for part in result.part_groups for g in part) == list(
+            range(len(groups))
+        )
+        # Node multiset identity: total placed = live + replicated.
+        placed = sum(len(nodes) for nodes in result.part_nodes)
+        assert placed == result.total_nodes + result.replicated_nodes
+        assert result.replication_cost >= 0.0
+        # Each part's nodes cover its groups' cones.
+        for p, group_ids in enumerate(result.part_groups):
+            part_nodes = set(result.part_nodes[p])
+            for gi in group_ids:
+                assert eaig.cone(groups[gi]) <= part_nodes
+
+
+class TestBitstreamRobustness:
+    def _program(self, seed=42):
+        from repro.core.compiler import GemCompiler, GemConfig
+
+        circuit = random_circuit(seed, n_ops=40)
+        return GemCompiler(
+            GemConfig(
+                partition=PartitionConfig(gates_per_partition=400),
+                boomerang=BoomerangConfig(width_log2=10),
+            )
+        ).compile(circuit)
+
+    def test_truncated_binary_fails_loudly(self):
+        from repro.core.interpreter import GemInterpreter
+
+        design = self._program()
+        program = design.program
+        program.words = program.words[: len(program.words) // 2].copy()
+        with pytest.raises(Exception):
+            GemInterpreter(program)
+
+    def test_corrupted_opcode_fails_loudly(self):
+        from repro.core import isa
+        from repro.core.interpreter import GemInterpreter
+
+        design = self._program(43)
+        words = design.program.words.copy()
+        # Find the first instruction header and stamp an invalid opcode.
+        num_stages = int(words[5])
+        table_base = 8 + num_stages
+        first = int(words[table_base])
+        words[first] = np.uint32(0xFF << 24)
+        design.program.words = words
+        with pytest.raises(ValueError):
+            GemInterpreter(design.program)
+
+    def test_assembly_is_deterministic(self):
+        a = self._program(44).program.words
+        b = self._program(44).program.words
+        assert (a == b).all()
+
+
+class TestCompiledSimDeterminism:
+    def test_generated_source_stable(self):
+        from repro.rtl import Netlist
+        from repro.simref.cycle_sim import generate_cycle_source
+
+        circuit = random_circuit(45, n_ops=40)
+        src1 = generate_cycle_source(Netlist(circuit))
+        src2 = generate_cycle_source(Netlist(circuit))
+        assert src1 == src2

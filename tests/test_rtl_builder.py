@@ -1,0 +1,204 @@
+"""Builder DSL semantics: every Value operator matches Python integers."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rtl import CircuitBuilder, Netlist, WordSim
+
+
+def _eval_unary(build, width, value):
+    """Run a one-input builder expression through WordSim."""
+    b = CircuitBuilder()
+    x = b.input("x", width)
+    b.output("y", build(b, x))
+    sim = WordSim(Netlist(b.build()))
+    return sim.step({"x": value})["y"]
+
+
+def _eval_binary(build, width, lhs, rhs):
+    b = CircuitBuilder()
+    x = b.input("x", width)
+    y = b.input("y", width)
+    b.output("z", build(b, x, y))
+    sim = WordSim(Netlist(b.build()))
+    return sim.step({"x": lhs, "y": rhs})["z"]
+
+
+W = 8
+MASK = (1 << W) - 1
+values = st.integers(min_value=0, max_value=MASK)
+
+
+class TestOperatorSemantics:
+    @given(values, values)
+    @settings(max_examples=60, deadline=None)
+    def test_arith(self, a, c):
+        assert _eval_binary(lambda b, x, y: x + y, W, a, c) == (a + c) & MASK
+        assert _eval_binary(lambda b, x, y: x - y, W, a, c) == (a - c) & MASK
+        assert _eval_binary(lambda b, x, y: x * y, W, a, c) == (a * c) & MASK
+
+    @given(values, values)
+    @settings(max_examples=60, deadline=None)
+    def test_bitwise(self, a, c):
+        assert _eval_binary(lambda b, x, y: x & y, W, a, c) == a & c
+        assert _eval_binary(lambda b, x, y: x | y, W, a, c) == a | c
+        assert _eval_binary(lambda b, x, y: x ^ y, W, a, c) == a ^ c
+
+    @given(values)
+    @settings(max_examples=40, deadline=None)
+    def test_invert(self, a):
+        assert _eval_unary(lambda b, x: ~x, W, a) == (~a) & MASK
+
+    @given(values, values)
+    @settings(max_examples=60, deadline=None)
+    def test_comparisons(self, a, c):
+        assert _eval_binary(lambda b, x, y: (x == y).zext(W), W, a, c) == int(a == c)
+        assert _eval_binary(lambda b, x, y: (x != y).zext(W), W, a, c) == int(a != c)
+        assert _eval_binary(lambda b, x, y: (x < y).zext(W), W, a, c) == int(a < c)
+        assert _eval_binary(lambda b, x, y: (x >= y).zext(W), W, a, c) == int(a >= c)
+        assert _eval_binary(lambda b, x, y: (x > y).zext(W), W, a, c) == int(a > c)
+        assert _eval_binary(lambda b, x, y: (x <= y).zext(W), W, a, c) == int(a <= c)
+
+    @given(values, st.integers(min_value=0, max_value=W + 2))
+    @settings(max_examples=60, deadline=None)
+    def test_const_shifts(self, a, amount):
+        expected_l = (a << amount) & MASK if amount < W else 0
+        # SHLI with amount >= width still yields 0 via masking semantics.
+        got_l = _eval_unary(lambda b, x: x << amount, W, a)
+        assert got_l == ((a << amount) & MASK if amount < 64 else 0) & MASK
+        got_r = _eval_unary(lambda b, x: x >> amount, W, a)
+        assert got_r == a >> amount
+
+    @given(values, values)
+    @settings(max_examples=60, deadline=None)
+    def test_dynamic_shifts(self, a, amt):
+        expected = (a << amt) & MASK if amt < W else 0
+        assert _eval_binary(lambda b, x, y: x << y, W, a, amt) == expected
+        expected = a >> amt if amt < W else 0
+        assert _eval_binary(lambda b, x, y: x >> y, W, a, amt) == expected
+
+    @given(values)
+    @settings(max_examples=40, deadline=None)
+    def test_reductions(self, a):
+        assert _eval_unary(lambda b, x: x.reduce_and().zext(W), W, a) == int(a == MASK)
+        assert _eval_unary(lambda b, x: x.reduce_or().zext(W), W, a) == int(a != 0)
+        assert _eval_unary(lambda b, x: x.reduce_xor().zext(W), W, a) == bin(a).count("1") % 2
+
+    @given(values)
+    @settings(max_examples=40, deadline=None)
+    def test_slicing(self, a):
+        assert _eval_unary(lambda b, x: x[3:0].zext(W), W, a) == a & 0xF
+        assert _eval_unary(lambda b, x: x[7:4].zext(W), W, a) == a >> 4
+        assert _eval_unary(lambda b, x: x[0].zext(W), W, a) == a & 1
+        assert _eval_unary(lambda b, x: x[-1].zext(W), W, a) == (a >> 7) & 1
+
+    @given(values, values)
+    @settings(max_examples=40, deadline=None)
+    def test_concat(self, a, c):
+        got = _eval_binary(lambda b, x, y: b.concat(x, y)[15:0], W, a, c)
+        assert got == a | (c << W)
+
+    @given(st.integers(min_value=0, max_value=1), values, values)
+    @settings(max_examples=40, deadline=None)
+    def test_mux(self, sel, a, c):
+        b = CircuitBuilder()
+        s = b.input("s", 1)
+        x = b.input("x", W)
+        y = b.input("y", W)
+        b.output("z", b.mux(s, x, y))
+        sim = WordSim(Netlist(b.build()))
+        assert sim.step({"s": sel, "x": a, "y": c})["z"] == (a if sel else c)
+
+
+class TestBuilderErrors:
+    def test_reg_double_assign(self):
+        b = CircuitBuilder()
+        r = b.reg("r", 4)
+        r.next = b.const(1, 4)
+        with pytest.raises(ValueError, match="assigned twice"):
+            r.next = b.const(2, 4)
+
+    def test_unassigned_reg_fails_build(self):
+        b = CircuitBuilder()
+        b.reg("r", 4)
+        with pytest.raises(ValueError, match="never assigned"):
+            b.build()
+
+    def test_reg_next_width_mismatch(self):
+        b = CircuitBuilder()
+        r = b.reg("r", 4)
+        with pytest.raises(ValueError, match="width"):
+            r.next = b.const(0, 8)
+
+    def test_const_does_not_fit(self):
+        b = CircuitBuilder()
+        with pytest.raises(ValueError, match="does not fit"):
+            b.const(16, 4)
+
+    def test_negative_const_wraps(self):
+        b = CircuitBuilder()
+        v = b.const(-1, 4)
+        x = b.input("x", 4)
+        b.output("y", x & v)
+        sim = WordSim(Netlist(b.build()))
+        assert sim.step({"x": 0b1010})["y"] == 0b1010
+
+    def test_mix_builders_rejected(self):
+        b1 = CircuitBuilder()
+        b2 = CircuitBuilder()
+        x = b1.input("x", 4)
+        y = b2.input("y", 4)
+        with pytest.raises(ValueError, match="different builders"):
+            _ = x & y
+
+    def test_slice_reversed_rejected(self):
+        b = CircuitBuilder()
+        x = b.input("x", 8)
+        with pytest.raises(ValueError, match="hi < lo"):
+            _ = x[0:3]
+
+    def test_select_index_too_narrow(self):
+        b = CircuitBuilder()
+        idx = b.input("i", 1)
+        opts = [b.const(v, 4) for v in range(4)]
+        with pytest.raises(ValueError, match="index width"):
+            b.select(opts, idx)
+
+
+class TestComposite:
+    def test_select_matches_indexing(self):
+        rng = random.Random(0)
+        b = CircuitBuilder()
+        idx = b.input("i", 3)
+        options = [b.const(rng.randrange(16), 4) for _ in range(5)]
+        expected = [op.signal for op in options]
+        b.output("y", b.select(options, idx))
+        sim = WordSim(Netlist(b.build()))
+        consts = [sim.values[s.uid] for s in expected]
+        for i in range(8):
+            got = sim.step({"i": i})["y"]
+            want = consts[i] if i < 5 else consts[4]  # padded with last
+            assert got == want
+
+    def test_scope_prefixes_names(self):
+        b = CircuitBuilder()
+        with b.scope("sub"):
+            x = b.input("x", 1)
+        assert x.name == "sub.x"
+        with b.scope("a"), b.scope("b"):
+            y = b.input("y", 1)
+        assert y.name == "a.b.y"
+
+    def test_zext_trunc_resize(self):
+        b = CircuitBuilder()
+        x = b.input("x", 4)
+        assert x.zext(8).width == 8
+        assert x.zext(4) is x
+        assert x.resize(2).width == 2
+        with pytest.raises(ValueError):
+            x.zext(2)
+        with pytest.raises(ValueError):
+            x.trunc(8)

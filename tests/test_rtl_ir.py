@@ -1,0 +1,130 @@
+"""Unit tests for the word-level IR (repro.rtl.ir)."""
+
+import pytest
+
+from repro.rtl.ir import Circuit, OpKind, Signal
+
+
+class TestSignal:
+    def test_width_validation(self):
+        with pytest.raises(ValueError):
+            Signal(uid=0, name="x", width=0)
+
+    def test_fields(self):
+        s = Signal(uid=3, name="x", width=8)
+        assert (s.uid, s.name, s.width) == (3, "x", 8)
+
+
+class TestCircuitConstruction:
+    def test_new_signal_uniquifies_names(self):
+        c = Circuit()
+        a = c.new_signal("x", 4)
+        b = c.new_signal("x", 4)
+        assert a.name == "x"
+        assert b.name != "x"
+        assert b.name.startswith("x")
+
+    def test_single_producer_enforced(self):
+        c = Circuit()
+        s = c.new_signal("s", 4)
+        c.add_op(OpKind.CONST, s, (), value=3)
+        with pytest.raises(ValueError, match="already has a producer"):
+            c.add_op(OpKind.CONST, s, (), value=4)
+
+    def test_inputs_and_outputs_recorded(self):
+        c = Circuit()
+        i = c.add_input("a", 8)
+        c.add_output("y", i)
+        assert c.inputs == [i]
+        assert c.outputs == [("y", i)]
+
+    def test_registers_property(self):
+        c = Circuit()
+        d = c.new_signal("d", 4)
+        c.add_op(OpKind.CONST, d, (), value=1)
+        q = c.new_signal("q", 4)
+        c.add_op(OpKind.REG, q, (d,), init=0)
+        assert [op.out.name for op in c.registers] == ["q"]
+
+    def test_stats(self):
+        c = Circuit("top")
+        i = c.add_input("a", 8)
+        c.add_output("y", i)
+        s = c.stats()
+        assert s["name"] == "top"
+        assert s["inputs"] == 1
+        assert s["outputs"] == 1
+
+
+class TestOpValidation:
+    def _sig(self, c, width, value=0):
+        s = c.new_signal(f"s{len(c.signals)}", width)
+        c.add_op(OpKind.CONST, s, (), value=value)
+        return s
+
+    def test_binary_width_mismatch(self):
+        c = Circuit()
+        a = self._sig(c, 4)
+        b = self._sig(c, 8)
+        out = c.new_signal("out", 4)
+        with pytest.raises(ValueError, match="widths must match"):
+            c.add_op(OpKind.AND, out, (a, b))
+
+    def test_binary_arity(self):
+        c = Circuit()
+        a = self._sig(c, 4)
+        out = c.new_signal("out", 4)
+        with pytest.raises(ValueError, match="2 inputs"):
+            c.add_op(OpKind.ADD, out, (a,))
+
+    def test_mux_select_width(self):
+        c = Circuit()
+        sel = self._sig(c, 2)
+        a = self._sig(c, 4)
+        b = self._sig(c, 4)
+        out = c.new_signal("out", 4)
+        with pytest.raises(ValueError, match="select must be 1 bit"):
+            c.add_op(OpKind.MUX, out, (sel, a, b))
+
+    def test_eq_output_must_be_one_bit(self):
+        c = Circuit()
+        a = self._sig(c, 4)
+        b = self._sig(c, 4)
+        out = c.new_signal("out", 4)
+        with pytest.raises(ValueError, match="1 bit"):
+            c.add_op(OpKind.EQ, out, (a, b))
+
+    def test_slice_bounds(self):
+        c = Circuit()
+        a = self._sig(c, 4)
+        out = c.new_signal("out", 3)
+        with pytest.raises(ValueError, match="out of bounds"):
+            c.add_op(OpKind.SLICE, out, (a,), lo=2)
+
+    def test_concat_width_sum(self):
+        c = Circuit()
+        a = self._sig(c, 4)
+        b = self._sig(c, 4)
+        out = c.new_signal("out", 9)
+        with pytest.raises(ValueError, match="sum of input widths"):
+            c.add_op(OpKind.CONCAT, out, (a, b))
+
+    def test_const_value_range(self):
+        c = Circuit()
+        out = c.new_signal("out", 4)
+        with pytest.raises(ValueError, match="does not fit"):
+            c.add_op(OpKind.CONST, out, (), value=16)
+
+    def test_reg_init_range(self):
+        c = Circuit()
+        d = self._sig(c, 4)
+        out = c.new_signal("out", 4)
+        with pytest.raises(ValueError, match="init"):
+            c.add_op(OpKind.REG, out, (d,), init=16)
+
+    def test_shift_amount_attr_required(self):
+        c = Circuit()
+        a = self._sig(c, 4)
+        out = c.new_signal("out", 4)
+        with pytest.raises(ValueError, match="amount"):
+            c.add_op(OpKind.SHLI, out, (a,))

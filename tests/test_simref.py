@@ -1,0 +1,133 @@
+"""Baseline simulators: equivalence and the properties Table II relies on."""
+
+import pytest
+
+from repro.core.synthesis import synthesize
+from repro.rtl import CircuitBuilder, Netlist, WordSim
+from repro.simref.cycle_sim import CompiledCycleSim, generate_cycle_source
+from repro.simref.event_sim import EventDrivenSim
+from repro.simref.gate_sim import GateLevelSim
+from repro.simref.threads import ThreadScalingModel
+from tests.helpers import lockstep, random_circuit, random_vectors
+
+
+class TestEventDrivenSim:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_equivalence(self, seed):
+        circuit = random_circuit(seed + 40, n_ops=50, with_memory=True)
+        synth = synthesize(circuit)
+        lockstep(
+            {"word": WordSim(Netlist(circuit)), "event": EventDrivenSim(synth)},
+            random_vectors(circuit, seed, 40),
+        )
+
+    def test_activity_sensitivity(self):
+        """The defining property (paper §II): an idle design produces almost
+        no events, a busy one produces many."""
+        b = CircuitBuilder()
+        en = b.input("en", 1)
+        acc = b.reg("acc", 32)
+        acc.next = b.mux(en, acc * 2654435761 + 12345, acc)
+        b.output("q", acc)
+        synth = synthesize(b.build())
+        busy = EventDrivenSim(synth)
+        for _ in range(30):
+            busy.step({"en": 1})
+        quiet = EventDrivenSim(synth)
+        quiet.step({"en": 1})  # one change, then hold
+        for _ in range(29):
+            quiet.step({"en": 0})
+        assert quiet.events_per_cycle < busy.events_per_cycle / 5
+
+    def test_event_counter_monotone(self):
+        circuit = random_circuit(43, n_ops=40)
+        sim = EventDrivenSim(synthesize(circuit))
+        sim.step(random_vectors(circuit, 1, 1)[0])
+        first = sim.total_events
+        sim.step(random_vectors(circuit, 2, 1)[0])
+        assert sim.total_events >= first
+
+
+class TestCompiledCycleSim:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_equivalence(self, seed):
+        circuit = random_circuit(seed + 70, n_ops=50, with_memory=True, with_async_memory=True)
+        netlist = Netlist(circuit)
+        lockstep(
+            {"word": WordSim(netlist), "compiled": CompiledCycleSim(netlist)},
+            random_vectors(circuit, seed, 40),
+        )
+
+    def test_generated_source_is_python(self):
+        circuit = random_circuit(30, n_ops=30)
+        source = generate_cycle_source(Netlist(circuit))
+        compile(source, "<test>", "exec")  # syntactically valid
+        assert source.startswith("def cycle(state, inputs):")
+
+    def test_ops_per_cycle_static(self):
+        circuit = random_circuit(31, n_ops=30)
+        sim = CompiledCycleSim(Netlist(circuit))
+        assert sim.ops_per_cycle > 0
+
+    def test_run_batch(self):
+        circuit = random_circuit(32, n_ops=30)
+        netlist = Netlist(circuit)
+        sim1 = CompiledCycleSim(netlist)
+        sim2 = CompiledCycleSim(netlist)
+        vecs = random_vectors(circuit, 9, 15)
+        batch = sim1.run(vecs)
+        single = [sim2.step(v) for v in vecs]
+        assert batch == single
+
+
+class TestGateLevelSim:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_equivalence(self, seed):
+        circuit = random_circuit(seed + 90, n_ops=50, with_memory=True)
+        synth = synthesize(circuit)
+        lockstep(
+            {"word": WordSim(Netlist(circuit)), "gate": GateLevelSim(synth)},
+            random_vectors(circuit, seed, 40),
+        )
+
+    def test_toggle_counting(self):
+        circuit = random_circuit(44, n_ops=60)
+        synth = synthesize(circuit)
+        sim = GateLevelSim(synth)
+        for vec in random_vectors(circuit, 3, 20):
+            sim.step(vec)
+        assert sim.toggles_per_cycle >= 0
+        assert sim.kernel_launches_per_cycle == 2 * len(sim.level_batches)
+
+    def test_levelization_complete(self):
+        circuit = random_circuit(45, n_ops=60)
+        synth = synthesize(circuit)
+        sim = GateLevelSim(synth)
+        counted = sum(len(batch[0]) for batch in sim.level_batches)
+        assert counted == synth.eaig.num_gates()
+
+
+class TestThreadScaling:
+    def test_monotone_until_knee(self):
+        model = ThreadScalingModel()
+        speedups = [model.speedup(t) for t in range(1, 9)]
+        assert all(b >= a * 0.98 for a, b in zip(speedups, speedups[1:]))
+
+    def test_paper_degradation_band(self):
+        """§IV: 16 threads run at 80–95%% of 8-thread speed."""
+        model = ThreadScalingModel()
+        assert 0.78 <= model.degradation_16_vs_8() <= 0.96
+
+    def test_eight_thread_speedup_plausible(self):
+        # Table II shows roughly 2-4x for 8 threads on real designs.
+        model = ThreadScalingModel()
+        assert 1.8 <= model.speedup(8) <= 4.5
+
+    def test_invalid_threads(self):
+        with pytest.raises(ValueError):
+            ThreadScalingModel().cycle_time(0)
+
+    def test_sweep_shape(self):
+        sweep = ThreadScalingModel().sweep(16)
+        assert len(sweep) == 16
+        assert sweep[0] == (1, 1.0)

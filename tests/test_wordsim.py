@@ -1,0 +1,145 @@
+"""Golden word-level simulator semantics (repro.rtl.netlist.WordSim)."""
+
+import pytest
+
+from repro.rtl import CircuitBuilder, Netlist, WordSim
+
+
+def _counter():
+    b = CircuitBuilder("counter")
+    en = b.input("en", 1)
+    count = b.reg("count", 8, init=5)
+    count.next = b.mux(en, count + 1, count)
+    b.output("q", count)
+    return b.build()
+
+
+class TestRegisters:
+    def test_init_value_visible_before_first_edge(self):
+        sim = WordSim(Netlist(_counter()))
+        assert sim.step({"en": 0})["q"] == 5
+
+    def test_enable_gates_update(self):
+        sim = WordSim(Netlist(_counter()))
+        sim.step({"en": 0})
+        assert sim.step({"en": 1})["q"] == 5
+        assert sim.step({"en": 1})["q"] == 6
+        assert sim.step({"en": 0})["q"] == 7
+        assert sim.step({"en": 1})["q"] == 7
+
+    def test_register_samples_before_update(self):
+        # Two registers swapping values must swap atomically.
+        b = CircuitBuilder()
+        a = b.reg("a", 4, init=1)
+        c = b.reg("c", 4, init=2)
+        a.next = c
+        c.next = a
+        b.output("a", a)
+        b.output("c", c)
+        sim = WordSim(Netlist(b.build()))
+        assert sim.step({}) == {"a": 1, "c": 2}
+        assert sim.step({}) == {"a": 2, "c": 1}
+        assert sim.step({}) == {"a": 1, "c": 2}
+
+
+class TestInputs:
+    def test_unknown_input_rejected(self):
+        sim = WordSim(Netlist(_counter()))
+        with pytest.raises(KeyError):
+            sim.step({"nope": 1})
+
+    def test_oversized_input_rejected(self):
+        sim = WordSim(Netlist(_counter()))
+        with pytest.raises(ValueError):
+            sim.step({"en": 2})
+
+    def test_missing_inputs_read_zero(self):
+        sim = WordSim(Netlist(_counter()))
+        sim.step({"en": 1})
+        sim.step({"en": 1})
+        q = sim.step({})["q"]  # en omitted -> 0 this cycle
+        assert sim.step({})["q"] == q
+
+
+class TestMemories:
+    def _mem_circuit(self, sync=True, en=False):
+        b = CircuitBuilder()
+        waddr = b.input("waddr", 3)
+        raddr = b.input("raddr", 3)
+        wdata = b.input("wdata", 8)
+        wen = b.input("wen", 1)
+        kwargs = {}
+        if en:
+            kwargs["en"] = b.input("ren", 1)
+        mem = b.memory("m", 8, 8, init=[10, 20, 30])
+        b.write(mem, wen, waddr, wdata)
+        b.output("rd", b.read(mem, raddr, sync=sync, **kwargs))
+        return b.build()
+
+    def test_async_read_sees_init(self):
+        sim = WordSim(Netlist(self._mem_circuit(sync=False)))
+        assert sim.step({"raddr": 1})["rd"] == 20
+
+    def test_async_read_sees_write_next_cycle(self):
+        sim = WordSim(Netlist(self._mem_circuit(sync=False)))
+        sim.step({"wen": 1, "waddr": 4, "wdata": 99})
+        assert sim.step({"raddr": 4})["rd"] == 99
+
+    def test_sync_read_one_cycle_latency(self):
+        sim = WordSim(Netlist(self._mem_circuit(sync=True)))
+        assert sim.step({"raddr": 2})["rd"] == 0  # nothing sampled yet
+        assert sim.step({"raddr": 0})["rd"] == 30  # addr 2 sampled last edge
+        assert sim.step({})["rd"] == 10
+
+    def test_sync_read_first_semantics(self):
+        # Reading the address being written returns the OLD word.
+        sim = WordSim(Netlist(self._mem_circuit(sync=True)))
+        sim.step({"wen": 1, "waddr": 1, "wdata": 77, "raddr": 1})
+        assert sim.step({"raddr": 1})["rd"] == 20  # old value
+        assert sim.step({})["rd"] == 77  # new value on the next sample
+
+    def test_sync_read_enable_holds(self):
+        sim = WordSim(Netlist(self._mem_circuit(sync=True, en=True)))
+        sim.step({"raddr": 1, "ren": 1})
+        assert sim.step({"raddr": 2, "ren": 0})["rd"] == 20
+        assert sim.step({"raddr": 2, "ren": 0})["rd"] == 20  # held
+        sim.step({"raddr": 2, "ren": 1})
+        assert sim.step({})["rd"] == 30
+
+    def test_write_conflict_trap(self):
+        b = CircuitBuilder()
+        wen = b.input("wen", 1)
+        mem = b.memory("m", 4, 4)
+        addr = b.const(2, 2)
+        b.write(mem, wen, addr, b.const(1, 4))
+        b.write(mem, wen, addr, b.const(2, 4))
+        b.output("rd", b.read(mem, addr, sync=True))
+        netlist = Netlist(b.build())
+        sim = WordSim(netlist, trap_write_conflicts=True)
+        with pytest.raises(RuntimeError, match="write conflict"):
+            sim.step({"wen": 1})
+        # Without trapping, last write wins (visible after the next sample:
+        # the first post-write edge still samples read-first).
+        sim2 = WordSim(netlist)
+        sim2.step({"wen": 1})
+        sim2.step({})
+        assert sim2.step({})["rd"] == 2
+
+    def test_memory_depth_must_be_power_of_two(self):
+        b = CircuitBuilder()
+        with pytest.raises(ValueError, match="power of two"):
+            b.memory("m", 6, 4)
+
+
+class TestRunAndPeek:
+    def test_run_returns_per_cycle_outputs(self):
+        sim = WordSim(Netlist(_counter()))
+        outs = sim.run([{"en": 1}] * 3)
+        assert [o["q"] for o in outs] == [5, 6, 7]
+
+    def test_peek(self):
+        c = _counter()
+        sim = WordSim(Netlist(c))
+        sim.step({"en": 1})
+        reg_sig = next(op.out for op in c.ops if op.kind.value == "reg")
+        assert sim.peek(reg_sig) == 6
