@@ -17,6 +17,16 @@ Binary layout (32-bit words)::
     instruction stream (per partition: INIT, READ*, {PERM*, FOLD, WB*}
                         per layer, GWRITE*, RAMOP*)
     RAM data section: per block, (addr_bits<<16|data_bits), depth words
+    reset section: count, then global bit indices that power up as 1
+    integrity footer: per-section (length, CRC32) pairs, section count,
+                      footer magic (see :mod:`repro.core.integrity`)
+
+Format version 2 split the container into four CRC32-protected sections
+(header, instruction stream, RAM data, reset) so that any single-bit
+corruption — a GPU soft error in the resident bitstream, a truncated
+file — is detected at load instead of silently mis-simulating.
+:class:`~repro.core.interpreter.GemInterpreter` verifies the footer
+before decoding and raises :class:`~repro.errors.BitstreamError`.
 
 Global state layout: ``[const0 | PIs | FF q | RAM read data | stage-cut
 values | PO bits]``.  Host-side name→bit-index maps live in
@@ -32,12 +42,31 @@ import numpy as np
 from repro.core import isa
 from repro.core.boomerang import BoomerangConfig
 from repro.core.eaig import EAIG, NodeKind, lit_node
+from repro.core.integrity import crc32_words, seal, unseal
 from repro.core.merging import MergeResult
 from repro.core.placement import PlacedPartition
 from repro.core.synthesis import SynthesisResult
+from repro.errors import BitstreamError
 
 MAGIC = 0x47454D42  # "GEMB"
-VERSION = 1
+VERSION = 2
+
+#: payload sections of the container, in order (footer pairs match these)
+SECTION_NAMES = ("header", "instructions", "ram", "reset")
+
+
+def verify_integrity(words: np.ndarray) -> list[np.ndarray]:
+    """Check every section CRC of an assembled bitstream.
+
+    Returns the four payload sections; raises
+    :class:`~repro.errors.BitstreamError` on any corruption.
+    """
+    sections = unseal(words, error=BitstreamError, what="bitstream")
+    if len(sections) != len(SECTION_NAMES):
+        raise BitstreamError(
+            f"bitstream: expected {len(SECTION_NAMES)} sections, found {len(sections)}"
+        )
+    return sections
 
 
 @dataclass
@@ -68,6 +97,10 @@ class GemProgram:
 
     def size_mb(self) -> float:
         return self.num_bytes / (1024 * 1024)
+
+    def digest(self) -> int:
+        """CRC32 over the whole container (binds checkpoints to programs)."""
+        return crc32_words(self.words)
 
 
 @dataclass
@@ -257,5 +290,11 @@ def assemble(eaig: EAIG, synth: SynthesisResult, merge: MergeResult) -> GemProgr
         header[8 + num_stages + 2 * i] = start
         header[8 + num_stages + 2 * i + 1] = length
 
-    words = np.concatenate([header, *chunks, *ram_section, reset_section])
+    inst_stream = (
+        np.concatenate(chunks) if chunks else np.zeros(0, dtype=np.uint32)
+    )
+    ram_words = (
+        np.concatenate(ram_section) if ram_section else np.zeros(0, dtype=np.uint32)
+    )
+    words = seal([header, inst_stream, ram_words, reset_section])
     return GemProgram(words=words, meta=meta)

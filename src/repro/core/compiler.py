@@ -29,8 +29,8 @@ from repro.core.depth_opt import optimize as depth_optimize
 from repro.core.interpreter import GemInterpreter
 from repro.core.merging import MergeResult, merge_partitions
 from repro.core.partition import PartitionConfig, PartitionPlan, partition_design
-from repro.core.placement import UnmappableError
 from repro.core.synthesis import SynthesisConfig, SynthesisResult, synthesize
+from repro.errors import UnmappableError
 from repro.rtl.ir import Circuit
 
 

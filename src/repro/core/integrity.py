@@ -1,0 +1,82 @@
+"""CRC32 section framing for on-device binary containers.
+
+Both binary artifacts of the flow — the bitstream (``GEMB``) and runtime
+checkpoints (``GEMK``) — are flat ``uint32`` arrays that spend their life
+in GPU global memory or on disk, where a single flipped bit silently
+poisons multi-hour runs.  This module gives them a shared integrity
+envelope: the payload is framed as named *sections*, each protected by a
+CRC32, with a footer that is itself structurally validated.
+
+Footer layout (appended after the last section)::
+
+    [len_0, crc_0] [len_1, crc_1] ... [len_{n-1}, crc_{n-1}] [n] [magic]
+
+Reading from the end: the final word is :data:`FOOTER_MAGIC`, the word
+before it the section count, preceded by one ``(length, crc32)`` pair per
+section in payload order.  Any single-bit flip anywhere in the container
+is detected: a flip in a section fails that section's CRC; a flip in a
+length word breaks the total-length accounting; a flip in a CRC word,
+the count, or the magic fails the footer checks themselves.
+
+:func:`seal` and :func:`unseal` are exception-class-parameterized so the
+bitstream reports :class:`~repro.errors.BitstreamError` and checkpoints
+report :class:`~repro.errors.CheckpointError` without this module caring.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+import numpy as np
+
+from repro.errors import GemError
+
+FOOTER_MAGIC = 0x47454D43  # "GEMC" — common integrity footer
+
+
+def crc32_words(words: np.ndarray) -> int:
+    """CRC32 of a word array's little-endian byte image."""
+    arr = np.ascontiguousarray(words, dtype="<u4")
+    return zlib.crc32(arr.tobytes()) & 0xFFFFFFFF
+
+
+def seal(sections: list[np.ndarray]) -> np.ndarray:
+    """Concatenate ``sections`` and append the CRC footer."""
+    body = [np.ascontiguousarray(s, dtype=np.uint32) for s in sections]
+    footer: list[int] = []
+    for sec in body:
+        footer.extend((sec.size, crc32_words(sec)))
+    footer.extend((len(body), FOOTER_MAGIC))
+    return np.concatenate([*body, np.asarray(footer, dtype=np.uint32)])
+
+
+def unseal(
+    words: np.ndarray,
+    error: type[GemError] = GemError,
+    what: str = "container",
+) -> list[np.ndarray]:
+    """Validate the footer and every section CRC; return the sections.
+
+    Raises ``error`` (default :class:`GemError`) naming the first failing
+    check, so a corrupted container is rejected before any decode runs.
+    """
+    words = np.asarray(words)
+    if words.size < 2 or int(words[-1]) != FOOTER_MAGIC:
+        raise error(f"{what}: integrity footer missing or corrupted")
+    count = int(words[-2])
+    footer_len = 2 * count + 2
+    if count < 0 or footer_len > words.size:
+        raise error(f"{what}: integrity footer truncated or corrupted")
+    pairs = words[words.size - footer_len : words.size - 2].reshape(count, 2)
+    lengths = [int(p[0]) for p in pairs]
+    if sum(lengths) + footer_len != words.size:
+        raise error(f"{what}: section lengths do not match container size")
+    sections: list[np.ndarray] = []
+    cursor = 0
+    for index, ((_, crc), length) in enumerate(zip(pairs, lengths)):
+        section = words[cursor : cursor + length]
+        if crc32_words(section) != int(crc):
+            raise error(f"{what}: section {index} CRC32 mismatch (corrupted)")
+        sections.append(section)
+        cursor += length
+    return sections

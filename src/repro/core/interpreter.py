@@ -34,7 +34,8 @@ from typing import Iterable, Mapping
 import numpy as np
 
 from repro.core import isa
-from repro.core.bitstream import MAGIC, VERSION, GemProgram
+from repro.core.bitstream import MAGIC, VERSION, GemProgram, verify_integrity
+from repro.errors import BitstreamError
 
 
 @dataclass
@@ -98,8 +99,16 @@ class GemInterpreter:
         self.program = program
         self.meta = program.meta
         words = program.words
-        if int(words[0]) != MAGIC or int(words[1]) != VERSION:
-            raise ValueError("not a GEM bitstream (bad magic/version)")
+        if words.size < 8 or int(words[0]) != MAGIC:
+            raise BitstreamError("not a GEM bitstream (bad magic)")
+        if int(words[1]) != VERSION:
+            raise BitstreamError(
+                f"unsupported bitstream format version {int(words[1])} "
+                f"(interpreter supports {VERSION})"
+            )
+        # Per-section CRC check before any decode: a corrupted container
+        # must fail loudly at load, never silently mis-simulate.
+        verify_integrity(words)
         self.width_log2 = int(words[2])
         self.global_bits = int(words[3])
         num_parts = int(words[4])
@@ -301,7 +310,7 @@ def _decode_partition(words: np.ndarray) -> _DecodedPartition:
         elif opcode is isa.Opcode.RAMOP:
             ramops.append(isa.decode_ramop(inst))
         else:  # pragma: no cover - parse_header already validates
-            raise ValueError(f"unknown opcode {opcode}")
+            raise BitstreamError(f"unknown opcode {opcode}")
         pos += length
 
     def pack_reads() -> tuple[np.ndarray, np.ndarray, np.ndarray]:

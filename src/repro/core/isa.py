@@ -43,6 +43,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.errors import BitstreamError
+
 
 class Opcode(enum.IntEnum):
     INIT = 1
@@ -86,7 +88,12 @@ def make_header(opcode: Opcode, count: int) -> int:
 
 def parse_header(word: int) -> tuple[Opcode, int, int]:
     """Returns (opcode, instruction length in words, entry count)."""
-    opcode = Opcode((word >> 24) & 0xFF)
+    try:
+        opcode = Opcode((word >> 24) & 0xFF)
+    except ValueError as exc:
+        raise BitstreamError(
+            f"invalid instruction header {word:#010x}: unknown opcode"
+        ) from exc
     size_class = (word >> 22) & 0x3
     count = word & 0xFFFF
     return opcode, SIZE_CLASS_WORDS[size_class], count

@@ -33,10 +33,9 @@ import numpy as np
 from repro.core.boomerang import BoomerangConfig, Layer
 from repro.core.eaig import EAIG, NodeKind, lit_neg, lit_node
 from repro.core.partition import PartitionSpec
+from repro.errors import UnmappableError
 
-
-class UnmappableError(Exception):
-    """Raised when a partition's state demand exceeds the core width."""
+__all__ = ["PlacedPartition", "UnmappableError", "place_partition"]
 
 
 @dataclass

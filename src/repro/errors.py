@@ -1,0 +1,60 @@
+"""Typed exception hierarchy for the GEM reproduction.
+
+Every failure the toolchain or runtime can signal derives from
+:class:`GemError`, so callers (the resilience supervisor in
+:mod:`repro.runtime.supervisor` above all) can distinguish *our* faults
+from genuine programming errors and react: retry from a checkpoint,
+degrade to a reference engine, or re-compile at a different granularity.
+
+The hierarchy::
+
+    GemError
+    ├── BitstreamError        malformed / corrupted bitstream container
+    ├── StateCorruptionError  runtime state failed an integrity check
+    ├── CheckpointError       unusable checkpoint (corrupt, version skew,
+    │                         or taken against a different bitstream)
+    └── UnmappableError       partition state demand exceeds core width
+
+:class:`BitstreamError` additionally subclasses :class:`ValueError`
+because the bitstream decode path historically raised bare
+``ValueError``; existing ``except ValueError`` callers keep working.
+"""
+
+from __future__ import annotations
+
+
+class GemError(Exception):
+    """Base class for every error raised by the GEM toolchain and runtime."""
+
+
+class BitstreamError(GemError, ValueError):
+    """The bitstream container is malformed, truncated, or corrupted.
+
+    Raised at load time: bad magic/version, a failing per-section CRC32,
+    an invalid opcode in the instruction stream, or a truncated section.
+    """
+
+
+class StateCorruptionError(GemError):
+    """Runtime simulation state failed an integrity check.
+
+    Raised by the scrubber when the interpreter's state digest or outputs
+    diverge from the shadow engine — the signature of an SEU-style soft
+    error in GPU memory.
+    """
+
+
+class CheckpointError(GemError):
+    """A checkpoint cannot be used.
+
+    Covers corrupt or truncated checkpoint files, format-version skew,
+    and checkpoints bound to a different bitstream than the one loaded.
+    """
+
+
+class UnmappableError(GemError):
+    """A partition's state demand exceeds the core width (paper §III-D).
+
+    The mappability predicate of Algorithm 1: partition merging probes
+    placements and catches this to reject a merge.
+    """

@@ -5,6 +5,14 @@ Usage (installed scripts or ``python -m repro.harness.cli``)::
     gem-compile <design>            # run the flow, print the Table I row
     gem-run <design> <workload>     # compile + execute a workload on GEM
     gem-tables [table1|table2|all]  # regenerate the paper's tables
+    gem-cosim <design> <workload>   # lockstep against the golden model
+    gem-faultcampaign <design>      # seeded SEU injection campaign
+
+``gem-run`` grows a resilience mode: ``--checkpoint-every N`` snapshots
+interpreter state every N cycles into ``--checkpoint-dir`` (CRC-sealed,
+rotating), ``--resume`` continues from the newest loadable checkpoint,
+and ``--scrub-every`` controls integrity scrubbing against a lockstep
+shadow (see docs/RESILIENCE.md).
 
 ``<design>`` is one of: nvdla, rocketchip, gemmini, openpiton1, openpiton8.
 """
@@ -45,6 +53,23 @@ def main_run(argv: list[str] | None = None) -> int:
     parser.add_argument("design", choices=sorted(DESIGNS))
     parser.add_argument("workload", nargs="?", help="workload name (default: first)")
     parser.add_argument("--max-cycles", type=int, default=None)
+    resilience = parser.add_argument_group("resilience (supervised execution)")
+    resilience.add_argument(
+        "--checkpoint-every", type=int, default=None, metavar="N",
+        help="snapshot interpreter state every N cycles",
+    )
+    resilience.add_argument(
+        "--checkpoint-dir", default=None,
+        help="persist rotating checkpoints here (default: .gem_checkpoints/<design>)",
+    )
+    resilience.add_argument(
+        "--resume", action="store_true",
+        help="continue from the newest loadable checkpoint in --checkpoint-dir",
+    )
+    resilience.add_argument(
+        "--scrub-every", type=int, default=None, metavar="N",
+        help="integrity-scrub against a lockstep shadow every N cycles",
+    )
     args = parser.parse_args(argv)
     workloads = design_workloads(args.design)
     if args.workload is None:
@@ -53,6 +78,13 @@ def main_run(argv: list[str] | None = None) -> int:
         print(f"unknown workload {args.workload!r}; available: {', '.join(workloads)}")
         return 2
     wl = workloads[args.workload]
+    supervised = (
+        args.checkpoint_every is not None
+        or args.resume
+        or args.scrub_every is not None
+    )
+    if supervised:
+        return _run_supervised(args, wl)
     design = compile_design(args.design)
     sim = design.simulator()
     stimuli = wl.stimuli[: args.max_cycles] if args.max_cycles else wl.stimuli
@@ -73,6 +105,79 @@ def main_run(argv: list[str] | None = None) -> int:
         shown = {k: v for k, v in list(last.items())[:6]}
         print(f"final outputs: {shown}")
     return 0
+
+
+def _run_supervised(args, wl) -> int:
+    """The resilience path of ``gem-run`` (checkpointed + scrubbed)."""
+    import os
+
+    from repro.harness.runner import run_resilient
+
+    checkpoint_dir = args.checkpoint_dir
+    if checkpoint_dir is None and (args.checkpoint_every or args.resume):
+        checkpoint_dir = os.path.join(".gem_checkpoints", args.design)
+    t0 = time.time()
+    result = run_resilient(
+        args.design,
+        wl.name,
+        max_cycles=args.max_cycles,
+        checkpoint_every=args.checkpoint_every,
+        checkpoint_dir=checkpoint_dir,
+        scrub_every=args.scrub_every if args.scrub_every is not None else 1,
+        resume=args.resume,
+    )
+    elapsed = time.time() - t0
+    print(f"{args.design}/{wl.name}: {result.report()}")
+    print(f"  {result.cycles} cycles in {elapsed:.2f}s "
+          f"({result.cycles / max(elapsed, 1e-9):.0f} supervised Hz on this host)")
+    observed = [
+        out[wl.out_port]
+        for out in result.outputs
+        if wl.valid_port in out and out.get(wl.valid_port)
+    ]
+    whole_workload = args.max_cycles is None or args.max_cycles >= len(wl.stimuli)
+    if wl.expected_out is not None and whole_workload and not args.resume:
+        status = "MATCH" if observed == wl.expected_out else "MISMATCH"
+        print(f"observable output stream: {observed} [{status}]")
+        if status == "MISMATCH":
+            return 1
+    return 0
+
+
+def main_faultcampaign(argv: list[str] | None = None) -> int:
+    """Run a seeded SEU fault-injection campaign against one design."""
+    from repro.harness.runner import DESIGNS, compile_design, design_workloads
+    from repro.runtime.faults import run_campaign
+
+    parser = argparse.ArgumentParser(
+        prog="gem-faultcampaign", description=main_faultcampaign.__doc__
+    )
+    parser.add_argument("design", choices=sorted(DESIGNS))
+    parser.add_argument("workload", nargs="?", help="workload name (default: first)")
+    parser.add_argument("--trials", type=int, default=10,
+                        help="faults injected per fault class (default 10)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--max-cycles", type=int, default=64)
+    parser.add_argument("--checkpoint-every", type=int, default=8)
+    parser.add_argument("--scrub-every", type=int, default=1)
+    parser.add_argument("--max-retries", type=int, default=3)
+    args = parser.parse_args(argv)
+    workloads = design_workloads(args.design)
+    wl = workloads[args.workload or next(iter(workloads))]
+    design = compile_design(args.design)
+    stimuli = wl.stimuli[: args.max_cycles] if args.max_cycles else wl.stimuli
+    report = run_campaign(
+        design,
+        stimuli,
+        name=f"{args.design}/{wl.name}",
+        trials=args.trials,
+        seed=args.seed,
+        checkpoint_every=args.checkpoint_every,
+        scrub_every=args.scrub_every,
+        max_retries=args.max_retries,
+    )
+    print(report.summary())
+    return 0 if report.passed else 1
 
 
 def main_tables(argv: list[str] | None = None) -> int:
@@ -131,7 +236,9 @@ def main_cosim(argv: list[str] | None = None) -> int:
 def main(argv: list[str] | None = None) -> int:
     argv = sys.argv[1:] if argv is None else argv
     parser = argparse.ArgumentParser(prog="python -m repro.harness.cli")
-    parser.add_argument("command", choices=["compile", "run", "tables", "cosim"])
+    parser.add_argument(
+        "command", choices=["compile", "run", "tables", "cosim", "faultcampaign"]
+    )
     parser.add_argument("rest", nargs=argparse.REMAINDER)
     args = parser.parse_args(argv)
     if args.command == "compile":
@@ -140,6 +247,8 @@ def main(argv: list[str] | None = None) -> int:
         return main_run(args.rest)
     if args.command == "cosim":
         return main_cosim(args.rest)
+    if args.command == "faultcampaign":
+        return main_faultcampaign(args.rest)
     return main_tables(args.rest)
 
 

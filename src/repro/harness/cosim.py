@@ -21,6 +21,26 @@ class Steppable(Protocol):
     def step(self, inputs: Mapping[str, int] | None = None) -> dict[str, int]: ...
 
 
+def output_mismatches(
+    ref_out: Mapping[str, int],
+    dut_out: Mapping[str, int],
+    signals: Sequence[str] | None = None,
+) -> dict[str, tuple[int, int]]:
+    """Signals on which two engines' outputs disagree this cycle.
+
+    The comparison kernel of the cosim loop, exposed on its own so other
+    lockstep consumers (the resilience supervisor's scrubber) apply the
+    identical rule: compare ``signals`` if given, else every output both
+    engines produce.
+    """
+    watch = signals if signals is not None else sorted(set(ref_out) & set(dut_out))
+    return {
+        name: (ref_out.get(name), dut_out.get(name))
+        for name in watch
+        if ref_out.get(name) != dut_out.get(name)
+    }
+
+
 @dataclass
 class Divergence:
     """First point where the two engines disagree."""
@@ -82,12 +102,7 @@ def cosim(
         vec = dict(vec)
         ref_out = reference.step(vec)
         dut_out = dut.step(vec)
-        watch = signals if signals is not None else sorted(set(ref_out) & set(dut_out))
-        mismatches = {
-            name: (ref_out[name], dut_out[name])
-            for name in watch
-            if ref_out.get(name) != dut_out.get(name)
-        }
+        mismatches = output_mismatches(ref_out, dut_out, signals)
         if record_trace:
             result.trace.append(ref_out)
         result.cycles = cycle + 1

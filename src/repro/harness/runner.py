@@ -17,10 +17,11 @@ the directory to force a rebuild.
 from __future__ import annotations
 
 import hashlib
+import logging
 import os
 import pickle
 from dataclasses import dataclass
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 from repro.core.compiler import CompiledDesign, GemCompiler, GemConfig
 from repro.core.depth_opt import optimize
@@ -29,7 +30,18 @@ from repro.designs.workloads import Workload, workloads_for
 from repro.rtl.ir import Circuit
 from repro.rtl.netlist import Netlist
 
+if TYPE_CHECKING:
+    from repro.runtime.supervisor import SupervisedRun
+
+logger = logging.getLogger(__name__)
+
 CACHE_DIR = os.environ.get("GEM_CACHE_DIR", os.path.join(os.getcwd(), ".gem_cache"))
+
+#: On-disk cache envelope version.  Every pickle is wrapped as
+#: ``{"format": CACHE_FORMAT, "key": key, "value": value}``; entries with
+#: a different format (or written before the envelope existed) are
+#: deleted and rebuilt instead of being unpickled into stale objects.
+CACHE_FORMAT = 2
 
 
 def _build_nvdla() -> Circuit:
@@ -83,25 +95,55 @@ def _cache_path(key: str) -> str:
     return os.path.join(CACHE_DIR, f"{key.split(':')[0]}-{digest}.pkl")
 
 
+def _discard_cache_file(path: str, reason: str) -> None:
+    logger.warning("discarding cache entry %s: %s", path, reason)
+    try:
+        os.remove(path)
+    except OSError:
+        pass
+
+
+def _load_cached(path: str, key: str):
+    """Returns ``(value,)`` on a hit, ``None`` on a miss.
+
+    A pickle that fails to load is *deleted* (it would fail forever), and
+    one whose envelope format or key does not match is likewise discarded
+    so stale entries from older cache layouts invalidate cleanly.
+    """
+    try:
+        with open(path, "rb") as f:
+            envelope = pickle.load(f)
+    except FileNotFoundError:
+        return None
+    except Exception as exc:
+        _discard_cache_file(path, f"unreadable pickle ({type(exc).__name__}: {exc})")
+        return None
+    if (
+        not isinstance(envelope, dict)
+        or envelope.get("format") != CACHE_FORMAT
+        or envelope.get("key") != key
+    ):
+        _discard_cache_file(path, "stale format or key mismatch")
+        return None
+    return (envelope["value"],)
+
+
 def _cached(key: str, make: Callable[[], object], use_disk: bool = True):
     if key in _memory_cache:
         return _memory_cache[key]
     path = _cache_path(key)
-    if use_disk and os.path.exists(path):
-        try:
-            with open(path, "rb") as f:
-                value = pickle.load(f)
-            _memory_cache[key] = value
-            return value
-        except Exception:
-            pass  # stale/corrupt cache entry: rebuild
+    if use_disk:
+        hit = _load_cached(path, key)
+        if hit is not None:
+            _memory_cache[key] = hit[0]
+            return hit[0]
     value = make()
     _memory_cache[key] = value
     if use_disk:
         os.makedirs(CACHE_DIR, exist_ok=True)
         tmp = path + ".tmp"
         with open(tmp, "wb") as f:
-            pickle.dump(value, f)
+            pickle.dump({"format": CACHE_FORMAT, "key": key, "value": value}, f)
         os.replace(tmp, path)
     return value
 
@@ -171,3 +213,54 @@ def measure_activity(name: str, workload: Workload, max_cycles: int | None = 400
 
     key = f"activity:{name}:{workload.name}:{max_cycles}:v2"
     return _cached(key, make)
+
+
+def run_resilient(
+    name: str,
+    workload: str | None = None,
+    *,
+    max_cycles: int | None = None,
+    checkpoint_every: int | None = None,
+    checkpoint_dir: str | None = None,
+    scrub_every: int | None = 1,
+    shadow: str | None = "redundant",
+    max_retries: int = 3,
+    backoff_base: float = 0.0,
+    resume: bool = False,
+) -> "SupervisedRun":
+    """Execute a registry design's workload under the resilience supervisor.
+
+    The supervised counterpart of the plain ``gem-run`` loop: scrubbed
+    against a lockstep shadow, periodically checkpointed, and self-healing
+    via checkpoint retry with degradation to the gate-level engine (see
+    :mod:`repro.runtime.supervisor`).  With ``resume=True`` the run
+    continues from the newest loadable checkpoint in ``checkpoint_dir``.
+    """
+    from repro.runtime.checkpoint import CheckpointManager
+    from repro.runtime.supervisor import Supervisor
+
+    design = compile_design(name)
+    workloads = design_workloads(name)
+    wl = workloads[workload or next(iter(workloads))]
+    stimuli = wl.stimuli[:max_cycles] if max_cycles else wl.stimuli
+    resume_from = None
+    if resume:
+        if not checkpoint_dir:
+            raise ValueError("resume requires a checkpoint directory")
+        resume_from = CheckpointManager(
+            checkpoint_dir, every=checkpoint_every or 1000
+        ).latest()
+        if resume_from is None:
+            logger.warning(
+                "no usable checkpoint in %s; starting from cycle 0", checkpoint_dir
+            )
+    supervisor = Supervisor(
+        design,
+        checkpoint_every=checkpoint_every,
+        checkpoint_dir=checkpoint_dir,
+        scrub_every=scrub_every,
+        shadow=shadow,
+        max_retries=max_retries,
+        backoff_base=backoff_base,
+    )
+    return supervisor.run(stimuli, resume_from=resume_from)

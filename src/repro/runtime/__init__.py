@@ -1,0 +1,48 @@
+"""Resilience runtime around the GEM interpreter (fault-tolerant execution).
+
+The layer every scaling step stands on: long simulation campaigns must
+survive corrupted bitstreams, SEU-flipped state, and torn checkpoint
+files without discarding millions of simulated cycles.
+
+* :mod:`repro.runtime.checkpoint` — versioned, CRC32-sealed snapshots of
+  full interpreter state; bit-identical resume; rotating on-disk manager;
+* :mod:`repro.runtime.faults` — seeded SEU injection (bitstream / state /
+  RAM bit flips) and the ``gem-faultcampaign`` driver;
+* :mod:`repro.runtime.supervisor` — self-healing execution: lockstep
+  scrubbing, checkpoint retry with exponential backoff, and graceful
+  degradation to the simref gate-level engine.
+
+See ``docs/RESILIENCE.md`` for the file formats and the degradation
+ladder.
+"""
+
+from repro.runtime.checkpoint import (
+    Checkpoint,
+    CheckpointManager,
+    checkpoint_from_words,
+    checkpoint_to_words,
+    load_checkpoint,
+    restore,
+    save_checkpoint,
+    snapshot,
+)
+from repro.runtime.faults import CampaignReport, FaultInjector, FaultRecord, run_campaign
+from repro.runtime.supervisor import SupervisedRun, Supervisor, state_digest
+
+__all__ = [
+    "CampaignReport",
+    "Checkpoint",
+    "CheckpointManager",
+    "FaultInjector",
+    "FaultRecord",
+    "SupervisedRun",
+    "Supervisor",
+    "checkpoint_from_words",
+    "checkpoint_to_words",
+    "load_checkpoint",
+    "restore",
+    "run_campaign",
+    "save_checkpoint",
+    "snapshot",
+    "state_digest",
+]

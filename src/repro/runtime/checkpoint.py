@@ -1,0 +1,309 @@
+"""Checkpoint/restore of live :class:`GemInterpreter` state.
+
+Multi-hour campaigns cannot afford to restart from cycle 0 when a run is
+interrupted or corrupted.  A checkpoint captures everything the
+interpreter needs to continue *bit-identically*:
+
+* the global state bit vector (GPU global memory image),
+* every RAM block's contents,
+* the cycle counter and the per-cycle work counters (perf-model inputs),
+* any deferred global writes still in flight (always empty at the cycle
+  boundaries where :func:`snapshot` runs — the interpreter drains its
+  deferred queue before returning from ``step`` — but the format carries
+  the section so mid-cycle snapshots remain representable).
+
+Checkpoints are bound to their bitstream by the container's CRC32 digest:
+restoring against a different program raises
+:class:`~repro.errors.CheckpointError` instead of silently mixing state
+layouts.
+
+On-disk format (``uint32`` words, sealed by the same per-section CRC32
+footer as the bitstream — see :mod:`repro.core.integrity`)::
+
+    section 0  header: magic 'GEMK', format version, cycle (lo, hi),
+               program digest, global bits, #rams, #deferred writes
+    section 1  counters: 8 fixed-order fields as (lo, hi) u64 pairs
+    section 2  global state, bit-packed (np.packbits), padded to words
+    section 3  RAM images: per block, depth then the words
+    section 4  deferred writes: per entry, count, indices, packed values
+
+:class:`CheckpointManager` adds the operational layer: periodic rotating
+snapshots with atomic writes, and a ``latest()`` that walks backwards
+past corrupted files so one bad write never strands a run.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.integrity import seal, unseal
+from repro.core.interpreter import CycleCounters, GemInterpreter
+from repro.errors import CheckpointError
+
+logger = logging.getLogger(__name__)
+
+CKPT_MAGIC = 0x47454D4B  # "GEMK"
+CKPT_VERSION = 1
+
+#: fixed serialization order of the work-counter fields
+_COUNTER_FIELDS = (
+    "cycles",
+    "instruction_words",
+    "fold_steps",
+    "permutation_bits",
+    "layer_syncs",
+    "device_syncs",
+    "global_reads",
+    "global_writes",
+)
+
+
+@dataclass
+class Checkpoint:
+    """A resumable snapshot of interpreter state at a cycle boundary."""
+
+    cycle: int
+    program_digest: int
+    global_state: np.ndarray
+    ram_arrays: list[np.ndarray]
+    counters: CycleCounters
+    #: (global indices, values) scatters not yet committed — empty for
+    #: boundary snapshots
+    deferred: list[tuple[np.ndarray, np.ndarray]] = field(default_factory=list)
+
+
+def snapshot(interp: GemInterpreter) -> Checkpoint:
+    """Capture the interpreter's state between cycles."""
+    return Checkpoint(
+        cycle=interp.cycle,
+        program_digest=interp.program.digest(),
+        global_state=interp.global_state.copy(),
+        ram_arrays=[arr.copy() for arr in interp.ram_arrays],
+        counters=CycleCounters(
+            **{name: getattr(interp.counters, name) for name in _COUNTER_FIELDS}
+        ),
+    )
+
+
+def restore(interp: GemInterpreter, ckpt: Checkpoint) -> GemInterpreter:
+    """Overwrite ``interp``'s state from ``ckpt``; continuation is
+    bit-identical to the run the snapshot was taken from."""
+    if ckpt.program_digest != interp.program.digest():
+        raise CheckpointError(
+            "checkpoint was taken against a different bitstream "
+            f"(digest {ckpt.program_digest:#010x} != {interp.program.digest():#010x})"
+        )
+    if ckpt.global_state.size != interp.global_state.size:
+        raise CheckpointError(
+            f"checkpoint global state width {ckpt.global_state.size} != "
+            f"program width {interp.global_state.size}"
+        )
+    if len(ckpt.ram_arrays) != len(interp.ram_arrays):
+        raise CheckpointError(
+            f"checkpoint has {len(ckpt.ram_arrays)} RAM images, "
+            f"program has {len(interp.ram_arrays)}"
+        )
+    interp.global_state[:] = ckpt.global_state
+    for dst, src in zip(interp.ram_arrays, ckpt.ram_arrays):
+        if dst.size != src.size:
+            raise CheckpointError("checkpoint RAM image depth mismatch")
+        dst[:] = src
+    interp.cycle = ckpt.cycle
+    for name in _COUNTER_FIELDS:
+        setattr(interp.counters, name, getattr(ckpt.counters, name))
+    return interp
+
+
+# -- binary serialization ----------------------------------------------------
+
+
+def _u64_pair(value: int) -> tuple[int, int]:
+    return value & 0xFFFFFFFF, (value >> 32) & 0xFFFFFFFF
+
+
+def _from_pair(lo: int, hi: int) -> int:
+    return (int(hi) << 32) | int(lo)
+
+
+def _pack_bits(bits: np.ndarray) -> np.ndarray:
+    packed = np.packbits(bits.astype(np.uint8), bitorder="little")
+    pad = (-packed.size) % 4
+    if pad:
+        packed = np.concatenate([packed, np.zeros(pad, dtype=np.uint8)])
+    return packed.view("<u4").astype(np.uint32)
+
+
+def _unpack_bits(words: np.ndarray, count: int) -> np.ndarray:
+    raw = np.ascontiguousarray(words, dtype="<u4").view(np.uint8)
+    return np.unpackbits(raw, bitorder="little")[:count].astype(bool)
+
+
+def checkpoint_to_words(ckpt: Checkpoint) -> np.ndarray:
+    """Serialize to a sealed ``uint32`` container (see module docstring)."""
+    header = np.array(
+        [
+            CKPT_MAGIC,
+            CKPT_VERSION,
+            *_u64_pair(ckpt.cycle),
+            ckpt.program_digest & 0xFFFFFFFF,
+            ckpt.global_state.size,
+            len(ckpt.ram_arrays),
+            len(ckpt.deferred),
+        ],
+        dtype=np.uint32,
+    )
+    counter_words: list[int] = []
+    for name in _COUNTER_FIELDS:
+        counter_words.extend(_u64_pair(getattr(ckpt.counters, name)))
+    ram_words: list[np.ndarray] = []
+    for arr in ckpt.ram_arrays:
+        ram_words.append(np.array([arr.size], dtype=np.uint32))
+        ram_words.append(arr.astype(np.uint32))
+    ram_section = (
+        np.concatenate(ram_words) if ram_words else np.zeros(0, dtype=np.uint32)
+    )
+    deferred_words: list[np.ndarray] = []
+    for gidx, values in ckpt.deferred:
+        deferred_words.append(np.array([gidx.size], dtype=np.uint32))
+        deferred_words.append(gidx.astype(np.uint32))
+        deferred_words.append(_pack_bits(np.asarray(values, dtype=bool)))
+    deferred_section = (
+        np.concatenate(deferred_words) if deferred_words else np.zeros(0, dtype=np.uint32)
+    )
+    return seal(
+        [
+            header,
+            np.array(counter_words, dtype=np.uint32),
+            _pack_bits(ckpt.global_state),
+            ram_section,
+            deferred_section,
+        ]
+    )
+
+
+def checkpoint_from_words(words: np.ndarray) -> Checkpoint:
+    """Parse and CRC-verify a serialized checkpoint."""
+    sections = unseal(words, error=CheckpointError, what="checkpoint")
+    if len(sections) != 5:
+        raise CheckpointError(f"checkpoint: expected 5 sections, found {len(sections)}")
+    header, counter_sec, state_sec, ram_sec, deferred_sec = sections
+    if header.size < 8 or int(header[0]) != CKPT_MAGIC:
+        raise CheckpointError("not a GEM checkpoint (bad magic)")
+    if int(header[1]) != CKPT_VERSION:
+        raise CheckpointError(
+            f"unsupported checkpoint format version {int(header[1])} "
+            f"(supported: {CKPT_VERSION})"
+        )
+    cycle = _from_pair(header[2], header[3])
+    digest = int(header[4])
+    global_bits = int(header[5])
+    num_rams = int(header[6])
+    num_deferred = int(header[7])
+    if counter_sec.size != 2 * len(_COUNTER_FIELDS):
+        raise CheckpointError("checkpoint: counter section has wrong size")
+    counters = CycleCounters()
+    for i, name in enumerate(_COUNTER_FIELDS):
+        setattr(counters, name, _from_pair(counter_sec[2 * i], counter_sec[2 * i + 1]))
+    if state_sec.size * 32 < global_bits:
+        raise CheckpointError("checkpoint: global state section truncated")
+    global_state = _unpack_bits(state_sec, global_bits)
+    ram_arrays: list[np.ndarray] = []
+    pos = 0
+    for _ in range(num_rams):
+        if pos >= ram_sec.size:
+            raise CheckpointError("checkpoint: RAM section truncated")
+        depth = int(ram_sec[pos])
+        ram_arrays.append(ram_sec[pos + 1 : pos + 1 + depth].astype(np.uint32).copy())
+        pos += 1 + depth
+    deferred: list[tuple[np.ndarray, np.ndarray]] = []
+    pos = 0
+    for _ in range(num_deferred):
+        count = int(deferred_sec[pos])
+        gidx = deferred_sec[pos + 1 : pos + 1 + count].astype(np.int64)
+        packed_len = ((count + 7) // 8 + 3) // 4
+        packed = deferred_sec[pos + 1 + count : pos + 1 + count + packed_len]
+        deferred.append((gidx, _unpack_bits(packed, count)))
+        pos += 1 + count + packed_len
+    return Checkpoint(
+        cycle=cycle,
+        program_digest=digest,
+        global_state=global_state,
+        ram_arrays=ram_arrays,
+        counters=counters,
+        deferred=deferred,
+    )
+
+
+def save_checkpoint(ckpt: Checkpoint, path: str) -> None:
+    """Atomically write a checkpoint file (write temp, then rename)."""
+    words = checkpoint_to_words(ckpt)
+    tmp = f"{path}.tmp"
+    words.tofile(tmp)
+    os.replace(tmp, path)
+
+
+def load_checkpoint(path: str) -> Checkpoint:
+    """Read and verify a checkpoint file."""
+    try:
+        words = np.fromfile(path, dtype=np.uint32)
+    except OSError as exc:
+        raise CheckpointError(f"cannot read checkpoint {path!r}: {exc}") from exc
+    return checkpoint_from_words(words)
+
+
+class CheckpointManager:
+    """Periodic rotating checkpoints for a supervised run.
+
+    ``every`` is the snapshot period in cycles; ``keep`` bounds how many
+    files stay on disk (oldest are pruned).  ``latest()`` returns the
+    newest checkpoint that still passes its CRCs, skipping corrupted
+    files with a warning.
+    """
+
+    def __init__(self, directory: str, every: int = 1000, keep: int = 3) -> None:
+        if every <= 0:
+            raise ValueError("checkpoint period must be positive")
+        self.directory = directory
+        self.every = every
+        self.keep = max(1, keep)
+
+    def _path(self, cycle: int) -> str:
+        return os.path.join(self.directory, f"ckpt-{cycle:012d}.gemk")
+
+    def paths(self) -> list[str]:
+        """Checkpoint files on disk, oldest first."""
+        if not os.path.isdir(self.directory):
+            return []
+        names = sorted(
+            n for n in os.listdir(self.directory)
+            if n.startswith("ckpt-") and n.endswith(".gemk")
+        )
+        return [os.path.join(self.directory, n) for n in names]
+
+    def save(self, interp: GemInterpreter) -> str:
+        """Snapshot ``interp`` now; returns the file path."""
+        os.makedirs(self.directory, exist_ok=True)
+        path = self._path(interp.cycle)
+        save_checkpoint(snapshot(interp), path)
+        for stale in self.paths()[: -self.keep]:
+            os.remove(stale)
+        return path
+
+    def maybe_save(self, interp: GemInterpreter) -> str | None:
+        """Snapshot if the cycle counter hits the period boundary."""
+        if interp.cycle > 0 and interp.cycle % self.every == 0:
+            return self.save(interp)
+        return None
+
+    def latest(self) -> Checkpoint | None:
+        """Newest loadable checkpoint, or ``None`` if there is none."""
+        for path in reversed(self.paths()):
+            try:
+                return load_checkpoint(path)
+            except CheckpointError as exc:
+                logger.warning("skipping unusable checkpoint %s: %s", path, exc)
+        return None

@@ -1,0 +1,226 @@
+"""Seeded SEU fault injection and campaign driver.
+
+GPU residency exposes a simulation to soft errors the paper's multi-hour
+campaigns must survive: a flipped bit in the resident *bitstream* (the
+program image), in the *global state* vector, or in a *RAM block*.  This
+module models all three as single-event upsets (SEUs) and provides the
+campaign driver behind ``gem-faultcampaign``:
+
+* **bitstream faults** must be *detected at load* by the container's
+  per-section CRC32s (:func:`repro.core.bitstream.verify_integrity`);
+* **state** and **RAM faults** must be *caught by scrubbing* (the
+  supervisor's lockstep shadow) and *recovered* by checkpoint retry,
+  with the recovered run's outputs matching an undisturbed golden run.
+
+Everything is driven by one :class:`random.Random` seed, so campaigns
+are exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.bitstream import GemProgram
+from repro.core.compiler import CompiledDesign
+from repro.core.interpreter import GemInterpreter
+from repro.errors import BitstreamError
+from repro.runtime.supervisor import Supervisor
+
+FAULT_KINDS = ("bitstream", "state", "ram")
+
+
+@dataclass
+class FaultRecord:
+    """One injected fault and its observed outcome."""
+
+    kind: str  # "bitstream" | "state" | "ram"
+    location: str
+    cycle: int = -1  # injection cycle (-1: at load)
+    detected: bool = False
+    recovered: bool = False
+    detail: str = ""
+
+
+class FaultInjector:
+    """Seeded single-event-upset generator over a live run's fault surfaces."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.rng = random.Random(seed)
+        self.records: list[FaultRecord] = []
+
+    def corrupt_bitstream(self, program: GemProgram) -> tuple[GemProgram, FaultRecord]:
+        """A copy of ``program`` with one random bit flipped anywhere in
+        the container (payload or integrity footer)."""
+        words = program.words.copy()
+        index = self.rng.randrange(words.size)
+        bit = self.rng.randrange(32)
+        words[index] = np.uint32(int(words[index]) ^ (1 << bit))
+        record = FaultRecord(kind="bitstream", location=f"word {index} bit {bit}")
+        self.records.append(record)
+        return GemProgram(words=words, meta=program.meta), record
+
+    def flip_state_bit(self, interp: GemInterpreter, cycle: int = -1) -> FaultRecord:
+        """Flip one random bit of the global state vector in place."""
+        index = self.rng.randrange(interp.global_state.size)
+        interp.global_state[index] = not interp.global_state[index]
+        record = FaultRecord(kind="state", location=f"global bit {index}", cycle=cycle)
+        self.records.append(record)
+        return record
+
+    def flip_ram_bit(self, interp: GemInterpreter, cycle: int = -1) -> FaultRecord | None:
+        """Flip one random data bit of one RAM word in place.
+
+        Returns ``None`` when the design has no RAM blocks.
+        """
+        candidates = [
+            i for i, arr in enumerate(interp.ram_arrays) if arr.size > 0
+        ]
+        if not candidates:
+            return None
+        ram = self.rng.choice(candidates)
+        word = self.rng.randrange(interp.ram_arrays[ram].size)
+        data_bits = max(1, interp.ram_shapes[ram][1])
+        bit = self.rng.randrange(data_bits)
+        interp.ram_arrays[ram][word] = np.uint32(
+            int(interp.ram_arrays[ram][word]) ^ (1 << bit)
+        )
+        record = FaultRecord(
+            kind="ram", location=f"ram {ram} word {word} bit {bit}", cycle=cycle
+        )
+        self.records.append(record)
+        return record
+
+
+@dataclass
+class CampaignReport:
+    """Aggregated injected / detected / recovered counts per fault class."""
+
+    design: str
+    cycles: int
+    seed: int
+    records: list[FaultRecord] = field(default_factory=list)
+
+    def count(self, kind: str, *, detected: bool | None = None, recovered: bool | None = None) -> int:
+        n = 0
+        for r in self.records:
+            if r.kind != kind:
+                continue
+            if detected is not None and r.detected != detected:
+                continue
+            if recovered is not None and r.recovered != recovered:
+                continue
+            n += 1
+        return n
+
+    @property
+    def all_bitstream_detected(self) -> bool:
+        return self.count("bitstream") == self.count("bitstream", detected=True)
+
+    @property
+    def all_runtime_recovered(self) -> bool:
+        runtime = [r for r in self.records if r.kind in ("state", "ram")]
+        return all(r.detected and r.recovered for r in runtime)
+
+    @property
+    def passed(self) -> bool:
+        return self.all_bitstream_detected and self.all_runtime_recovered
+
+    def summary(self) -> str:
+        lines = [
+            f"fault campaign: {self.design}, {self.cycles} cycles/trial, seed {self.seed}",
+            f"  {'class':10s} {'injected':>8s} {'detected':>8s} {'recovered':>9s}",
+        ]
+        for kind in FAULT_KINDS:
+            injected = self.count(kind)
+            if injected == 0:
+                continue
+            detected = self.count(kind, detected=True)
+            recovered = (
+                "-" if kind == "bitstream" else str(self.count(kind, recovered=True))
+            )
+            lines.append(f"  {kind:10s} {injected:8d} {detected:8d} {recovered:>9s}")
+        lines.append(f"  verdict: {'PASS' if self.passed else 'FAIL'}")
+        for r in self.records:
+            if not r.detected or (r.kind != "bitstream" and not r.recovered):
+                lines.append(
+                    f"  MISSED {r.kind} fault at {r.location} (cycle {r.cycle}): {r.detail}"
+                )
+        return "\n".join(lines)
+
+
+def run_campaign(
+    design: CompiledDesign,
+    stimuli: list[dict[str, int]],
+    *,
+    name: str = "design",
+    trials: int = 10,
+    seed: int = 0,
+    checkpoint_every: int = 8,
+    scrub_every: int = 1,
+    max_retries: int = 3,
+) -> CampaignReport:
+    """Run a full SEU campaign against one compiled design.
+
+    Per trial and fault class, one fault is injected and the detection /
+    recovery machinery is exercised end to end.  Recovery is judged
+    against a golden undisturbed run: a state or RAM fault counts as
+    *recovered* only if the supervised run finishes undegraded with
+    outputs bit-identical to the golden ones.
+    """
+    stimuli = [dict(vec) for vec in stimuli]
+    report = CampaignReport(design=name, cycles=len(stimuli), seed=seed)
+    injector = FaultInjector(seed)
+    report.records = injector.records
+
+    probe = design.simulator()
+    golden = probe.run(stimuli)
+    has_ram = any(arr.size > 0 for arr in probe.ram_arrays)
+
+    # -- bitstream faults: must be rejected at load ---------------------------
+    for _ in range(trials):
+        corrupted, record = injector.corrupt_bitstream(design.program)
+        try:
+            GemInterpreter(corrupted)
+            record.detail = "interpreter accepted a corrupted bitstream"
+        except BitstreamError as exc:
+            record.detected = True
+            record.detail = str(exc)
+
+    # -- state / RAM faults: scrub + checkpoint retry -------------------------
+    kinds = ["state"] + (["ram"] if has_ram else [])
+    for kind in kinds:
+        for _ in range(trials):
+            inject_at = injector.rng.randrange(1, max(2, len(stimuli)))
+            armed: dict[str, FaultRecord | None] = {"record": None}
+
+            def hook(interp: GemInterpreter, cycle: int, _kind=kind, _at=inject_at, _armed=armed) -> None:
+                if cycle == _at and _armed["record"] is None:
+                    if _kind == "state":
+                        _armed["record"] = injector.flip_state_bit(interp, cycle)
+                    else:
+                        _armed["record"] = injector.flip_ram_bit(interp, cycle)
+
+            supervisor = Supervisor(
+                design,
+                checkpoint_every=checkpoint_every,
+                scrub_every=scrub_every,
+                shadow="redundant",
+                max_retries=max_retries,
+                fault_hook=hook,
+            )
+            result = supervisor.run(stimuli)
+            record = armed["record"]
+            if record is None:  # pragma: no cover - defensive
+                continue
+            record.detected = result.faults_detected > 0
+            record.recovered = (
+                not result.degraded and result.outputs == golden
+            )
+            if not record.recovered:
+                record.detail = (
+                    "degraded" if result.degraded else "outputs differ from golden"
+                )
+    return report

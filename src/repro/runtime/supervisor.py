@@ -1,0 +1,368 @@
+"""Self-healing supervised execution (the resilience tentpole).
+
+Long GPU campaigns fail in ways a bare ``run()`` loop cannot survive: a
+soft error flips a bit of resident state, a checkpoint file is torn by a
+crash, the bitstream image itself rots.  :class:`Supervisor` wraps the
+interpreter with the full degradation ladder:
+
+1. **detect** — periodic *scrubbing* compares the interpreter against a
+   shadow engine stepped in lockstep.  Two shadow modes:
+
+   * ``"redundant"`` (default): a second interpreter instance; the scrub
+     compares full state digests (global state + RAM images), catching
+     silent corruption even before it reaches an output;
+   * any reference ``Steppable`` factory (word-level golden, gate-level
+     simref): the scrub compares primary outputs against the reference
+     with the exact comparison rule of the cosim loop
+     (:func:`repro.harness.cosim.output_mismatches`).
+
+2. **retry** — on a detected fault the supervisor restores the last good
+   checkpoint (periodic, CRC-verified, rotating — see
+   :mod:`repro.runtime.checkpoint`), rewinds the shadow, truncates the
+   output log and replays, with exponential backoff between attempts.
+
+3. **degrade** — when faults persist past ``max_retries`` consecutive
+   failed attempts (no forward progress), the run falls back to the
+   ``simref`` gate-level reference engine and replays the stimuli there,
+   so results keep flowing; the result is flagged ``degraded``.
+
+The supervisor is deterministic apart from backoff sleeps: a recovered
+run produces bit-identical outputs to an undisturbed one.
+"""
+
+from __future__ import annotations
+
+import copy
+import logging
+import time
+import zlib
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.core.compiler import CompiledDesign
+from repro.core.interpreter import GemInterpreter
+from repro.errors import CheckpointError, GemError, StateCorruptionError
+from repro.harness.cosim import Steppable, output_mismatches
+from repro.runtime.checkpoint import Checkpoint, CheckpointManager, restore, snapshot
+
+logger = logging.getLogger(__name__)
+
+
+def state_digest(interp: GemInterpreter) -> int:
+    """CRC32 over the interpreter's full mutable state.
+
+    Covers the global state vector and every RAM image — the complete
+    set of bits an SEU can corrupt between cycles.
+    """
+    h = zlib.crc32(np.packbits(interp.global_state.astype(np.uint8)).tobytes())
+    for arr in interp.ram_arrays:
+        h = zlib.crc32(np.ascontiguousarray(arr, dtype="<u4").tobytes(), h)
+    return h & 0xFFFFFFFF
+
+
+@dataclass
+class SupervisedRun:
+    """Outcome of a supervised execution."""
+
+    outputs: list[dict[str, int]]
+    cycles: int
+    engine: str  # "gem" or "simref"
+    degraded: bool
+    retries: int
+    faults_detected: int
+    checkpoints_written: int
+    events: list[str] = field(default_factory=list)
+
+    @property
+    def healthy(self) -> bool:
+        return not self.degraded
+
+    def report(self) -> str:
+        status = "DEGRADED (simref fallback)" if self.degraded else "OK"
+        lines = [
+            f"supervised run: {self.cycles} cycles on {self.engine} [{status}]",
+            f"  faults detected: {self.faults_detected}  retries: {self.retries}  "
+            f"checkpoints: {self.checkpoints_written}",
+        ]
+        lines.extend(f"  {event}" for event in self.events)
+        return "\n".join(lines)
+
+
+@dataclass
+class _RecoveryPoint:
+    """In-memory rollback target: interpreter snapshot + shadow clone."""
+
+    ckpt: Checkpoint
+    shadow_state: object | None  # Checkpoint (redundant) or deepcopy (reference)
+    outputs_len: int
+
+
+class Supervisor:
+    """Fault-tolerant driver around :class:`GemInterpreter`.
+
+    Parameters
+    ----------
+    design:
+        The compiled design to execute.
+    checkpoint_every:
+        Snapshot period in cycles (``None`` disables periodic snapshots;
+        recovery then rewinds to the start of the run).
+    checkpoint_dir:
+        When set, snapshots are also persisted to disk via
+        :class:`CheckpointManager` (enables cross-process ``--resume``).
+    scrub_every:
+        Integrity-check period in cycles (``None`` disables scrubbing —
+        only hard errors raised by the engines trigger recovery).
+    shadow:
+        ``"redundant"`` for a lockstep second interpreter with full state
+        digest comparison, or a zero-argument factory returning a
+        reference ``Steppable`` for output comparison, or ``None``.
+    max_retries:
+        Consecutive recovery attempts without forward progress before
+        degrading to the gate-level fallback.
+    backoff_base / backoff_cap:
+        Exponential backoff between retries, in seconds
+        (``backoff_base * 2**(attempt-1)``, clamped to ``backoff_cap``).
+        The default base of 0 keeps tests and campaigns fast.
+    fault_hook:
+        Test/campaign instrumentation: called as ``hook(interp, cycle)``
+        after every committed cycle — fault injectors flip bits here.
+    fallback_factory:
+        Factory for the degraded-mode engine; defaults to the simref
+        gate-level simulator over the design's synthesis result.
+    signals:
+        Restrict output comparisons to these names (default: all shared).
+    """
+
+    def __init__(
+        self,
+        design: CompiledDesign,
+        *,
+        checkpoint_every: int | None = None,
+        checkpoint_dir: str | None = None,
+        checkpoint_keep: int = 3,
+        scrub_every: int | None = 1,
+        shadow: str | Callable[[], Steppable] | None = "redundant",
+        max_retries: int = 3,
+        backoff_base: float = 0.0,
+        backoff_cap: float = 2.0,
+        fault_hook: Callable[[GemInterpreter, int], None] | None = None,
+        fallback_factory: Callable[[], Steppable] | None = None,
+        signals: Sequence[str] | None = None,
+    ) -> None:
+        self.design = design
+        self.checkpoint_every = checkpoint_every
+        self.scrub_every = scrub_every
+        self.shadow_mode = shadow
+        self.max_retries = max_retries
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self.fault_hook = fault_hook
+        self.fallback_factory = fallback_factory
+        self.signals = signals
+        self.manager: CheckpointManager | None = None
+        if checkpoint_dir is not None:
+            self.manager = CheckpointManager(
+                checkpoint_dir, every=checkpoint_every or 1000, keep=checkpoint_keep
+            )
+
+    # -- engine construction --------------------------------------------------
+
+    def _make_shadow(self) -> Steppable | None:
+        if self.shadow_mode is None:
+            return None
+        if self.shadow_mode == "redundant":
+            return self.design.simulator()
+        return self.shadow_mode()
+
+    def _make_fallback(self) -> Steppable:
+        if self.fallback_factory is not None:
+            return self.fallback_factory()
+        from repro.simref.gate_sim import GateLevelSim
+
+        return GateLevelSim(self.design.synth)
+
+    def _shadow_state(self, shadow: Steppable | None) -> object | None:
+        if shadow is None:
+            return None
+        if self.shadow_mode == "redundant":
+            return snapshot(shadow)  # type: ignore[arg-type]
+        return copy.deepcopy(shadow)
+
+    def _restore_shadow(self, shadow: Steppable | None, state: object | None) -> Steppable | None:
+        if shadow is None or state is None:
+            return shadow
+        if self.shadow_mode == "redundant":
+            restore(shadow, state)  # type: ignore[arg-type]
+            return shadow
+        return copy.deepcopy(state)
+
+    # -- integrity ------------------------------------------------------------
+
+    def _scrub(
+        self,
+        primary: GemInterpreter,
+        shadow: Steppable | None,
+        out: dict[str, int],
+        shadow_out: dict[str, int] | None,
+        cycle: int,
+    ) -> None:
+        if shadow is None:
+            return
+        if self.shadow_mode == "redundant":
+            a, b = state_digest(primary), state_digest(shadow)  # type: ignore[arg-type]
+            if a != b:
+                raise StateCorruptionError(
+                    f"state digest mismatch at cycle {cycle}: "
+                    f"{a:#010x} != shadow {b:#010x}"
+                )
+        if shadow_out is not None:
+            mismatches = output_mismatches(shadow_out, out, self.signals)
+            if mismatches:
+                raise StateCorruptionError(
+                    f"outputs diverged from shadow at cycle {cycle}: "
+                    + ", ".join(
+                        f"{name} {dut:#x}!={ref:#x}"
+                        for name, (ref, dut) in sorted(mismatches.items())
+                    )
+                )
+
+    # -- main loop ------------------------------------------------------------
+
+    def run(
+        self,
+        stimuli: Iterable[Mapping[str, int]],
+        resume_from: Checkpoint | None = None,
+    ) -> SupervisedRun:
+        """Execute ``stimuli`` with scrubbing, checkpointing, and recovery.
+
+        ``resume_from`` continues a previous run: the first
+        ``resume_from.cycle`` stimulus vectors are treated as already
+        consumed and outputs are produced for the remainder only.
+        """
+        stimuli = [dict(vec) for vec in stimuli]
+        events: list[str] = []
+        primary = self.design.simulator()
+        shadow = self._make_shadow()
+        start = 0
+        if resume_from is not None:
+            restore(primary, resume_from)
+            start = resume_from.cycle
+            if start > len(stimuli):
+                raise CheckpointError(
+                    f"checkpoint cycle {start} is beyond the {len(stimuli)}-cycle stimulus"
+                )
+            if self.shadow_mode == "redundant" and shadow is not None:
+                restore(shadow, resume_from)  # type: ignore[arg-type]
+            elif shadow is not None:
+                # A reference shadow cannot adopt interpreter state; it
+                # re-derives it by replaying the consumed prefix.
+                for vec in stimuli[:start]:
+                    shadow.step(vec)
+            events.append(f"resumed from checkpoint at cycle {start}")
+
+        outputs: list[dict[str, int]] = []
+        recovery = _RecoveryPoint(
+            ckpt=snapshot(primary),
+            shadow_state=self._shadow_state(shadow),
+            outputs_len=0,
+        )
+        i = start
+        retries = 0
+        consecutive = 0
+        faults = 0
+        checkpoints_written = 0
+        high_water = start
+
+        while i < len(stimuli):
+            try:
+                vec = stimuli[i]
+                out = primary.step(vec)
+                shadow_out = shadow.step(vec) if shadow is not None else None
+                outputs.append(out)
+                i += 1
+                if self.fault_hook is not None:
+                    self.fault_hook(primary, i)
+                if self.scrub_every and i % self.scrub_every == 0:
+                    self._scrub(primary, shadow, out, shadow_out, i)
+                if i > high_water:
+                    high_water = i
+                    consecutive = 0
+                if self.checkpoint_every and i % self.checkpoint_every == 0:
+                    recovery = _RecoveryPoint(
+                        ckpt=snapshot(primary),
+                        shadow_state=self._shadow_state(shadow),
+                        outputs_len=len(outputs),
+                    )
+                    if self.manager is not None:
+                        self.manager.save(primary)
+                    checkpoints_written += 1
+            except GemError as exc:
+                faults += 1
+                retries += 1
+                consecutive += 1
+                events.append(f"cycle {i}: {type(exc).__name__}: {exc}")
+                logger.warning("supervised run fault at cycle %d: %s", i, exc)
+                if consecutive > self.max_retries:
+                    events.append(
+                        f"no forward progress after {self.max_retries} retries; "
+                        "degrading to simref gate-level engine"
+                    )
+                    return self._degrade(
+                        stimuli, start, events, retries, faults, checkpoints_written
+                    )
+                delay = min(
+                    self.backoff_cap, self.backoff_base * (2 ** (consecutive - 1))
+                )
+                if delay > 0:
+                    time.sleep(delay)
+                restore(primary, recovery.ckpt)
+                shadow = self._restore_shadow(shadow, recovery.shadow_state)
+                del outputs[recovery.outputs_len :]
+                i = recovery.ckpt.cycle
+                events.append(
+                    f"rolled back to checkpoint at cycle {i} "
+                    f"(attempt {consecutive}/{self.max_retries}, backoff {delay:.2f}s)"
+                )
+
+        return SupervisedRun(
+            outputs=outputs,
+            cycles=len(outputs),
+            engine="gem",
+            degraded=False,
+            retries=retries,
+            faults_detected=faults,
+            checkpoints_written=checkpoints_written,
+            events=events,
+        )
+
+    def _degrade(
+        self,
+        stimuli: list[dict[str, int]],
+        start: int,
+        events: list[str],
+        retries: int,
+        faults: int,
+        checkpoints_written: int,
+    ) -> SupervisedRun:
+        """Replay on the gate-level reference so results keep flowing."""
+        fallback = self._make_fallback()
+        outputs: list[dict[str, int]] = []
+        # The gate-level engine cannot adopt interpreter checkpoints; it
+        # replays from reset and discards the already-consumed prefix.
+        for cycle, vec in enumerate(stimuli):
+            out = fallback.step(vec)
+            if cycle >= start:
+                outputs.append(out)
+        return SupervisedRun(
+            outputs=outputs,
+            cycles=len(outputs),
+            engine="simref",
+            degraded=True,
+            retries=retries,
+            faults_detected=faults,
+            checkpoints_written=checkpoints_written,
+            events=events,
+        )

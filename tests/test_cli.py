@@ -51,10 +51,65 @@ class TestCosimCommand:
         assert "40 cycles" in capsys.readouterr().out
 
 
+class TestSupervisedRunCommand:
+    def test_checkpointed_run_reports_ok(self, capsys, tmp_path):
+        ckpt_dir = str(tmp_path / "ckpts")
+        assert cli.main_run([
+            "openpiton1", "ldst_quad2", "--max-cycles", "40",
+            "--checkpoint-every", "10", "--checkpoint-dir", ckpt_dir,
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "supervised run" in out
+        assert "[OK]" in out
+        import os
+
+        assert any(n.endswith(".gemk") for n in os.listdir(ckpt_dir))
+
+    def test_resume_continues_from_checkpoint(self, capsys, tmp_path):
+        ckpt_dir = str(tmp_path / "ckpts")
+        assert cli.main_run([
+            "openpiton1", "ldst_quad2", "--max-cycles", "25",
+            "--checkpoint-every", "10", "--checkpoint-dir", ckpt_dir,
+        ]) == 0
+        capsys.readouterr()
+        assert cli.main_run([
+            "openpiton1", "ldst_quad2", "--max-cycles", "60",
+            "--checkpoint-every", "10", "--checkpoint-dir", ckpt_dir,
+            "--resume",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "resumed from checkpoint at cycle 20" in out
+
+    def test_scrub_only_run(self, capsys):
+        assert cli.main_run([
+            "openpiton1", "ldst_quad2", "--max-cycles", "30", "--scrub-every", "5",
+        ]) == 0
+        assert "faults detected: 0" in capsys.readouterr().out
+
+
+class TestFaultCampaignCommand:
+    def test_campaign_passes(self, capsys):
+        assert cli.main_faultcampaign([
+            "openpiton1", "ldst_quad2",
+            "--trials", "2", "--max-cycles", "24", "--seed", "3",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "fault campaign" in out
+        assert "PASS" in out
+        assert "bitstream" in out and "state" in out
+
+
 class TestDispatcher:
     def test_main_routes_commands(self, capsys):
         assert cli.main(["run", "openpiton1", "ldst_quad2"]) == 0
         assert "MATCH" in capsys.readouterr().out
+
+    def test_main_routes_faultcampaign(self, capsys):
+        assert cli.main([
+            "faultcampaign", "openpiton1", "ldst_quad2",
+            "--trials", "1", "--max-cycles", "16",
+        ]) == 0
+        assert "fault campaign" in capsys.readouterr().out
 
     def test_main_rejects_unknown(self):
         with pytest.raises(SystemExit):

@@ -2,7 +2,14 @@
 
 import pytest
 
-from repro.harness.cosim import CosimResult, cosim, cosim_vcd, dump_response_vcd
+from repro.harness.cosim import (
+    CosimResult,
+    Divergence,
+    cosim,
+    cosim_vcd,
+    dump_response_vcd,
+    output_mismatches,
+)
 from repro.rtl import CircuitBuilder, Netlist, WordSim
 from repro.waveform.vcd import read_vcd_stimuli, write_vcd
 from tests.helpers import random_circuit, random_vectors
@@ -85,6 +92,74 @@ class TestCosim:
         )
         assert result.passed
         assert len(result.trace) == 30
+
+
+class TestDivergenceReporting:
+    """Formatting and edge cases of the divergence report."""
+
+    def test_describe_formatting(self):
+        d = Divergence(
+            cycle=12,
+            signals={"q": (0x1F, 0x20), "alpha": (0, 1)},
+            inputs={"en": 1},
+            recent_inputs=[{"en": 0}, {"en": 1}],
+        )
+        text = d.describe()
+        lines = text.splitlines()
+        assert lines[0] == "first divergence at cycle 12:"
+        # signals sorted by name, values in hex
+        assert lines[1] == "  alpha: reference=0x0 dut=0x1"
+        assert lines[2] == "  q: reference=0x1f dut=0x20"
+        assert "inputs that cycle: {'en': 1}" in text
+        assert "previous 2 input vectors:" in text
+        # history is oldest-first, labelled t-N .. t-1
+        assert lines.index("    t-2: {'en': 0}") < lines.index("    t-1: {'en': 1}")
+
+    def test_describe_without_history(self):
+        d = Divergence(cycle=0, signals={"q": (1, 0)}, inputs={}, recent_inputs=[])
+        text = d.describe()
+        assert "previous" not in text
+        assert "first divergence at cycle 0:" in text
+
+    def test_empty_stimulus_trace(self):
+        good = WordSim(Netlist(_counter()))
+        bad = WordSim(Netlist(_counter(bug_at=0)))
+        result = cosim(good, bad, [])
+        assert result.passed
+        assert result.cycles == 0
+        assert result.divergence is None
+        assert result.trace == []
+        assert result.report() == "PASS: 0 cycles, outputs identical"
+
+    def test_divergence_on_cycle_zero(self):
+        # Different register init values disagree on the very first cycle.
+        def counter(init):
+            b = CircuitBuilder()
+            count = b.reg("count", 8, init=init)
+            count.next = count + b.const(1, 8)
+            b.output("q", count)
+            return b.build()
+
+        result = cosim(
+            WordSim(Netlist(counter(0))),
+            WordSim(Netlist(counter(1))),
+            [{}] * 5,
+        )
+        assert not result.passed
+        d = result.divergence
+        assert d.cycle == 0
+        assert d.recent_inputs == []  # nothing precedes cycle 0
+        assert d.signals["q"] == (0, 1)
+        assert "first divergence at cycle 0" in result.report()
+        assert result.report().startswith("FAIL after 1 cycles")
+
+    def test_output_mismatches_helper(self):
+        ref = {"a": 1, "b": 2, "c": 3}
+        dut = {"a": 1, "b": 5, "d": 9}
+        assert output_mismatches(ref, dut) == {"b": (2, 5)}
+        # restricted signal list, including one only the reference has
+        assert output_mismatches(ref, dut, signals=["a", "c"]) == {"c": (3, None)}
+        assert output_mismatches(ref, ref) == {}
 
 
 class TestVcdIntegration:

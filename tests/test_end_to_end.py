@@ -52,6 +52,7 @@ def _all_engines(circuit):
     }
 
 
+@pytest.mark.slow
 @pytest.mark.parametrize(
     "workload", ["dhrystone", "pmp"], ids=["dhrystone", "pmp"]
 )
@@ -63,6 +64,7 @@ def test_rocket_all_engines(workload):
     lockstep(engines, wl.stimuli)
 
 
+@pytest.mark.slow
 def test_openpiton2_all_engines():
     scale = OpenPitonScale(cores=2, imem_depth=64, dmem_depth=64)
     circuit = build_openpiton_like(scale)
@@ -71,6 +73,7 @@ def test_openpiton2_all_engines():
     lockstep(engines, wl.stimuli)
 
 
+@pytest.mark.slow
 def test_nvdla_all_engines():
     scale = NvdlaScale(engines=2, lanes=2, taps=2, act_depth=64, wgt_depth=16, out_depth=64)
     circuit = build_nvdla_like(scale)
@@ -79,6 +82,7 @@ def test_nvdla_all_engines():
     lockstep(engines, wl.stimuli)
 
 
+@pytest.mark.slow
 def test_gemmini_all_engines():
     scale = GemminiScale(dim=2, spad_depth=32)
     circuit = build_gemmini_like(scale)

@@ -1,0 +1,129 @@
+"""CRC32 section framing + typed error hierarchy (repro.core.integrity,
+repro.errors, and the bitstream container's integrity envelope)."""
+
+import numpy as np
+import pytest
+
+from repro.core.boomerang import BoomerangConfig
+from repro.core.bitstream import SECTION_NAMES, VERSION, verify_integrity
+from repro.core.compiler import GemCompiler, GemConfig
+from repro.core.integrity import crc32_words, seal, unseal
+from repro.core.interpreter import GemInterpreter
+from repro.core.partition import PartitionConfig
+from repro.errors import (
+    BitstreamError,
+    CheckpointError,
+    GemError,
+    StateCorruptionError,
+    UnmappableError,
+)
+from tests.helpers import random_circuit
+
+
+def _compile(seed: int = 11, **kwargs):
+    circuit = random_circuit(seed, n_ops=40, **kwargs)
+    return GemCompiler(
+        GemConfig(
+            partition=PartitionConfig(gates_per_partition=400),
+            boomerang=BoomerangConfig(width_log2=10),
+        )
+    ).compile(circuit)
+
+
+class TestSectionFraming:
+    def test_seal_unseal_roundtrip(self):
+        sections = [
+            np.arange(5, dtype=np.uint32),
+            np.zeros(0, dtype=np.uint32),
+            np.array([7, 11, 13], dtype=np.uint32),
+        ]
+        out = unseal(seal(sections), error=GemError)
+        assert len(out) == 3
+        for a, b in zip(sections, out):
+            assert (a == b).all()
+
+    def test_every_single_bit_flip_detected(self):
+        sealed = seal([np.arange(4, dtype=np.uint32), np.array([9], dtype=np.uint32)])
+        for index in range(sealed.size):
+            for bit in range(32):
+                corrupted = sealed.copy()
+                corrupted[index] = np.uint32(int(corrupted[index]) ^ (1 << bit))
+                with pytest.raises(GemError):
+                    unseal(corrupted, error=GemError)
+
+    def test_truncation_detected(self):
+        sealed = seal([np.arange(8, dtype=np.uint32)])
+        for cut in range(sealed.size):
+            with pytest.raises(GemError):
+                unseal(sealed[:cut], error=GemError)
+
+    def test_error_class_is_parameterized(self):
+        sealed = seal([np.arange(4, dtype=np.uint32)])
+        bad = sealed.copy()
+        bad[0] ^= np.uint32(1)
+        with pytest.raises(CheckpointError):
+            unseal(bad, error=CheckpointError, what="checkpoint")
+
+    def test_crc32_words_is_stable(self):
+        arr = np.array([1, 2, 3], dtype=np.uint32)
+        assert crc32_words(arr) == crc32_words(arr.copy())
+        assert crc32_words(arr) != crc32_words(arr[::-1].copy())
+
+
+class TestBitstreamContainer:
+    def test_assembled_program_verifies(self):
+        design = _compile()
+        sections = verify_integrity(design.program.words)
+        assert len(sections) == len(SECTION_NAMES)
+        assert int(sections[0][1]) == VERSION
+
+    def test_corrupted_word_rejected_at_load(self):
+        design = _compile(12)
+        rng = np.random.default_rng(0)
+        for _ in range(40):
+            words = design.program.words.copy()
+            index = int(rng.integers(words.size))
+            bit = int(rng.integers(32))
+            words[index] = np.uint32(int(words[index]) ^ (1 << bit))
+            program = design.program
+            program = type(program)(words=words, meta=program.meta)
+            with pytest.raises(BitstreamError):
+                GemInterpreter(program)
+
+    def test_digest_changes_on_any_edit(self):
+        design = _compile(13)
+        base = design.program.digest()
+        words = design.program.words.copy()
+        words[5] ^= np.uint32(4)
+        assert crc32_words(words) != base
+
+
+class TestErrorHierarchy:
+    def test_everything_derives_from_gemerror(self):
+        for cls in (BitstreamError, StateCorruptionError, CheckpointError, UnmappableError):
+            assert issubclass(cls, GemError)
+
+    def test_bitstream_error_is_a_valueerror(self):
+        # the decode path historically raised bare ValueError
+        assert issubclass(BitstreamError, ValueError)
+
+    def test_unmappable_still_importable_from_placement(self):
+        from repro.core.placement import UnmappableError as FromPlacement
+
+        assert FromPlacement is UnmappableError
+
+    def test_interpreter_bad_magic_is_typed(self):
+        design = _compile(14)
+        program = design.program
+        program.words = program.words.copy()
+        program.words[0] = np.uint32(0xDEAD)
+        with pytest.raises(BitstreamError, match="magic"):
+            GemInterpreter(program)
+
+    def test_interpreter_bad_version_is_typed(self):
+        design = _compile(15)
+        program = design.program
+        program.words = program.words.copy()
+        program.words[1] = np.uint32(999)
+        with pytest.raises(BitstreamError, match="version"):
+            GemInterpreter(program)

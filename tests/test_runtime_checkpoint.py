@@ -1,0 +1,180 @@
+"""Checkpoint/restore (repro.runtime.checkpoint): bit-identical resume,
+binary round trips, corruption rejection, and the rotating manager."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.boomerang import BoomerangConfig
+from repro.core.compiler import GemCompiler, GemConfig
+from repro.core.partition import PartitionConfig
+from repro.errors import CheckpointError
+from repro.harness.runner import compile_design, design_workloads
+from repro.runtime.checkpoint import (
+    CheckpointManager,
+    checkpoint_from_words,
+    checkpoint_to_words,
+    load_checkpoint,
+    restore,
+    save_checkpoint,
+    snapshot,
+)
+from tests.helpers import random_circuit, random_vectors
+
+
+def _compile(seed: int, **kwargs):
+    circuit = random_circuit(seed, n_ops=50, **kwargs)
+    design = GemCompiler(
+        GemConfig(
+            partition=PartitionConfig(gates_per_partition=400),
+            boomerang=BoomerangConfig(width_log2=10),
+        )
+    ).compile(circuit)
+    return circuit, design
+
+
+class TestSnapshotRestore:
+    def test_memory_roundtrip_bit_identical(self):
+        circuit, design = _compile(21, with_memory=True)
+        stimuli = random_vectors(circuit, 5, 40)
+        golden = design.simulator().run(stimuli)
+
+        sim = design.simulator()
+        for vec in stimuli[:23]:
+            sim.step(vec)
+        ckpt = snapshot(sim)
+        resumed = restore(design.simulator(), ckpt)
+        assert resumed.cycle == 23
+        assert resumed.run(stimuli[23:]) == golden[23:]
+
+    def test_counters_restored(self):
+        circuit, design = _compile(22)
+        stimuli = random_vectors(circuit, 1, 10)
+        sim = design.simulator()
+        sim.run(stimuli)
+        ckpt = snapshot(sim)
+        other = restore(design.simulator(), ckpt)
+        assert other.counters.cycles == sim.counters.cycles
+        assert other.counters.fold_steps == sim.counters.fold_steps
+
+    def test_restore_rejects_wrong_program(self):
+        circuit_a, design_a = _compile(23)
+        circuit_b, design_b = _compile(24)
+        sim = design_a.simulator()
+        sim.run(random_vectors(circuit_a, 0, 5))
+        with pytest.raises(CheckpointError, match="different bitstream"):
+            restore(design_b.simulator(), snapshot(sim))
+
+
+class TestBinaryFormat:
+    def test_words_roundtrip(self):
+        circuit, design = _compile(25, with_memory=True)
+        sim = design.simulator()
+        sim.run(random_vectors(circuit, 2, 17))
+        ckpt = snapshot(sim)
+        back = checkpoint_from_words(checkpoint_to_words(ckpt))
+        assert back.cycle == ckpt.cycle
+        assert back.program_digest == ckpt.program_digest
+        assert (back.global_state == ckpt.global_state).all()
+        assert len(back.ram_arrays) == len(ckpt.ram_arrays)
+        for a, b in zip(back.ram_arrays, ckpt.ram_arrays):
+            assert (a == b).all()
+        assert back.counters == ckpt.counters
+
+    def test_file_roundtrip_and_resume(self, tmp_path):
+        circuit, design = _compile(26)
+        stimuli = random_vectors(circuit, 3, 30)
+        golden = design.simulator().run(stimuli)
+        sim = design.simulator()
+        for vec in stimuli[:11]:
+            sim.step(vec)
+        path = str(tmp_path / "run.gemk")
+        save_checkpoint(snapshot(sim), path)
+        resumed = restore(design.simulator(), load_checkpoint(path))
+        assert resumed.run(stimuli[11:]) == golden[11:]
+
+    def test_corrupted_file_rejected(self, tmp_path):
+        circuit, design = _compile(27)
+        sim = design.simulator()
+        sim.run(random_vectors(circuit, 4, 8))
+        path = str(tmp_path / "bad.gemk")
+        save_checkpoint(snapshot(sim), path)
+        words = np.fromfile(path, dtype=np.uint32)
+        rng = np.random.default_rng(1)
+        for _ in range(20):
+            corrupted = words.copy()
+            index = int(rng.integers(corrupted.size))
+            corrupted[index] = np.uint32(int(corrupted[index]) ^ (1 << int(rng.integers(32))))
+            corrupted.tofile(path)
+            with pytest.raises(CheckpointError):
+                load_checkpoint(path)
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(CheckpointError):
+            load_checkpoint(str(tmp_path / "nope.gemk"))
+
+
+class TestCheckpointManager:
+    def test_rotation_keeps_newest(self, tmp_path):
+        circuit, design = _compile(28)
+        stimuli = random_vectors(circuit, 5, 30)
+        manager = CheckpointManager(str(tmp_path), every=5, keep=2)
+        sim = design.simulator()
+        for vec in stimuli:
+            sim.step(vec)
+            manager.maybe_save(sim)
+        paths = manager.paths()
+        assert len(paths) == 2
+        assert paths[-1].endswith(f"ckpt-{30:012d}.gemk")
+        assert manager.latest().cycle == 30
+
+    def test_latest_skips_corrupt_newest(self, tmp_path):
+        circuit, design = _compile(29)
+        manager = CheckpointManager(str(tmp_path), every=1, keep=5)
+        sim = design.simulator()
+        for vec in random_vectors(circuit, 6, 4):
+            sim.step(vec)
+            manager.save(sim)
+        newest = manager.paths()[-1]
+        words = np.fromfile(newest, dtype=np.uint32)
+        words[3] ^= np.uint32(1)
+        words.tofile(newest)
+        latest = manager.latest()
+        assert latest is not None
+        assert latest.cycle == 3  # newest loadable, not the torn file
+
+    def test_empty_directory(self, tmp_path):
+        manager = CheckpointManager(str(tmp_path / "none"), every=10)
+        assert manager.latest() is None
+        assert manager.paths() == []
+
+    def test_invalid_period_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            CheckpointManager(str(tmp_path), every=0)
+
+
+class TestRegistryDesignResume:
+    """Acceptance: interrupting and resuming an arbitrary cycle produces
+    bit-identical outputs on at least two registry designs."""
+
+    @pytest.mark.parametrize("name,cut", [("openpiton1", 37), ("rocketchip", 13)])
+    def test_resume_bit_identical(self, tmp_path, name, cut):
+        design = compile_design(name)
+        workloads = design_workloads(name)
+        wl = next(iter(workloads.values()))
+        stimuli = wl.stimuli[:60]
+        golden = design.simulator().run(stimuli)
+
+        # Interrupted run: stop mid-flight, persist, come back elsewhere.
+        sim = design.simulator()
+        for vec in stimuli[:cut]:
+            sim.step(vec)
+        path = str(tmp_path / f"{name}.gemk")
+        save_checkpoint(snapshot(sim), path)
+        del sim
+
+        resumed = restore(design.simulator(), load_checkpoint(path))
+        tail = resumed.run(stimuli[cut:])
+        assert tail == golden[cut:]
+        assert os.path.getsize(path) > 0

@@ -38,6 +38,7 @@ def test_openpiton1_workloads_on_gem(workload):
     assert _run_stream(design.simulator(), wl) == wl.expected_out
 
 
+@pytest.mark.slow
 def test_openpiton8_workload_on_pruned_gem():
     """The pruning extension stays bit-exact on the full multicore run."""
     design = compile_design("openpiton8")
@@ -47,6 +48,7 @@ def test_openpiton8_workload_on_pruned_gem():
     assert sim.blocks_skipped > 0  # pruning actually engaged
 
 
+@pytest.mark.slow
 def test_nvdla_checksum_on_gem():
     design = compile_design("nvdla")
     wl = design_workloads("nvdla")["pdpmax_int8_0"]
