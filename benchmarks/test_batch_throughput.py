@@ -1,0 +1,70 @@
+"""Experiment B1 — lane-batched packed-word throughput tracking.
+
+The tentpole acceptance of the lane-batched execution engine: packing
+B ≤ 64 stimulus lanes into every ``uint64`` state word must multiply
+cycles×lanes/sec throughput, because every fold/gather/writeback word op
+serves all lanes at once while the per-cycle interpreter overhead stays
+constant.  Running batch=1 sixty-four times sequentially delivers exactly
+the batch=1 ``lane_cycles_per_s``, so the batched-vs-sequential speedup
+is the ratio of that metric across batch sizes.
+
+Writes ``BENCH_batch.json`` at the repo root (cycles×lanes/sec for
+batch ∈ {1, 16, 64} on the rocketchip riscish-core workload) so the perf
+trajectory is tracked from this PR onward; the CI smoke job runs exactly
+this file.  Acceptance: batch=64 ≥ 10× the sequential lane throughput.
+"""
+
+import json
+import os
+
+from benchmarks.conftest import run_once
+from repro.harness.runner import measure_batch_throughput
+
+BENCH_PATH = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), os.pardir, "BENCH_batch.json")
+)
+DESIGN = "rocketchip"
+BATCHES = (1, 16, 64)
+CYCLES = 60
+
+
+def test_batch_throughput(benchmark, record_experiment):
+    # Warm the compile cache and interpreter code paths so the batch=1
+    # row is not penalized by first-touch costs.
+    measure_batch_throughput(DESIGN, batch=1, max_cycles=5)
+
+    def measure():
+        return [
+            measure_batch_throughput(DESIGN, batch=batch, max_cycles=CYCLES)
+            for batch in BATCHES
+        ]
+
+    rows = run_once(benchmark, measure)
+    by_batch = {row["batch"]: row for row in rows}
+    sequential = by_batch[1]["lane_cycles_per_s"]
+    payload = {
+        "design": DESIGN,
+        "workload": rows[0]["workload"],
+        "cycles": CYCLES,
+        "rows": rows,
+        "speedups_vs_sequential": {
+            str(batch): by_batch[batch]["lane_cycles_per_s"] / sequential
+            for batch in BATCHES
+        },
+    }
+    with open(BENCH_PATH, "w") as f:
+        json.dump(payload, f, indent=2, sort_keys=True)
+    record_experiment("batch_throughput", payload)
+
+    print(f"\nlane throughput on {DESIGN}/{payload['workload']} ({CYCLES} cycles):")
+    for batch in BATCHES:
+        row = by_batch[batch]
+        print(
+            f"  batch {batch:3d}: {row['lane_cycles_per_s']:12.0f} lane-cycles/s "
+            f"({payload['speedups_vs_sequential'][str(batch)]:6.2f}x sequential)"
+        )
+    speedup64 = payload["speedups_vs_sequential"]["64"]
+    assert speedup64 >= 10.0, (
+        f"batch=64 delivers only {speedup64:.2f}x the sequential lane "
+        f"throughput (acceptance floor: 10x)"
+    )

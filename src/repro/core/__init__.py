@@ -28,4 +28,8 @@ def __getattr__(name: str):
         from repro.core import compiler
 
         return getattr(compiler, name)
+    if name in ("ExecutionEngine", "WORD_LANES"):
+        from repro.core import engine
+
+        return getattr(engine, name)
     raise AttributeError(f"module 'repro.core' has no attribute {name!r}")

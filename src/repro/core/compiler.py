@@ -92,8 +92,10 @@ class CompiledDesign:
     program: GemProgram
     report: CompileReport
 
-    def simulator(self) -> "GemSimulator":
-        return GemSimulator(self.program)
+    def simulator(self, batch: int = 1) -> "GemSimulator":
+        """An execution engine for this design; ``batch`` packs that many
+        independent stimulus lanes into every state word (docs/ENGINE.md)."""
+        return GemSimulator(self.program, batch=batch)
 
 
 class GemSimulator(GemInterpreter):
@@ -101,7 +103,10 @@ class GemSimulator(GemInterpreter):
 
     A thin veneer over :class:`~repro.core.interpreter.GemInterpreter`:
     word-valued inputs in, word-valued outputs out, with the per-cycle work
-    counters exposed for the performance model.
+    counters exposed for the performance model.  Construct with
+    ``batch=B`` to simulate up to 64 independent stimulus streams per
+    bitwise op (``step``/``run`` then address lane 0; ``step_lanes`` /
+    ``outputs_lanes`` address every lane).
     """
 
 

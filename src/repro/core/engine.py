@@ -1,0 +1,156 @@
+"""Packed-word lane engine: ``B ≤ 64`` stimulus streams per bitwise op.
+
+The paper's Observation 3 is that every boolean vector operation of the
+interpreter stands in for one 32-bit bitwise GPU instruction per thread.
+A ``dtype=bool`` NumPy lane therefore wastes 63/64 of every machine word
+on a single simulation instance.  :class:`ExecutionEngine` recovers that
+headroom the way word-packed batched-stimulus simulators do (GATSPI's
+packed gate evaluation, Parendi's thousand-way RTL batches — see
+PAPERS.md): every element of global state, every partition-local slot,
+and every fold operand is a ``uint64`` word whose bit ``l`` carries lane
+``l``'s value, so one XOR/AND/OR evaluates up to 64 independent stimulus
+streams at once.
+
+Layout invariants the rest of the runtime relies on:
+
+* lane ``l`` of element ``i`` is ``(state[i] >> l) & 1``;
+* lanes ``>= batch`` (the inactive lanes) are identically zero — fold
+  constants are masked to :attr:`ExecutionEngine.lane_mask`, so garbage
+  can never propagate into them and whole-word comparisons (state
+  digests, pruning source caches, checkpoints) stay deterministic;
+* at ``batch == 1`` every word is ``0`` or ``1`` and the engine is
+  bit-for-bit the old boolean interpreter (the compatibility the
+  single-instance ``step(dict) -> dict`` API keeps verbatim).
+
+The conversion helpers use ``int.to_bytes``/``np.unpackbits`` rather than
+per-bit Python loops, so primary-input injection and output extraction
+are vectorized even at ``batch == 1``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+#: lanes carried by one packed word (the GPU register width GEM targets)
+WORD_LANES = 64
+
+_ONE = np.uint64(1)
+_ZERO = np.uint64(0)
+_ALL = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+
+def int_to_bits(value: int, nbits: int) -> np.ndarray:
+    """Little-endian bit vector of ``value`` (bool, vectorized, any width)."""
+    nbytes = (nbits + 7) // 8
+    raw = np.frombuffer(
+        (value & ((1 << nbits) - 1)).to_bytes(nbytes, "little"), dtype=np.uint8
+    )
+    return np.unpackbits(raw, bitorder="little")[:nbits].astype(bool)
+
+
+def bits_to_int(bits: np.ndarray) -> int:
+    """Inverse of :func:`int_to_bits` (accepts any 0/1 integer array)."""
+    packed = np.packbits(np.asarray(bits, dtype=bool), bitorder="little")
+    return int.from_bytes(packed.tobytes(), "little")
+
+
+class ExecutionEngine:
+    """Word-level ALU for ``batch`` packed stimulus lanes.
+
+    Owns the packed-lane representation: how constants broadcast across
+    lanes, how per-lane integers (primary inputs, RAM addresses and data)
+    convert to and from bit-plane words, and the fold step itself.  The
+    interpreter holds the decoded program and drives these primitives.
+    """
+
+    def __init__(self, batch: int = 1) -> None:
+        if not 1 <= batch <= WORD_LANES:
+            raise ValueError(f"batch must be in [1, {WORD_LANES}], got {batch}")
+        self.batch = batch
+        #: active-lane mask: bit ``l`` set for every lane ``l < batch``
+        self.lane_mask = _ALL if batch == WORD_LANES else np.uint64((1 << batch) - 1)
+        self.lane_shifts = np.arange(batch, dtype=np.uint64)
+        self.lane_index = np.arange(batch)
+
+    # -- state allocation -----------------------------------------------------
+
+    def zeros(self, n: int) -> np.ndarray:
+        return np.zeros(n, dtype=np.uint64)
+
+    def const_mask(self, flags: np.ndarray) -> np.ndarray:
+        """Per-element lane mask for decoded boolean constants.
+
+        A fold/XOR/OR constant of 1 applies to *every* lane (the same
+        program serves all stimulus streams), but only to the active
+        ones — masking here is what keeps inactive lanes identically 0.
+        """
+        return np.where(np.asarray(flags, dtype=bool), self.lane_mask, _ZERO)
+
+    def scalar_mask(self, flag: bool) -> np.uint64:
+        return self.lane_mask if flag else _ZERO
+
+    # -- the hot-loop primitive ----------------------------------------------
+
+    @staticmethod
+    def fold_step(
+        vec: np.ndarray, xor_a: np.ndarray, xor_b: np.ndarray, or_b: np.ndarray
+    ) -> np.ndarray:
+        """One boomerang fold: halves ``vec``, all lanes in parallel."""
+        return (vec[0::2] ^ xor_a) & ((vec[1::2] ^ xor_b) | or_b)
+
+    # -- integers <-> packed bit-plane words ----------------------------------
+
+    def broadcast_int(self, value: int, nbits: int) -> np.ndarray:
+        """``value``'s bits replicated across every active lane."""
+        return np.where(int_to_bits(value, nbits), self.lane_mask, _ZERO)
+
+    def pack_lanes(self, values: Sequence[int], nbits: int) -> np.ndarray:
+        """Per-lane integers to ``(nbits,)`` packed words (arbitrary width)."""
+        if self.batch == 1:
+            return int_to_bits(values[0], nbits).astype(np.uint64)
+        words = np.zeros(nbits, dtype=np.uint64)
+        for lane, value in enumerate(values):
+            words |= int_to_bits(value, nbits).astype(np.uint64) << np.uint64(lane)
+        return words
+
+    def lane_int(self, words: np.ndarray, lane: int) -> int:
+        """One lane's integer value from packed bit-plane words."""
+        return bits_to_int((words >> np.uint64(lane)) & _ONE)
+
+    def lane_bits(self, word: np.uint64) -> np.ndarray:
+        """One packed word split into its per-lane bits, shape ``(batch,)``."""
+        return ((word >> self.lane_shifts) & _ONE).astype(np.uint8)
+
+    def lane_values(self, words: np.ndarray, weights: np.ndarray) -> np.ndarray:
+        """Per-lane small integers (RAM addresses/data) from bit planes.
+
+        ``words[i]`` carries bit ``i`` of every lane; ``weights[i]`` is
+        ``2**i`` as ``uint64``.  Returns shape ``(batch,)``.  This is the
+        vectorized replacement for the per-bit ``bits_value`` helper.
+        """
+        lane_bits = (words[:, None] >> self.lane_shifts[None, :]) & _ONE
+        return (lane_bits * weights[:, None]).sum(axis=0, dtype=np.uint64)
+
+    def pack_lane_values(self, values: np.ndarray, nbits: int) -> np.ndarray:
+        """Per-lane small integers back into ``(nbits,)`` bit-plane words."""
+        bits = (values[None, :] >> np.arange(nbits, dtype=np.uint64)[:, None]) & _ONE
+        return (bits << self.lane_shifts[None, :]).sum(axis=1, dtype=np.uint64)
+
+    # -- deferred-write commit ------------------------------------------------
+
+    @staticmethod
+    def merge(dst: np.ndarray, gidx: np.ndarray, values: np.ndarray, mask) -> None:
+        """Commit a deferred scatter; ``mask`` (a packed lane word or
+        ``None``) restricts the merge to the lanes whose write enable was
+        set — the per-lane generalization of 'no deferred write at all'."""
+        if mask is None:
+            dst[gidx] = values
+        else:
+            dst[gidx] = (dst[gidx] & ~mask) | (values & mask)
+
+
+def weights(nbits: int) -> np.ndarray:
+    """``[1, 2, 4, ...]`` as ``uint64``, precomputed once per RAM port."""
+    return _ONE << np.arange(nbits, dtype=np.uint64)

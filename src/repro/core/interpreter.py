@@ -6,7 +6,7 @@ DESIGN.md §2).  It decodes the *binary* bitstream produced by
 executes simulated cycles with the exact semantics the CUDA interpreter
 implements:
 
-* one **global state** bit vector (GPU global memory); primary inputs are
+* one **global state** vector (GPU global memory); primary inputs are
   host-written, flip-flop outputs / RAM read data / stage-cut values live
   at allocated indices;
 * per cycle, every partition (thread block): loads its sources (READ),
@@ -16,26 +16,36 @@ implements:
   (cooperative groups in the paper); *deferred* global writes (FF next
   states, RAM read data) commit at the cycle boundary so every block reads
   consistent previous-cycle state, while *immediate* writes (cut values,
-  primary outputs) are visible to later stages within the cycle;
-* the NumPy arrays play the role of the GPU's word-parallel ALUs: one
-  boolean vector op here corresponds to one 32-bit bitwise instruction per
-  thread there (Observation 3 of the paper).
+  primary outputs) are visible to later stages within the cycle.
+
+Every state element is a **packed ``uint64`` word carrying up to 64
+independent stimulus lanes** (:mod:`repro.core.engine`): one vector op
+here corresponds to one bitwise instruction per GPU thread there
+(Observation 3 of the paper), and with ``batch=B`` each such op advances
+``B`` simulation instances at once.  RAM blocks hold one image per lane
+and their addressing is per-lane.  ``batch=1`` preserves the original
+single-instance semantics verbatim: ``step(dict) -> dict`` behaves
+bit-identically to the historical boolean engine.
 
 The interpreter also keeps the per-cycle work counters (instruction words
 fetched, fold steps, synchronizations, global traffic) that feed the
-analytical GPU timing model in :mod:`repro.core.perfmodel`.
+analytical GPU timing model in :mod:`repro.core.perfmodel`; the counters
+are lane-aware so amortized per-lane work is reportable.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable, Mapping
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
 
 import numpy as np
 
 from repro.core import isa
 from repro.core.bitstream import MAGIC, VERSION, GemProgram, verify_integrity
+from repro.core.engine import ExecutionEngine, bits_to_int, weights
 from repro.errors import BitstreamError
+
+_ONE = np.uint64(1)
 
 
 @dataclass
@@ -43,6 +53,7 @@ class _DecodedLayer:
     eff_width_log2: int
     #: dense gather indices into local state, size 2**eff (0 = const slot)
     gather: np.ndarray
+    #: per fold step: lane-masked uint64 constant words
     xor_a: list[np.ndarray]
     xor_b: list[np.ndarray]
     or_b: list[np.ndarray]
@@ -51,24 +62,49 @@ class _DecodedLayer:
 
 
 @dataclass
+class _DecodedRamOp:
+    """A RAM port with decode-time index/weight tables (no per-bit loops)."""
+
+    spec: isa.RamOp
+    raddr_slots: np.ndarray
+    raddr_inv: np.ndarray  # uint64 lane masks, one per address bit
+    waddr_slots: np.ndarray
+    waddr_inv: np.ndarray
+    wdata_slots: np.ndarray
+    wdata_inv: np.ndarray
+    ren_slot: int
+    ren_inv: np.uint64
+    wen_slot: int
+    wen_inv: np.uint64
+    addr_weights: np.ndarray
+    data_weights: np.ndarray
+    rd_gidx: np.ndarray
+
+
+@dataclass
 class _DecodedPartition:
     stage: int
     state_slots: int
     read_gidx: np.ndarray
     read_slots: np.ndarray
-    read_inv: np.ndarray
+    read_inv: np.ndarray  # uint64 lane masks
     layers: list[_DecodedLayer]
-    #: immediate global writes: (slots, inv, gidx)
+    #: immediate global writes: (slots, inv masks, gidx)
     gw_now: tuple[np.ndarray, np.ndarray, np.ndarray]
-    #: deferred global writes: (slots, inv, gidx)
+    #: deferred global writes: (slots, inv masks, gidx)
     gw_deferred: tuple[np.ndarray, np.ndarray, np.ndarray]
-    ramops: list[isa.RamOp]
+    ramops: list[_DecodedRamOp]
     instruction_words: int
 
 
 @dataclass
 class CycleCounters:
-    """Per-cycle work, accumulated over a run (perf-model inputs)."""
+    """Per-cycle work, accumulated over a run (perf-model inputs).
+
+    The work fields count *word* operations — one fold step or global
+    word transfer serves every packed lane at once — so ``lanes`` is the
+    amortization factor: divide by it for per-instance cost.
+    """
 
     cycles: int = 0
     instruction_words: int = 0
@@ -78,6 +114,8 @@ class CycleCounters:
     device_syncs: int = 0
     global_reads: int = 0
     global_writes: int = 0
+    #: stimulus lanes served by each counted word op (the batch size)
+    lanes: int = 1
 
     def per_cycle(self) -> dict:
         c = max(1, self.cycles)
@@ -91,13 +129,32 @@ class CycleCounters:
             "global_writes": self.global_writes / c,
         }
 
+    def per_lane_cycle(self) -> dict:
+        """Per-cycle work amortized over the packed stimulus lanes."""
+        lanes = max(1, self.lanes)
+        return {key: value / lanes for key, value in self.per_cycle().items()}
+
+    @property
+    def lane_cycles(self) -> int:
+        """Total simulated instance-cycles (cycles × lanes)."""
+        return self.cycles * max(1, self.lanes)
+
 
 class GemInterpreter:
-    """Execute an assembled GEM program cycle by cycle."""
+    """Execute an assembled GEM program cycle by cycle.
 
-    def __init__(self, program: GemProgram) -> None:
+    ``batch`` packs that many independent stimulus lanes into every state
+    word (§ :mod:`repro.core.engine`).  The single-instance API
+    (``step``/``outputs``/``run``) always addresses lane 0 and broadcasts
+    its inputs to all lanes; the lane API (``step_lanes`` etc.) drives
+    and observes every lane individually.
+    """
+
+    def __init__(self, program: GemProgram, batch: int = 1) -> None:
         self.program = program
         self.meta = program.meta
+        self.engine = ExecutionEngine(batch)
+        self.batch = batch
         words = program.words
         if words.size < 8 or int(words[0]) != MAGIC:
             raise BitstreamError("not a GEM bitstream (bad magic)")
@@ -121,14 +178,16 @@ class GemInterpreter:
             for i in range(num_parts)
         ]
         self.partitions = [
-            _decode_partition(words[start : start + length]) for start, length in offsets
+            _decode_partition(words[start : start + length], self.engine)
+            for start, length in offsets
         ]
         self.stage_indices: list[list[int]] = []
         cursor = 0
         for count in stage_counts:
             self.stage_indices.append(list(range(cursor, cursor + count)))
             cursor += count
-        # RAM data section follows the instruction stream.
+        # RAM data section follows the instruction stream.  Each block
+        # keeps one image per lane: shape (batch, depth).
         ram_base = table_base + 2 * num_parts + int(words[7])
         self.ram_arrays: list[np.ndarray] = []
         self.ram_shapes: list[tuple[int, int]] = []
@@ -137,33 +196,46 @@ class GemInterpreter:
             shape = int(words[pos])
             depth = int(words[pos + 1])
             self.ram_shapes.append((shape >> 16, shape & 0xFFFF))
-            self.ram_arrays.append(words[pos + 2 : pos + 2 + depth].astype(np.uint32).copy())
+            image = words[pos + 2 : pos + 2 + depth].astype(np.uint32)
+            self.ram_arrays.append(np.repeat(image[None, :], batch, axis=0).copy())
             pos += 2 + depth
         # Reset section: flip-flop init values as global bit indices.
         reset_count = int(words[pos])
         self._reset_ones = words[pos + 1 : pos + 1 + reset_count].astype(np.int64)
 
-        self.global_state = np.zeros(self.global_bits, dtype=bool)
-        self.global_state[self._reset_ones] = True
-        self._locals = [np.zeros(p.state_slots, dtype=bool) for p in self.partitions]
-        self.counters = CycleCounters()
+        # Decode-time index tables for vectorized PI scatter / PO gather.
+        self._pi_tables = {
+            name: np.asarray(indices, dtype=np.int64)
+            for name, indices in self.meta.pi_index.items()
+        }
+        self._po_tables = {
+            name: np.asarray(indices, dtype=np.int64)
+            for name, indices in self.meta.po_index.items()
+        }
+
+        self.global_state = self.engine.zeros(self.global_bits)
+        self.global_state[self._reset_ones] = self.engine.lane_mask
+        self._locals = [self.engine.zeros(p.state_slots) for p in self.partitions]
+        self.counters = CycleCounters(lanes=batch)
         self.cycle = 0
 
     # -- execution ------------------------------------------------------------
 
-    def _run_partition(self, part: _DecodedPartition, local: np.ndarray) -> list[tuple[np.ndarray, np.ndarray]]:
-        """Execute one block; returns deferred (gidx, values) scatters."""
+    def _run_partition(
+        self, part: _DecodedPartition, local: np.ndarray
+    ) -> list[tuple[np.ndarray, np.ndarray, np.uint64 | None]]:
+        """Execute one block; returns deferred (gidx, values, lane mask)
+        scatters (mask ``None`` = unconditional commit)."""
         gstate = self.global_state
-        local[:] = False
+        local[:] = 0
         if part.read_gidx.size:
             local[part.read_slots] = gstate[part.read_gidx] ^ part.read_inv
         counters = self.counters
+        fold_step = self.engine.fold_step
         for layer in part.layers:
             vec = local[layer.gather]
             for step in range(layer.eff_width_log2):
-                vec = (vec[0::2] ^ layer.xor_a[step]) & (
-                    (vec[1::2] ^ layer.xor_b[step]) | layer.or_b[step]
-                )
+                vec = fold_step(vec, layer.xor_a[step], layer.xor_b[step], layer.or_b[step])
                 positions, slots = layer.writebacks[step]
                 if positions.size:
                     local[slots] = vec[positions]
@@ -171,13 +243,13 @@ class GemInterpreter:
             counters.permutation_bits += layer.gather.size
         counters.layer_syncs += len(part.layers)
 
-        deferred: list[tuple[np.ndarray, np.ndarray]] = []
+        deferred: list[tuple[np.ndarray, np.ndarray, np.uint64 | None]] = []
         slots, inv, gidx = part.gw_now
         if gidx.size:
             gstate[gidx] = local[slots] ^ inv
         slots, inv, gidx = part.gw_deferred
         if gidx.size:
-            deferred.append((gidx, local[slots] ^ inv))
+            deferred.append((gidx, local[slots] ^ inv, None))
         for op in part.ramops:
             deferred.extend(self._run_ramop(op, local))
         counters.global_reads += int(part.read_gidx.size)
@@ -185,71 +257,171 @@ class GemInterpreter:
         counters.instruction_words += part.instruction_words
         return deferred
 
-    def _run_ramop(self, op: isa.RamOp, local: np.ndarray) -> list[tuple[np.ndarray, np.ndarray]]:
-        def bits_value(refs: list[tuple[int, bool]]) -> int:
-            value = 0
-            for i, (slot, inv) in enumerate(refs):
-                if bool(local[slot]) ^ inv:
-                    value |= 1 << i
-            return value
+    def _run_ramop(
+        self, op: _DecodedRamOp, local: np.ndarray
+    ) -> list[tuple[np.ndarray, np.ndarray, np.uint64 | None]]:
+        """One RAM port, all lanes at once, addresses computed per lane.
 
-        def bit_value(ref: tuple[int, bool]) -> bool:
-            slot, inv = ref
-            return bool(local[slot]) ^ inv
-
-        array = self.ram_arrays[op.ram_index]
-        deferred: list[tuple[np.ndarray, np.ndarray]] = []
-        if bit_value(op.ren):
-            raddr = bits_value(op.raddr)
-            word = int(array[raddr])  # read-first: sampled before the write
-            gidx = np.arange(op.rd_global_base, op.rd_global_base + op.data_bits)
-            values = np.array([(word >> b) & 1 for b in range(op.data_bits)], dtype=bool)
-            deferred.append((gidx, values))
-            self.counters.global_writes += op.data_bits
-        if bit_value(op.wen):
-            waddr = bits_value(op.waddr)
-            array[waddr] = bits_value(op.wdata)
+        Read-first semantics: the read samples the array *before* this
+        port's write lands, lane by lane.
+        """
+        eng = self.engine
+        ren = (local[op.ren_slot] ^ op.ren_inv) & eng.lane_mask
+        wen = (local[op.wen_slot] ^ op.wen_inv) & eng.lane_mask
+        array = self.ram_arrays[op.spec.ram_index]
+        deferred: list[tuple[np.ndarray, np.ndarray, np.uint64 | None]] = []
+        if ren:
+            raddr = eng.lane_values(local[op.raddr_slots] ^ op.raddr_inv, op.addr_weights)
+            lanes = np.nonzero(eng.lane_bits(ren))[0]
+            sampled = np.zeros(eng.batch, dtype=np.uint64)
+            sampled[lanes] = array[lanes, raddr[lanes]]  # before the write
+            values = eng.pack_lane_values(sampled, op.spec.data_bits)
+            deferred.append((op.rd_gidx, values, ren))
+            self.counters.global_writes += op.spec.data_bits
+        if wen:
+            waddr = eng.lane_values(local[op.waddr_slots] ^ op.waddr_inv, op.addr_weights)
+            wdata = eng.lane_values(local[op.wdata_slots] ^ op.wdata_inv, op.data_weights)
+            lanes = np.nonzero(eng.lane_bits(wen))[0]
+            array[lanes, waddr[lanes]] = wdata[lanes].astype(array.dtype)
         return deferred
 
-    def step(self, inputs: Mapping[str, int] | None = None) -> dict[str, int]:
-        """Simulate one cycle; returns the settled primary output words."""
+    # -- stimulus injection ---------------------------------------------------
+
+    def _inject_broadcast(self, inputs: Mapping[str, int] | None) -> None:
+        """Write one input vector to every lane (vectorized scatter)."""
         gstate = self.global_state
-        pi_index = self.meta.pi_index
-        for name, indices in pi_index.items():
+        engine = self.engine
+        for name, idx in self._pi_tables.items():
             value = (inputs or {}).get(name, 0)
-            for i, gidx in enumerate(indices):
-                gstate[gidx] = bool((value >> i) & 1)
-        deferred: list[tuple[np.ndarray, np.ndarray]] = []
+            gstate[idx] = engine.broadcast_int(value, idx.size)
+
+    def _inject_lanes(self, vecs: Sequence[Mapping[str, int]]) -> None:
+        """Write one input vector per lane."""
+        gstate = self.global_state
+        engine = self.engine
+        for name, idx in self._pi_tables.items():
+            values = [(vec or {}).get(name, 0) for vec in vecs]
+            first = values[0]
+            if all(v == first for v in values):
+                gstate[idx] = engine.broadcast_int(first, idx.size)
+            else:
+                gstate[idx] = engine.pack_lanes(values, idx.size)
+
+    # -- the cycle ------------------------------------------------------------
+
+    def _run_cycle(self) -> list[tuple[np.ndarray, np.ndarray, np.uint64 | None]]:
+        deferred: list[tuple[np.ndarray, np.ndarray, np.uint64 | None]] = []
         for stage_parts in self.stage_indices:
             for idx in stage_parts:
                 deferred.extend(
                     self._run_partition(self.partitions[idx], self._locals[idx])
                 )
             self.counters.device_syncs += 1
-        outs = self.outputs()
-        for gidx, values in deferred:
-            gstate[gidx] = values
+        return deferred
+
+    def _commit(self, deferred: list[tuple[np.ndarray, np.ndarray, np.uint64 | None]]) -> None:
+        gstate = self.global_state
+        merge = self.engine.merge
+        for gidx, values, mask in deferred:
+            merge(gstate, gidx, values, mask)
         self.counters.cycles += 1
         self.cycle += 1
+
+    def step(self, inputs: Mapping[str, int] | None = None) -> dict[str, int]:
+        """Simulate one cycle; returns the settled primary output words.
+
+        With ``batch > 1`` the inputs are broadcast to every lane and the
+        returned outputs are lane 0's (all lanes see identical stimulus
+        unless :meth:`step_lanes` is used).
+        """
+        self._inject_broadcast(inputs)
+        deferred = self._run_cycle()
+        outs = self.outputs()
+        self._commit(deferred)
         return outs
 
+    def step_lanes(
+        self, inputs: Sequence[Mapping[str, int]] | Mapping[str, int] | None = None
+    ) -> list[dict[str, int]]:
+        """Simulate one cycle with per-lane stimulus; returns per-lane outputs.
+
+        ``inputs`` is either one mapping (broadcast to all lanes) or a
+        sequence of exactly ``batch`` mappings, one per lane.
+        """
+        if inputs is None or isinstance(inputs, Mapping):
+            self._inject_broadcast(inputs)
+        else:
+            if len(inputs) != self.batch:
+                raise ValueError(
+                    f"expected {self.batch} per-lane input vectors, got {len(inputs)}"
+                )
+            self._inject_lanes(inputs)
+        deferred = self._run_cycle()
+        outs = self.outputs_lanes()
+        self._commit(deferred)
+        return outs
+
+    # -- observation ----------------------------------------------------------
+
     def outputs(self) -> dict[str, int]:
-        words: dict[str, int] = {}
+        """Lane 0's primary output words (vectorized gather)."""
         gstate = self.global_state
-        for name, indices in self.meta.po_index.items():
-            value = 0
-            for i, gidx in enumerate(indices):
-                if gstate[gidx]:
-                    value |= 1 << i
-            words[name] = value
-        return words
+        return {
+            name: bits_to_int(gstate[idx] & _ONE)
+            for name, idx in self._po_tables.items()
+        }
+
+    def outputs_lanes(self) -> list[dict[str, int]]:
+        """Primary output words of every lane."""
+        gstate = self.global_state
+        engine = self.engine
+        gathered = {name: gstate[idx] for name, idx in self._po_tables.items()}
+        return [
+            {name: engine.lane_int(words, lane) for name, words in gathered.items()}
+            for lane in range(self.batch)
+        ]
 
     def run(self, stimuli: Iterable[Mapping[str, int]]) -> list[dict[str, int]]:
         return [self.step(vec) for vec in stimuli]
 
+    def run_lanes(
+        self, stimuli: Iterable[Sequence[Mapping[str, int]] | Mapping[str, int]]
+    ) -> list[list[dict[str, int]]]:
+        """Per-cycle, per-lane outputs for a stream of (per-lane) stimuli."""
+        return [self.step_lanes(vec) for vec in stimuli]
 
-def _decode_partition(words: np.ndarray) -> _DecodedPartition:
-    """Decode one partition's instruction stream."""
+
+def _decode_ramop(op: isa.RamOp, engine: ExecutionEngine) -> _DecodedRamOp:
+    """Precompute index/inversion/weight tables for one RAM port."""
+
+    def refs(pairs: list[tuple[int, bool]]) -> tuple[np.ndarray, np.ndarray]:
+        slots = np.array([slot for slot, _ in pairs], dtype=np.int64)
+        inv = engine.const_mask(np.array([inv for _, inv in pairs], dtype=bool))
+        return slots, inv
+
+    raddr_slots, raddr_inv = refs(op.raddr)
+    waddr_slots, waddr_inv = refs(op.waddr)
+    wdata_slots, wdata_inv = refs(op.wdata)
+    return _DecodedRamOp(
+        spec=op,
+        raddr_slots=raddr_slots,
+        raddr_inv=raddr_inv,
+        waddr_slots=waddr_slots,
+        waddr_inv=waddr_inv,
+        wdata_slots=wdata_slots,
+        wdata_inv=wdata_inv,
+        ren_slot=op.ren[0],
+        ren_inv=engine.scalar_mask(op.ren[1]),
+        wen_slot=op.wen[0],
+        wen_inv=engine.scalar_mask(op.wen[1]),
+        addr_weights=weights(op.addr_bits),
+        data_weights=weights(op.data_bits),
+        rd_gidx=np.arange(op.rd_global_base, op.rd_global_base + op.data_bits),
+    )
+
+
+def _decode_partition(words: np.ndarray, engine: ExecutionEngine) -> _DecodedPartition:
+    """Decode one partition's instruction stream into lane-masked tables."""
     pos = 0
     stage = 0
     state_slots = 0
@@ -257,7 +429,7 @@ def _decode_partition(words: np.ndarray) -> _DecodedPartition:
     layers: list[_DecodedLayer] = []
     gw_now: list[tuple[int, bool, int]] = []
     gw_deferred: list[tuple[int, bool, int]] = []
-    ramops: list[isa.RamOp] = []
+    ramops: list[_DecodedRamOp] = []
     pending_perm: list[tuple[np.ndarray, np.ndarray]] = []
 
     while pos < len(words):
@@ -283,9 +455,9 @@ def _decode_partition(words: np.ndarray) -> _DecodedPartition:
                 _DecodedLayer(
                     eff_width_log2=eff,
                     gather=gather,
-                    xor_a=xor_a,
-                    xor_b=xor_b,
-                    or_b=or_b,
+                    xor_a=[engine.const_mask(a) for a in xor_a],
+                    xor_b=[engine.const_mask(b) for b in xor_b],
+                    or_b=[engine.const_mask(o) for o in or_b],
                     writebacks=[
                         (np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64))
                         for _ in range(eff)
@@ -308,7 +480,7 @@ def _decode_partition(words: np.ndarray) -> _DecodedPartition:
             for s, iv, g, d in zip(slots, inv, gidx, deferred_flags):
                 (gw_deferred if d else gw_now).append((int(s), bool(iv), int(g)))
         elif opcode is isa.Opcode.RAMOP:
-            ramops.append(isa.decode_ramop(inst))
+            ramops.append(_decode_ramop(isa.decode_ramop(inst), engine))
         else:  # pragma: no cover - parse_header already validates
             raise BitstreamError(f"unknown opcode {opcode}")
         pos += length
@@ -316,18 +488,18 @@ def _decode_partition(words: np.ndarray) -> _DecodedPartition:
     def pack_reads() -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         if not read_chunks:
             empty = np.zeros(0, dtype=np.int64)
-            return empty, empty, np.zeros(0, dtype=bool)
+            return empty, empty, engine.const_mask(np.zeros(0, dtype=bool))
         g = np.concatenate([c[0] for c in read_chunks])
         s = np.concatenate([c[1] for c in read_chunks])
         i = np.concatenate([c[2] for c in read_chunks])
-        return g, s, i
+        return g, s, engine.const_mask(i)
 
     def pack_gw(entries: list[tuple[int, bool, int]]):
         if not entries:
             empty = np.zeros(0, dtype=np.int64)
-            return empty.copy(), np.zeros(0, dtype=bool), empty.copy()
+            return empty.copy(), engine.const_mask(np.zeros(0, dtype=bool)), empty.copy()
         slots = np.array([e[0] for e in entries], dtype=np.int64)
-        inv = np.array([e[1] for e in entries], dtype=bool)
+        inv = engine.const_mask(np.array([e[1] for e in entries], dtype=bool))
         gidx = np.array([e[2] for e in entries], dtype=np.int64)
         return slots, inv, gidx
 

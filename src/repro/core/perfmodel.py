@@ -167,6 +167,40 @@ def gem_speed(design_or_metrics: CompiledDesign | GemMetrics, gpu: GpuProfile = 
     return 1.0 / gem_cycle_time(metrics, gpu)
 
 
+def gem_lane_throughput(
+    design_or_metrics: CompiledDesign | GemMetrics,
+    batch: int = 1,
+    gpu: GpuProfile = A100,
+) -> float:
+    """Simulated cycles×lanes per second of GEM with packed stimulus lanes.
+
+    A cycle's bitstream fetch and word compute are independent of how
+    many stimulus lanes each word carries (every counted word op in
+    :class:`~repro.core.interpreter.CycleCounters` serves all ``lanes``
+    at once), so lane throughput scales linearly with ``batch`` up to
+    the word width — the packed-word multiplier GATSPI/Parendi-style
+    batching buys on top of the single-instance :func:`gem_speed`.
+    """
+    from repro.core.engine import WORD_LANES
+
+    if not 1 <= batch <= WORD_LANES:
+        raise ValueError(f"batch must be in [1, {WORD_LANES}], got {batch}")
+    return batch * gem_speed(design_or_metrics, gpu)
+
+
+def lane_amortized_work(counters) -> dict:
+    """Measured per-lane per-cycle work from a run's ``CycleCounters``.
+
+    Thin adapter so table generators report the amortized cost of a
+    batched run next to the single-instance numbers
+    (:meth:`~repro.core.interpreter.CycleCounters.per_lane_cycle`).
+    """
+    work = counters.per_lane_cycle()
+    work["lanes"] = max(1, counters.lanes)
+    work["lane_cycles"] = counters.lane_cycles
+    return work
+
+
 def event_sim_speed(events_per_cycle: float, cpu: CpuProfile = XEON) -> float:
     """Simulated Hz of the commercial event-driven baseline."""
     t = cpu.event_cycle_overhead_s + events_per_cycle / cpu.event_rate

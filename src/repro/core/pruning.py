@@ -37,8 +37,8 @@ class PruningGemInterpreter(GemInterpreter):
     is measurable.
     """
 
-    def __init__(self, program) -> None:
-        super().__init__(program)
+    def __init__(self, program, batch: int = 1) -> None:
+        super().__init__(program, batch=batch)
         self._source_cache: list[np.ndarray | None] = [None] * len(self.partitions)
         self._stable_cycles: list[int] = [0] * len(self.partitions)
         self._index_of = {id(p): i for i, p in enumerate(self.partitions)}

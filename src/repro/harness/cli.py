@@ -53,6 +53,12 @@ def main_run(argv: list[str] | None = None) -> int:
     parser.add_argument("design", choices=sorted(DESIGNS))
     parser.add_argument("workload", nargs="?", help="workload name (default: first)")
     parser.add_argument("--max-cycles", type=int, default=None)
+    parser.add_argument(
+        "--batch", type=int, default=1, metavar="N",
+        help="pack N stimulus lanes (1..64) into every packed state word; "
+        "all lanes see the workload stimuli, outputs report lane 0 "
+        "(docs/ENGINE.md)",
+    )
     resilience = parser.add_argument_group("resilience (supervised execution)")
     resilience.add_argument(
         "--checkpoint-every", type=int, default=None, metavar="N",
@@ -86,7 +92,7 @@ def main_run(argv: list[str] | None = None) -> int:
     if supervised:
         return _run_supervised(args, wl)
     design = compile_design(args.design)
-    sim = design.simulator()
+    sim = design.simulator(batch=args.batch)
     stimuli = wl.stimuli[: args.max_cycles] if args.max_cycles else wl.stimuli
     t0 = time.time()
     observed = []
@@ -96,8 +102,9 @@ def main_run(argv: list[str] | None = None) -> int:
         if wl.valid_port in last and last.get(wl.valid_port):
             observed.append(last[wl.out_port])
     elapsed = time.time() - t0
-    print(f"{args.design}/{wl.name}: {len(stimuli)} cycles in {elapsed:.2f}s "
-          f"({len(stimuli) / max(elapsed, 1e-9):.0f} interpreted Hz on this host)")
+    lanes = f" x {args.batch} lanes" if args.batch > 1 else ""
+    print(f"{args.design}/{wl.name}: {len(stimuli)} cycles{lanes} in {elapsed:.2f}s "
+          f"({len(stimuli) * args.batch / max(elapsed, 1e-9):.0f} lane-cycles/s on this host)")
     if wl.expected_out is not None:
         status = "MATCH" if observed == wl.expected_out else "MISMATCH"
         print(f"observable output stream: {observed} [{status}]")
@@ -125,11 +132,13 @@ def _run_supervised(args, wl) -> int:
         checkpoint_dir=checkpoint_dir,
         scrub_every=args.scrub_every if args.scrub_every is not None else 1,
         resume=args.resume,
+        batch=args.batch,
     )
     elapsed = time.time() - t0
     print(f"{args.design}/{wl.name}: {result.report()}")
-    print(f"  {result.cycles} cycles in {elapsed:.2f}s "
-          f"({result.cycles / max(elapsed, 1e-9):.0f} supervised Hz on this host)")
+    print(f"  {result.cycles} cycles x {result.lanes} lanes in {elapsed:.2f}s "
+          f"({result.cycles * result.lanes / max(elapsed, 1e-9):.0f} "
+          f"supervised lane-cycles/s on this host)")
     observed = [
         out[wl.out_port]
         for out in result.outputs
@@ -161,6 +170,11 @@ def main_faultcampaign(argv: list[str] | None = None) -> int:
     parser.add_argument("--checkpoint-every", type=int, default=8)
     parser.add_argument("--scrub-every", type=int, default=1)
     parser.add_argument("--max-retries", type=int, default=3)
+    parser.add_argument(
+        "--sequential", action="store_true",
+        help="one supervised run per trial (legacy) instead of lane-batched "
+        "trials sharing a single run per fault class",
+    )
     args = parser.parse_args(argv)
     workloads = design_workloads(args.design)
     wl = workloads[args.workload or next(iter(workloads))]
@@ -175,6 +189,7 @@ def main_faultcampaign(argv: list[str] | None = None) -> int:
         checkpoint_every=args.checkpoint_every,
         scrub_every=args.scrub_every,
         max_retries=args.max_retries,
+        batched=not args.sequential,
     )
     print(report.summary())
     return 0 if report.passed else 1

@@ -14,11 +14,20 @@ equivalence tests are the same loop with asserts.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Mapping, Protocol, Sequence
+from typing import Callable, Iterable, Mapping, Protocol, Sequence
 
 
 class Steppable(Protocol):
     def step(self, inputs: Mapping[str, int] | None = None) -> dict[str, int]: ...
+
+
+class LaneSteppable(Protocol):
+    """A batched engine advancing many stimulus lanes per step
+    (:meth:`repro.core.interpreter.GemInterpreter.step_lanes`)."""
+
+    def step_lanes(
+        self, inputs: Mapping[str, int] | Sequence[Mapping[str, int]] | None = None
+    ) -> list[dict[str, int]]: ...
 
 
 def output_mismatches(
@@ -49,9 +58,12 @@ class Divergence:
     signals: dict[str, tuple[int, int]]  # name -> (reference, dut)
     inputs: dict[str, int]
     recent_inputs: list[dict[str, int]]
+    #: stimulus lane that diverged (``None`` for single-instance cosim)
+    lane: int | None = None
 
     def describe(self) -> str:
-        lines = [f"first divergence at cycle {self.cycle}:"]
+        where = f" (lane {self.lane})" if self.lane is not None else ""
+        lines = [f"first divergence at cycle {self.cycle}{where}:"]
         for name, (ref, dut) in sorted(self.signals.items()):
             lines.append(f"  {name}: reference={ref:#x} dut={dut:#x}")
         lines.append(f"  inputs that cycle: {self.inputs}")
@@ -118,6 +130,55 @@ def cosim(
         recent.append(vec)
         if len(recent) > history:
             recent.pop(0)
+    return result
+
+
+def cosim_lanes(
+    reference_factory: "Callable[[], Steppable]",
+    dut: LaneSteppable,
+    lane_stimuli: Sequence[Sequence[Mapping[str, int]]],
+    signals: Sequence[str] | None = None,
+    stop_on_divergence: bool = True,
+    history: int = 4,
+) -> CosimResult:
+    """Lane-batched cosim: B independent stimulus streams, one DUT.
+
+    The DUT advances every lane with a single :meth:`step_lanes` call per
+    cycle while ``reference_factory()`` builds one fresh single-instance
+    reference per lane, stepped with that lane's own stimuli — so each
+    packed lane of the batched engine is certified against an
+    independently-driven golden run.  The divergence report carries the
+    offending lane.
+    """
+    lanes = len(lane_stimuli)
+    result = CosimResult(cycles=0)
+    if lanes == 0:
+        return result
+    length = len(lane_stimuli[0])
+    if any(len(stream) != length for stream in lane_stimuli):
+        raise ValueError("all lane stimulus streams must have the same length")
+    refs = [reference_factory() for _ in range(lanes)]
+    recent: list[list[dict[str, int]]] = [[] for _ in range(lanes)]
+    for cycle in range(length):
+        vecs = [dict(stream[cycle]) for stream in lane_stimuli]
+        dut_outs = dut.step_lanes(vecs)
+        result.cycles = cycle + 1
+        for lane, (ref, vec) in enumerate(zip(refs, vecs)):
+            ref_out = ref.step(vec)
+            mismatches = output_mismatches(ref_out, dut_outs[lane], signals)
+            if mismatches and result.divergence is None:
+                result.divergence = Divergence(
+                    cycle=cycle,
+                    signals=mismatches,
+                    inputs=vec,
+                    recent_inputs=list(recent[lane]),
+                    lane=lane,
+                )
+                if stop_on_divergence:
+                    return result
+            recent[lane].append(vec)
+            if len(recent[lane]) > history:
+                recent[lane].pop(0)
     return result
 
 

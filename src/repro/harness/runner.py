@@ -227,6 +227,7 @@ def run_resilient(
     max_retries: int = 3,
     backoff_base: float = 0.0,
     resume: bool = False,
+    batch: int = 1,
 ) -> "SupervisedRun":
     """Execute a registry design's workload under the resilience supervisor.
 
@@ -234,7 +235,9 @@ def run_resilient(
     against a lockstep shadow, periodically checkpointed, and self-healing
     via checkpoint retry with degradation to the gate-level engine (see
     :mod:`repro.runtime.supervisor`).  With ``resume=True`` the run
-    continues from the newest loadable checkpoint in ``checkpoint_dir``.
+    continues from the newest loadable checkpoint in ``checkpoint_dir``;
+    ``batch`` packs that many stimulus lanes per state word (the result
+    then carries per-lane output streams — see docs/ENGINE.md).
     """
     from repro.runtime.checkpoint import CheckpointManager
     from repro.runtime.supervisor import Supervisor
@@ -262,5 +265,46 @@ def run_resilient(
         shadow=shadow,
         max_retries=max_retries,
         backoff_base=backoff_base,
+        batch=batch,
     )
     return supervisor.run(stimuli, resume_from=resume_from)
+
+
+def measure_batch_throughput(
+    name: str,
+    workload: str | None = None,
+    *,
+    batch: int = 1,
+    max_cycles: int | None = None,
+) -> dict:
+    """Wall-clock lane throughput of the packed-lane engine on a workload.
+
+    Drives a ``batch``-lane simulator with the workload's stimuli
+    (broadcast to every lane — the shape of a seed sweep where all lanes
+    share a stimulus program) and reports cycles×lanes per second, the
+    metric ``BENCH_batch.json`` tracks.  Running batch=1 B times
+    sequentially yields exactly the batch=1 ``lane_cycles_per_s``, so the
+    batched-vs-sequential speedup is the ratio of this metric across
+    batch sizes.
+    """
+    import time
+
+    design = compile_design(name)
+    workloads = design_workloads(name)
+    wl = workloads[workload or next(iter(workloads))]
+    stimuli = wl.stimuli[:max_cycles] if max_cycles else wl.stimuli
+    sim = design.simulator(batch=batch)
+    t0 = time.perf_counter()
+    for vec in stimuli:
+        sim.step(vec)
+    elapsed = max(time.perf_counter() - t0, 1e-9)
+    cycles = len(stimuli)
+    return {
+        "design": name,
+        "workload": wl.name,
+        "batch": batch,
+        "cycles": cycles,
+        "elapsed_s": elapsed,
+        "cycles_per_s": cycles / elapsed,
+        "lane_cycles_per_s": cycles * batch / elapsed,
+    }

@@ -4,8 +4,9 @@ Multi-hour campaigns cannot afford to restart from cycle 0 when a run is
 interrupted or corrupted.  A checkpoint captures everything the
 interpreter needs to continue *bit-identically*:
 
-* the global state bit vector (GPU global memory image),
-* every RAM block's contents,
+* the global state vector — packed ``uint64`` words carrying every
+  stimulus lane (GPU global memory image),
+* every RAM block's contents, one image per lane,
 * the cycle counter and the per-cycle work counters (perf-model inputs),
 * any deferred global writes still in flight (always empty at the cycle
   boundaries where :func:`snapshot` runs — the interpreter drains its
@@ -15,17 +16,24 @@ interpreter needs to continue *bit-identically*:
 Checkpoints are bound to their bitstream by the container's CRC32 digest:
 restoring against a different program raises
 :class:`~repro.errors.CheckpointError` instead of silently mixing state
-layouts.
+layouts.  They are also bound to the batch size: a lane-batched snapshot
+only restores into an interpreter with the same number of lanes.
 
-On-disk format (``uint32`` words, sealed by the same per-section CRC32
-footer as the bitstream — see :mod:`repro.core.integrity`)::
+On-disk format **v2** (``uint32`` words, sealed by the same per-section
+CRC32 footer as the bitstream — see :mod:`repro.core.integrity`)::
 
     section 0  header: magic 'GEMK', format version, cycle (lo, hi),
-               program digest, global bits, #rams, #deferred writes
+               program digest, global bits, #rams, #deferred writes, batch
     section 1  counters: 8 fixed-order fields as (lo, hi) u64 pairs
-    section 2  global state, bit-packed (np.packbits), padded to words
-    section 3  RAM images: per block, depth then the words
-    section 4  deferred writes: per entry, count, indices, packed values
+    section 2  global state: one packed uint64 per bit as (lo, hi) pairs
+    section 3  RAM images: per block, depth then batch×depth words
+               (lane-major)
+    section 4  deferred writes: per entry, count, indices, lane-mask flag
+               plus mask (lo, hi), packed values as (lo, hi) pairs
+
+Format **v1** files (single-instance boolean engine, bit-packed state)
+are still read and hydrate as ``batch=1`` checkpoints; new files are
+always written as v2.
 
 :class:`CheckpointManager` adds the operational layer: periodic rotating
 snapshots with atomic writes, and a ``latest()`` that walks backwards
@@ -47,7 +55,9 @@ from repro.errors import CheckpointError
 logger = logging.getLogger(__name__)
 
 CKPT_MAGIC = 0x47454D4B  # "GEMK"
-CKPT_VERSION = 1
+CKPT_VERSION = 2
+#: the pre-lane single-instance format, still readable
+CKPT_VERSION_V1 = 1
 
 #: fixed serialization order of the work-counter fields
 _COUNTER_FIELDS = (
@@ -68,24 +78,33 @@ class Checkpoint:
 
     cycle: int
     program_digest: int
+    #: packed lane words, shape (global_bits,), dtype uint64
     global_state: np.ndarray
+    #: per block, shape (batch, depth), dtype uint32
     ram_arrays: list[np.ndarray]
     counters: CycleCounters
-    #: (global indices, values) scatters not yet committed — empty for
-    #: boundary snapshots
-    deferred: list[tuple[np.ndarray, np.ndarray]] = field(default_factory=list)
+    #: stimulus lanes captured per state word
+    batch: int = 1
+    #: (global indices, packed values, lane mask or None) scatters not yet
+    #: committed — empty for boundary snapshots
+    deferred: list[tuple[np.ndarray, np.ndarray, np.uint64 | None]] = field(
+        default_factory=list
+    )
 
 
 def snapshot(interp: GemInterpreter) -> Checkpoint:
-    """Capture the interpreter's state between cycles."""
+    """Capture the interpreter's state between cycles (all lanes)."""
+    counters = CycleCounters(
+        **{name: getattr(interp.counters, name) for name in _COUNTER_FIELDS}
+    )
+    counters.lanes = interp.batch
     return Checkpoint(
         cycle=interp.cycle,
         program_digest=interp.program.digest(),
         global_state=interp.global_state.copy(),
         ram_arrays=[arr.copy() for arr in interp.ram_arrays],
-        counters=CycleCounters(
-            **{name: getattr(interp.counters, name) for name in _COUNTER_FIELDS}
-        ),
+        counters=counters,
+        batch=interp.batch,
     )
 
 
@@ -96,6 +115,11 @@ def restore(interp: GemInterpreter, ckpt: Checkpoint) -> GemInterpreter:
         raise CheckpointError(
             "checkpoint was taken against a different bitstream "
             f"(digest {ckpt.program_digest:#010x} != {interp.program.digest():#010x})"
+        )
+    if ckpt.batch != interp.batch:
+        raise CheckpointError(
+            f"checkpoint carries {ckpt.batch} stimulus lanes, "
+            f"interpreter runs {interp.batch}"
         )
     if ckpt.global_state.size != interp.global_state.size:
         raise CheckpointError(
@@ -109,8 +133,8 @@ def restore(interp: GemInterpreter, ckpt: Checkpoint) -> GemInterpreter:
         )
     interp.global_state[:] = ckpt.global_state
     for dst, src in zip(interp.ram_arrays, ckpt.ram_arrays):
-        if dst.size != src.size:
-            raise CheckpointError("checkpoint RAM image depth mismatch")
+        if dst.shape != src.shape:
+            raise CheckpointError("checkpoint RAM image shape mismatch")
         dst[:] = src
     interp.cycle = ckpt.cycle
     for name in _COUNTER_FIELDS:
@@ -129,8 +153,19 @@ def _from_pair(lo: int, hi: int) -> int:
     return (int(hi) << 32) | int(lo)
 
 
+def _words_to_u32(arr: np.ndarray) -> np.ndarray:
+    """uint64 lane words to little-endian (lo, hi) uint32 pairs."""
+    return np.ascontiguousarray(arr, dtype="<u8").view("<u4").astype(np.uint32)
+
+
+def _u32_to_words(words: np.ndarray, count: int) -> np.ndarray:
+    """Inverse of :func:`_words_to_u32`."""
+    raw = np.ascontiguousarray(words[: 2 * count], dtype="<u4")
+    return raw.view("<u8").astype(np.uint64)
+
+
 def _pack_bits(bits: np.ndarray) -> np.ndarray:
-    packed = np.packbits(bits.astype(np.uint8), bitorder="little")
+    packed = np.packbits(np.asarray(bits, dtype=bool), bitorder="little")
     pad = (-packed.size) % 4
     if pad:
         packed = np.concatenate([packed, np.zeros(pad, dtype=np.uint8)])
@@ -143,7 +178,7 @@ def _unpack_bits(words: np.ndarray, count: int) -> np.ndarray:
 
 
 def checkpoint_to_words(ckpt: Checkpoint) -> np.ndarray:
-    """Serialize to a sealed ``uint32`` container (see module docstring)."""
+    """Serialize to a sealed v2 ``uint32`` container (see module docstring)."""
     header = np.array(
         [
             CKPT_MAGIC,
@@ -153,6 +188,7 @@ def checkpoint_to_words(ckpt: Checkpoint) -> np.ndarray:
             ckpt.global_state.size,
             len(ckpt.ram_arrays),
             len(ckpt.deferred),
+            ckpt.batch,
         ],
         dtype=np.uint32,
     )
@@ -161,16 +197,21 @@ def checkpoint_to_words(ckpt: Checkpoint) -> np.ndarray:
         counter_words.extend(_u64_pair(getattr(ckpt.counters, name)))
     ram_words: list[np.ndarray] = []
     for arr in ckpt.ram_arrays:
-        ram_words.append(np.array([arr.size], dtype=np.uint32))
-        ram_words.append(arr.astype(np.uint32))
+        depth = arr.shape[-1] if arr.ndim == 2 else arr.size
+        ram_words.append(np.array([depth], dtype=np.uint32))
+        ram_words.append(np.ascontiguousarray(arr, dtype=np.uint32).reshape(-1))
     ram_section = (
         np.concatenate(ram_words) if ram_words else np.zeros(0, dtype=np.uint32)
     )
     deferred_words: list[np.ndarray] = []
-    for gidx, values in ckpt.deferred:
+    for gidx, values, mask in ckpt.deferred:
         deferred_words.append(np.array([gidx.size], dtype=np.uint32))
         deferred_words.append(gidx.astype(np.uint32))
-        deferred_words.append(_pack_bits(np.asarray(values, dtype=bool)))
+        mask_words = (
+            (0, 0, 0) if mask is None else (1, *_u64_pair(int(mask)))
+        )
+        deferred_words.append(np.array(mask_words, dtype=np.uint32))
+        deferred_words.append(_words_to_u32(np.asarray(values, dtype=np.uint64)))
     deferred_section = (
         np.concatenate(deferred_words) if deferred_words else np.zeros(0, dtype=np.uint32)
     )
@@ -178,62 +219,129 @@ def checkpoint_to_words(ckpt: Checkpoint) -> np.ndarray:
         [
             header,
             np.array(counter_words, dtype=np.uint32),
-            _pack_bits(ckpt.global_state),
+            _words_to_u32(ckpt.global_state),
             ram_section,
             deferred_section,
         ]
     )
 
 
-def checkpoint_from_words(words: np.ndarray) -> Checkpoint:
-    """Parse and CRC-verify a serialized checkpoint."""
-    sections = unseal(words, error=CheckpointError, what="checkpoint")
-    if len(sections) != 5:
-        raise CheckpointError(f"checkpoint: expected 5 sections, found {len(sections)}")
-    header, counter_sec, state_sec, ram_sec, deferred_sec = sections
-    if header.size < 8 or int(header[0]) != CKPT_MAGIC:
-        raise CheckpointError("not a GEM checkpoint (bad magic)")
-    if int(header[1]) != CKPT_VERSION:
-        raise CheckpointError(
-            f"unsupported checkpoint format version {int(header[1])} "
-            f"(supported: {CKPT_VERSION})"
-        )
+def _parse_v1(
+    header: np.ndarray,
+    state_sec: np.ndarray,
+    ram_sec: np.ndarray,
+    deferred_sec: np.ndarray,
+    counters: CycleCounters,
+) -> Checkpoint:
+    """Hydrate a pre-lane (bit-packed, single-instance) checkpoint as
+    ``batch=1`` packed words."""
     cycle = _from_pair(header[2], header[3])
-    digest = int(header[4])
     global_bits = int(header[5])
     num_rams = int(header[6])
     num_deferred = int(header[7])
-    if counter_sec.size != 2 * len(_COUNTER_FIELDS):
-        raise CheckpointError("checkpoint: counter section has wrong size")
-    counters = CycleCounters()
-    for i, name in enumerate(_COUNTER_FIELDS):
-        setattr(counters, name, _from_pair(counter_sec[2 * i], counter_sec[2 * i + 1]))
     if state_sec.size * 32 < global_bits:
         raise CheckpointError("checkpoint: global state section truncated")
-    global_state = _unpack_bits(state_sec, global_bits)
+    global_state = _unpack_bits(state_sec, global_bits).astype(np.uint64)
     ram_arrays: list[np.ndarray] = []
     pos = 0
     for _ in range(num_rams):
         if pos >= ram_sec.size:
             raise CheckpointError("checkpoint: RAM section truncated")
         depth = int(ram_sec[pos])
-        ram_arrays.append(ram_sec[pos + 1 : pos + 1 + depth].astype(np.uint32).copy())
+        image = ram_sec[pos + 1 : pos + 1 + depth].astype(np.uint32)
+        ram_arrays.append(image.reshape(1, -1).copy())
         pos += 1 + depth
-    deferred: list[tuple[np.ndarray, np.ndarray]] = []
+    deferred: list[tuple[np.ndarray, np.ndarray, np.uint64 | None]] = []
     pos = 0
     for _ in range(num_deferred):
         count = int(deferred_sec[pos])
         gidx = deferred_sec[pos + 1 : pos + 1 + count].astype(np.int64)
         packed_len = ((count + 7) // 8 + 3) // 4
         packed = deferred_sec[pos + 1 + count : pos + 1 + count + packed_len]
-        deferred.append((gidx, _unpack_bits(packed, count)))
+        deferred.append((gidx, _unpack_bits(packed, count).astype(np.uint64), None))
         pos += 1 + count + packed_len
+    return Checkpoint(
+        cycle=cycle,
+        program_digest=int(header[4]),
+        global_state=global_state,
+        ram_arrays=ram_arrays,
+        counters=counters,
+        batch=1,
+        deferred=deferred,
+    )
+
+
+def checkpoint_from_words(words: np.ndarray) -> Checkpoint:
+    """Parse and CRC-verify a serialized checkpoint (v2, or legacy v1)."""
+    sections = unseal(words, error=CheckpointError, what="checkpoint")
+    if len(sections) != 5:
+        raise CheckpointError(f"checkpoint: expected 5 sections, found {len(sections)}")
+    header, counter_sec, state_sec, ram_sec, deferred_sec = sections
+    if header.size < 8 or int(header[0]) != CKPT_MAGIC:
+        raise CheckpointError("not a GEM checkpoint (bad magic)")
+    version = int(header[1])
+    if version not in (CKPT_VERSION, CKPT_VERSION_V1):
+        raise CheckpointError(
+            f"unsupported checkpoint format version {version} "
+            f"(supported: {CKPT_VERSION_V1}, {CKPT_VERSION})"
+        )
+    if counter_sec.size != 2 * len(_COUNTER_FIELDS):
+        raise CheckpointError("checkpoint: counter section has wrong size")
+    counters = CycleCounters()
+    for i, name in enumerate(_COUNTER_FIELDS):
+        setattr(counters, name, _from_pair(counter_sec[2 * i], counter_sec[2 * i + 1]))
+    if version == CKPT_VERSION_V1:
+        return _parse_v1(header, state_sec, ram_sec, deferred_sec, counters)
+
+    if header.size < 9:
+        raise CheckpointError("checkpoint: v2 header truncated")
+    cycle = _from_pair(header[2], header[3])
+    digest = int(header[4])
+    global_bits = int(header[5])
+    num_rams = int(header[6])
+    num_deferred = int(header[7])
+    batch = int(header[8])
+    if not 1 <= batch <= 64:
+        raise CheckpointError(f"checkpoint: invalid lane count {batch}")
+    counters.lanes = batch
+    if state_sec.size < 2 * global_bits:
+        raise CheckpointError("checkpoint: global state section truncated")
+    global_state = _u32_to_words(state_sec, global_bits)
+    ram_arrays: list[np.ndarray] = []
+    pos = 0
+    for _ in range(num_rams):
+        if pos >= ram_sec.size:
+            raise CheckpointError("checkpoint: RAM section truncated")
+        depth = int(ram_sec[pos])
+        span = batch * depth
+        if pos + 1 + span > ram_sec.size:
+            raise CheckpointError("checkpoint: RAM section truncated")
+        image = ram_sec[pos + 1 : pos + 1 + span].astype(np.uint32)
+        ram_arrays.append(image.reshape(batch, depth).copy())
+        pos += 1 + span
+    deferred: list[tuple[np.ndarray, np.ndarray, np.uint64 | None]] = []
+    pos = 0
+    for _ in range(num_deferred):
+        count = int(deferred_sec[pos])
+        gidx = deferred_sec[pos + 1 : pos + 1 + count].astype(np.int64)
+        pos += 1 + count
+        has_mask, mask_lo, mask_hi = (
+            int(deferred_sec[pos]),
+            deferred_sec[pos + 1],
+            deferred_sec[pos + 2],
+        )
+        mask = np.uint64(_from_pair(mask_lo, mask_hi)) if has_mask else None
+        pos += 3
+        values = _u32_to_words(deferred_sec[pos : pos + 2 * count], count)
+        deferred.append((gidx, values, mask))
+        pos += 2 * count
     return Checkpoint(
         cycle=cycle,
         program_digest=digest,
         global_state=global_state,
         ram_arrays=ram_arrays,
         counters=counters,
+        batch=batch,
         deferred=deferred,
     )
 

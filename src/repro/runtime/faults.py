@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.core.bitstream import GemProgram
 from repro.core.compiler import CompiledDesign
+from repro.core.engine import WORD_LANES
 from repro.core.interpreter import GemInterpreter
 from repro.errors import BitstreamError
 from repro.runtime.supervisor import Supervisor
@@ -62,16 +63,31 @@ class FaultInjector:
         self.records.append(record)
         return GemProgram(words=words, meta=program.meta), record
 
-    def flip_state_bit(self, interp: GemInterpreter, cycle: int = -1) -> FaultRecord:
-        """Flip one random bit of the global state vector in place."""
+    def flip_state_bit(
+        self, interp: GemInterpreter, cycle: int = -1, lane: int | None = None
+    ) -> FaultRecord:
+        """Flip one random bit of the global state vector in place.
+
+        ``lane`` selects which stimulus lane of the packed state word is
+        upset (default: a random active lane), modelling an SEU that hits
+        one simulated instance of a batched run.
+        """
         index = self.rng.randrange(interp.global_state.size)
-        interp.global_state[index] = not interp.global_state[index]
-        record = FaultRecord(kind="state", location=f"global bit {index}", cycle=cycle)
+        if lane is None:
+            lane = self.rng.randrange(interp.batch) if interp.batch > 1 else 0
+        interp.global_state[index] = np.uint64(
+            int(interp.global_state[index]) ^ (1 << lane)
+        )
+        record = FaultRecord(
+            kind="state", location=f"global bit {index} lane {lane}", cycle=cycle
+        )
         self.records.append(record)
         return record
 
-    def flip_ram_bit(self, interp: GemInterpreter, cycle: int = -1) -> FaultRecord | None:
-        """Flip one random data bit of one RAM word in place.
+    def flip_ram_bit(
+        self, interp: GemInterpreter, cycle: int = -1, lane: int | None = None
+    ) -> FaultRecord | None:
+        """Flip one random data bit of one RAM word in one lane's image.
 
         Returns ``None`` when the design has no RAM blocks.
         """
@@ -81,14 +97,17 @@ class FaultInjector:
         if not candidates:
             return None
         ram = self.rng.choice(candidates)
-        word = self.rng.randrange(interp.ram_arrays[ram].size)
+        arr = interp.ram_arrays[ram]  # lane-major: (batch, depth)
+        if lane is None:
+            lane = self.rng.randrange(arr.shape[0]) if arr.shape[0] > 1 else 0
+        word = self.rng.randrange(arr.shape[1])
         data_bits = max(1, interp.ram_shapes[ram][1])
         bit = self.rng.randrange(data_bits)
-        interp.ram_arrays[ram][word] = np.uint32(
-            int(interp.ram_arrays[ram][word]) ^ (1 << bit)
-        )
+        arr[lane, word] = np.uint32(int(arr[lane, word]) ^ (1 << bit))
         record = FaultRecord(
-            kind="ram", location=f"ram {ram} word {word} bit {bit}", cycle=cycle
+            kind="ram",
+            location=f"ram {ram} word {word} bit {bit} lane {lane}",
+            cycle=cycle,
         )
         self.records.append(record)
         return record
@@ -161,6 +180,7 @@ def run_campaign(
     checkpoint_every: int = 8,
     scrub_every: int = 1,
     max_retries: int = 3,
+    batched: bool = True,
 ) -> CampaignReport:
     """Run a full SEU campaign against one compiled design.
 
@@ -169,6 +189,13 @@ def run_campaign(
     against a golden undisturbed run: a state or RAM fault counts as
     *recovered* only if the supervised run finishes undegraded with
     outputs bit-identical to the golden ones.
+
+    With ``batched`` (the default) the state/RAM trials of each fault
+    class share a single lane-batched supervised run: trial ``t``'s
+    upset lands in stimulus lane ``t`` at its own cycle, and recovery is
+    judged per lane against the golden stream.  ``trials`` beyond 64 run
+    in word-sized chunks.  ``batched=False`` keeps the legacy
+    one-supervised-run-per-trial loop.
     """
     stimuli = [dict(vec) for vec in stimuli]
     report = CampaignReport(design=name, cycles=len(stimuli), seed=seed)
@@ -191,7 +218,18 @@ def run_campaign(
 
     # -- state / RAM faults: scrub + checkpoint retry -------------------------
     kinds = ["state"] + (["ram"] if has_ram else [])
+    supervisor_args = dict(
+        checkpoint_every=checkpoint_every,
+        scrub_every=scrub_every,
+        shadow="redundant",
+        max_retries=max_retries,
+    )
     for kind in kinds:
+        if batched:
+            _run_batched_trials(
+                design, stimuli, golden, kind, trials, injector, supervisor_args
+            )
+            continue
         for _ in range(trials):
             inject_at = injector.rng.randrange(1, max(2, len(stimuli)))
             armed: dict[str, FaultRecord | None] = {"record": None}
@@ -203,14 +241,7 @@ def run_campaign(
                     else:
                         _armed["record"] = injector.flip_ram_bit(interp, cycle)
 
-            supervisor = Supervisor(
-                design,
-                checkpoint_every=checkpoint_every,
-                scrub_every=scrub_every,
-                shadow="redundant",
-                max_retries=max_retries,
-                fault_hook=hook,
-            )
+            supervisor = Supervisor(design, fault_hook=hook, **supervisor_args)
             result = supervisor.run(stimuli)
             record = armed["record"]
             if record is None:  # pragma: no cover - defensive
@@ -224,3 +255,75 @@ def run_campaign(
                     "degraded" if result.degraded else "outputs differ from golden"
                 )
     return report
+
+
+def _run_batched_trials(
+    design: CompiledDesign,
+    stimuli: list[dict[str, int]],
+    golden: list[dict[str, int]],
+    kind: str,
+    trials: int,
+    injector: FaultInjector,
+    supervisor_args: dict,
+) -> None:
+    """All ``trials`` upsets of one fault class in lane-batched runs.
+
+    Lane ``t`` carries trial ``t``: its fault is injected into that lane
+    only, so one supervised run exercises up to :data:`WORD_LANES`
+    detections and recoveries against the same broadcast stimuli.  The
+    scrub digest covers every lane, so each distinct injection cycle
+    produces its own detection/rollback event; per-trial recovery is
+    judged by comparing that lane's output stream to the golden run.
+    """
+    done = 0
+    while done < trials:
+        lanes = min(WORD_LANES, trials - done)
+        done += lanes
+        inject = [
+            (lane, injector.rng.randrange(1, max(2, len(stimuli))))
+            for lane in range(lanes)
+        ]
+        records: list[FaultRecord | None] = [None] * lanes
+
+        def hook(
+            interp: GemInterpreter,
+            cycle: int,
+            _kind=kind,
+            _inject=inject,
+            _records=records,
+        ) -> None:
+            for slot, (lane, at) in enumerate(_inject):
+                if cycle == at and _records[slot] is None:
+                    if _kind == "state":
+                        _records[slot] = injector.flip_state_bit(
+                            interp, cycle, lane=lane
+                        )
+                    else:
+                        _records[slot] = injector.flip_ram_bit(
+                            interp, cycle, lane=lane
+                        )
+
+        supervisor = Supervisor(
+            design, batch=lanes, fault_hook=hook, **supervisor_args
+        )
+        result = supervisor.run(stimuli)
+        # With scrub_every=1 every distinct injection cycle is caught by
+        # its own digest scrub; coincident injections share one event.
+        distinct_cycles = len({at for _, at in inject})
+        all_detected = result.faults_detected >= distinct_cycles
+        for slot, (lane, _at) in enumerate(inject):
+            record = records[slot]
+            if record is None:  # pragma: no cover - defensive
+                continue
+            record.detected = all_detected
+            if result.lane_outputs is not None:
+                stream = [per_cycle[lane] for per_cycle in result.lane_outputs]
+            else:
+                stream = result.outputs
+            record.recovered = not result.degraded and stream == golden
+            if not record.recovered:
+                record.detail = (
+                    "degraded"
+                    if result.degraded
+                    else f"lane {lane} outputs differ from golden"
+                )

@@ -53,10 +53,12 @@ logger = logging.getLogger(__name__)
 def state_digest(interp: GemInterpreter) -> int:
     """CRC32 over the interpreter's full mutable state.
 
-    Covers the global state vector and every RAM image — the complete
-    set of bits an SEU can corrupt between cycles.
+    Covers the packed global state words (every stimulus lane) and every
+    RAM image — the complete set of bits an SEU can corrupt between
+    cycles.  Inactive lanes are identically zero by the engine's layout
+    invariant, so the digest is deterministic at any batch size.
     """
-    h = zlib.crc32(np.packbits(interp.global_state.astype(np.uint8)).tobytes())
+    h = zlib.crc32(np.ascontiguousarray(interp.global_state, dtype="<u8").tobytes())
     for arr in interp.ram_arrays:
         h = zlib.crc32(np.ascontiguousarray(arr, dtype="<u4").tobytes(), h)
     return h & 0xFFFFFFFF
@@ -74,6 +76,11 @@ class SupervisedRun:
     faults_detected: int
     checkpoints_written: int
     events: list[str] = field(default_factory=list)
+    #: stimulus lanes executed per cycle (1 = single-instance run)
+    lanes: int = 1
+    #: per-cycle, per-lane outputs when the run is lane-batched
+    #: (``outputs`` then carries lane 0's stream for compatibility)
+    lane_outputs: list[list[dict[str, int]]] | None = None
 
     @property
     def healthy(self) -> bool:
@@ -126,6 +133,14 @@ class Supervisor:
         Exponential backoff between retries, in seconds
         (``backoff_base * 2**(attempt-1)``, clamped to ``backoff_cap``).
         The default base of 0 keeps tests and campaigns fast.
+    batch:
+        Stimulus lanes packed per state word (docs/ENGINE.md).  With
+        ``batch > 1`` the same stimuli drive every lane, the redundant
+        shadow runs lane-batched in lockstep, and the result carries
+        ``lane_outputs`` (per cycle, per lane) alongside the lane-0
+        ``outputs`` stream.  Reference (non-redundant) shadows model a
+        single instance and scrub lane 0's outputs only; the state-digest
+        scrub of the redundant shadow covers every lane.
     fault_hook:
         Test/campaign instrumentation: called as ``hook(interp, cycle)``
         after every committed cycle — fault injectors flip bits here.
@@ -145,6 +160,7 @@ class Supervisor:
         checkpoint_keep: int = 3,
         scrub_every: int | None = 1,
         shadow: str | Callable[[], Steppable] | None = "redundant",
+        batch: int = 1,
         max_retries: int = 3,
         backoff_base: float = 0.0,
         backoff_cap: float = 2.0,
@@ -156,6 +172,7 @@ class Supervisor:
         self.checkpoint_every = checkpoint_every
         self.scrub_every = scrub_every
         self.shadow_mode = shadow
+        self.batch = batch
         self.max_retries = max_retries
         self.backoff_base = backoff_base
         self.backoff_cap = backoff_cap
@@ -174,7 +191,7 @@ class Supervisor:
         if self.shadow_mode is None:
             return None
         if self.shadow_mode == "redundant":
-            return self.design.simulator()
+            return self.design.simulator(batch=self.batch)
         return self.shadow_mode()
 
     def _make_fallback(self) -> Steppable:
@@ -244,7 +261,7 @@ class Supervisor:
         """
         stimuli = [dict(vec) for vec in stimuli]
         events: list[str] = []
-        primary = self.design.simulator()
+        primary = self.design.simulator(batch=self.batch)
         shadow = self._make_shadow()
         start = 0
         if resume_from is not None:
@@ -264,6 +281,10 @@ class Supervisor:
             events.append(f"resumed from checkpoint at cycle {start}")
 
         outputs: list[dict[str, int]] = []
+        lane_outputs: list[list[dict[str, int]]] | None = (
+            [] if self.batch > 1 else None
+        )
+        redundant = self.shadow_mode == "redundant"
         recovery = _RecoveryPoint(
             ckpt=snapshot(primary),
             shadow_state=self._shadow_state(shadow),
@@ -279,8 +300,19 @@ class Supervisor:
         while i < len(stimuli):
             try:
                 vec = stimuli[i]
-                out = primary.step(vec)
-                shadow_out = shadow.step(vec) if shadow is not None else None
+                if self.batch > 1:
+                    lane_outs = primary.step_lanes(vec)
+                    out = lane_outs[0]
+                    lane_outputs.append(lane_outs)
+                    if shadow is not None and redundant:
+                        shadow_out = shadow.step_lanes(vec)[0]
+                    elif shadow is not None:
+                        shadow_out = shadow.step(vec)
+                    else:
+                        shadow_out = None
+                else:
+                    out = primary.step(vec)
+                    shadow_out = shadow.step(vec) if shadow is not None else None
                 outputs.append(out)
                 i += 1
                 if self.fault_hook is not None:
@@ -321,6 +353,8 @@ class Supervisor:
                 restore(primary, recovery.ckpt)
                 shadow = self._restore_shadow(shadow, recovery.shadow_state)
                 del outputs[recovery.outputs_len :]
+                if lane_outputs is not None:
+                    del lane_outputs[recovery.outputs_len :]
                 i = recovery.ckpt.cycle
                 events.append(
                     f"rolled back to checkpoint at cycle {i} "
@@ -336,6 +370,8 @@ class Supervisor:
             faults_detected=faults,
             checkpoints_written=checkpoints_written,
             events=events,
+            lanes=self.batch,
+            lane_outputs=lane_outputs,
         )
 
     def _degrade(
@@ -356,6 +392,11 @@ class Supervisor:
             out = fallback.step(vec)
             if cycle >= start:
                 outputs.append(out)
+        # Lanes all saw the same broadcast stimuli, so the single-instance
+        # fallback stream stands in for every lane.
+        lane_outputs = (
+            [[out] * self.batch for out in outputs] if self.batch > 1 else None
+        )
         return SupervisedRun(
             outputs=outputs,
             cycles=len(outputs),
@@ -365,4 +406,6 @@ class Supervisor:
             faults_detected=faults,
             checkpoints_written=checkpoints_written,
             events=events,
+            lanes=self.batch,
+            lane_outputs=lane_outputs,
         )

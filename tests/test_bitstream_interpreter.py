@@ -69,7 +69,8 @@ class TestBinaryFormat:
         b.output("d", b.read(rom, addr, sync=True))
         design = _compile(b.build())
         interp = GemInterpreter(design.program)
-        assert interp.ram_arrays[0][:4].tolist() == [7, 11, 13, 17]
+        # RAM images are lane-major: shape (batch, depth), lane 0 first
+        assert interp.ram_arrays[0][0, :4].tolist() == [7, 11, 13, 17]
 
 
 class TestEquivalence:

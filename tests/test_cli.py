@@ -40,6 +40,20 @@ class TestRunCommand:
         assert cli.main_run(["openpiton1", "nope"]) == 2
         assert "available" in capsys.readouterr().out
 
+    def test_run_batched_lanes(self, capsys):
+        assert cli.main_run([
+            "openpiton1", "ldst_quad2", "--batch", "16", "--max-cycles", "30",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "x 16 lanes" in out
+        assert "lane-cycles/s" in out
+
+    def test_run_batched_output_stream_matches(self, capsys):
+        """Lane 0 of a broadcast batched run reproduces the workload's
+        expected observable stream exactly."""
+        assert cli.main_run(["openpiton1", "ldst_quad2", "--batch", "8"]) == 0
+        assert "MATCH" in capsys.readouterr().out
+
 
 class TestCosimCommand:
     def test_cosim_passes(self, capsys):
@@ -85,6 +99,15 @@ class TestSupervisedRunCommand:
             "openpiton1", "ldst_quad2", "--max-cycles", "30", "--scrub-every", "5",
         ]) == 0
         assert "faults detected: 0" in capsys.readouterr().out
+
+    def test_supervised_batched_run(self, capsys):
+        assert cli.main_run([
+            "openpiton1", "ldst_quad2", "--max-cycles", "30",
+            "--scrub-every", "5", "--batch", "4",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "x 4 lanes" in out
+        assert "faults detected: 0" in out
 
 
 class TestFaultCampaignCommand:

@@ -1,0 +1,399 @@
+"""Packed-lane execution engine (repro.core.engine + lane-batched
+interpreter): helper round trips, lane equivalence against sequential
+runs, RAM read-first semantics, checkpoint v2/v1 behavior, batched cosim.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.boomerang import BoomerangConfig
+from repro.core.compiler import GemCompiler, GemConfig
+from repro.core.engine import (
+    WORD_LANES,
+    ExecutionEngine,
+    bits_to_int,
+    int_to_bits,
+    weights,
+)
+from repro.core.partition import PartitionConfig
+from repro.errors import CheckpointError
+from repro.harness.cosim import cosim_lanes
+from repro.rtl import Netlist, WordSim
+from repro.rtl.builder import CircuitBuilder
+from tests.helpers import random_circuit, random_vectors
+
+
+def _compile(circuit):
+    return GemCompiler(
+        GemConfig(
+            partition=PartitionConfig(gates_per_partition=400),
+            boomerang=BoomerangConfig(width_log2=10),
+        )
+    ).compile(circuit)
+
+
+def lane_vectors(circuit, batch: int, cycles: int, seed: int = 0):
+    """``batch`` independent stimulus streams, one per lane."""
+    return [random_vectors(circuit, seed + lane, cycles) for lane in range(batch)]
+
+
+class TestEngineHelpers:
+    @given(st.integers(min_value=0, max_value=(1 << 96) - 1), st.integers(1, 96))
+    @settings(max_examples=60, deadline=None)
+    def test_int_bits_roundtrip(self, value, nbits):
+        value &= (1 << nbits) - 1
+        assert bits_to_int(int_to_bits(value, nbits)) == value
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=(1 << 20) - 1), min_size=1, max_size=8),
+        st.integers(1, 6),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_pack_lanes_roundtrip(self, values, lane):
+        eng = ExecutionEngine(len(values))
+        words = eng.pack_lanes(values, 20)
+        for i, value in enumerate(values):
+            assert eng.lane_int(words, i) == value
+
+    def test_batch_bounds(self):
+        with pytest.raises(ValueError):
+            ExecutionEngine(0)
+        with pytest.raises(ValueError):
+            ExecutionEngine(WORD_LANES + 1)
+
+    def test_lane_mask_covers_active_lanes_only(self):
+        assert ExecutionEngine(1).lane_mask == np.uint64(1)
+        assert ExecutionEngine(3).lane_mask == np.uint64(0b111)
+        assert ExecutionEngine(64).lane_mask == np.uint64(0xFFFFFFFFFFFFFFFF)
+
+    def test_const_mask_broadcasts_to_active_lanes(self):
+        eng = ExecutionEngine(5)
+        masks = eng.const_mask(np.array([True, False, True]))
+        assert masks.tolist() == [0b11111, 0, 0b11111]
+
+    def test_lane_values_roundtrip(self):
+        eng = ExecutionEngine(4)
+        values = np.array([3, 14, 0, 9], dtype=np.uint64)
+        words = eng.pack_lane_values(values, 4)
+        assert (eng.lane_values(words, weights(4)) == values).all()
+
+    def test_merge_respects_lane_mask(self):
+        dst = np.array([0b1010], dtype=np.uint64)
+        gidx = np.array([0])
+        ExecutionEngine.merge(dst, gidx, np.array([0b0101], dtype=np.uint64), np.uint64(0b0011))
+        assert dst[0] == 0b1001  # low two lanes replaced, high two kept
+        ExecutionEngine.merge(dst, gidx, np.array([0b1111], dtype=np.uint64), None)
+        assert dst[0] == 0b1111  # no mask: plain overwrite
+
+
+@pytest.fixture(scope="module")
+def memory_design():
+    circuit = random_circuit(401, n_ops=50, n_regs=3, with_memory=True)
+    return circuit, _compile(circuit)
+
+
+class TestLaneEquivalence:
+    """Tentpole acceptance: a batch-B run is bit-identical to B
+    independent sequential runs, on a design with FFs and RAMs."""
+
+    @pytest.mark.parametrize("batch", [2, 7, 16])
+    def test_batched_matches_sequential(self, memory_design, batch):
+        circuit, design = memory_design
+        streams = lane_vectors(circuit, batch, 30, seed=50)
+        sequential = [design.simulator().run(streams[lane]) for lane in range(batch)]
+
+        sim = design.simulator(batch=batch)
+        for cycle in range(30):
+            outs = sim.step_lanes([streams[lane][cycle] for lane in range(batch)])
+            for lane in range(batch):
+                assert outs[lane] == sequential[lane][cycle], (
+                    f"lane {lane} diverged at cycle {cycle}"
+                )
+
+    def test_property_random_designs(self):
+        """Seeded-random sweep over fresh designs (FFs + RAM each time)."""
+        for seed in (402, 403):
+            circuit = random_circuit(seed, n_ops=40, n_regs=2, with_memory=True)
+            design = _compile(circuit)
+            batch = 3 + (seed % 4)
+            streams = lane_vectors(circuit, batch, 20, seed=seed)
+            sequential = [design.simulator().run(s) for s in streams]
+            batched = design.simulator(batch=batch).run_lanes(
+                [[s[c] for s in streams] for c in range(20)]
+            )
+            for lane in range(batch):
+                assert [row[lane] for row in batched] == sequential[lane]
+
+    def test_broadcast_lanes_identical(self, memory_design):
+        circuit, design = memory_design
+        stimuli = random_vectors(circuit, 60, 25)
+        golden = design.simulator().run(stimuli)
+        sim = design.simulator(batch=8)
+        for cycle, vec in enumerate(stimuli):
+            outs = sim.step_lanes(vec)  # one mapping: broadcast
+            assert all(out == golden[cycle] for out in outs)
+
+    def test_batch1_step_bit_identical(self, memory_design):
+        """The single-instance API is verbatim the batch=1 case."""
+        circuit, design = memory_design
+        stimuli = random_vectors(circuit, 61, 25)
+        assert design.simulator(batch=1).run(stimuli) == design.simulator().run(stimuli)
+
+    def test_inactive_lanes_stay_zero(self, memory_design):
+        """The engine's layout invariant: lanes >= batch never go live."""
+        circuit, design = memory_design
+        sim = design.simulator(batch=3)
+        streams = lane_vectors(circuit, 3, 20, seed=70)
+        sim.run_lanes([[s[c] for s in streams] for c in range(20)])
+        stale = ~np.uint64(0b111)
+        assert not (sim.global_state & stale).any()
+
+    def test_counters_report_lanes(self, memory_design):
+        circuit, design = memory_design
+        sim = design.simulator(batch=16)
+        sim.run(random_vectors(circuit, 62, 5))
+        assert sim.counters.lanes == 16
+        assert sim.counters.lane_cycles == 5 * 16
+        per_cycle = sim.counters.per_cycle()
+        per_lane = sim.counters.per_lane_cycle()
+        assert per_lane["fold_steps"] == pytest.approx(per_cycle["fold_steps"] / 16)
+
+
+class TestBatchedCheckpoint:
+    def test_checkpoint_resume_mid_batch(self, memory_design, tmp_path):
+        """Satellite acceptance: checkpoint/resume mid-run of a batched
+        simulation stays bit-identical to uninterrupted sequential runs."""
+        from repro.runtime.checkpoint import load_checkpoint, restore, save_checkpoint, snapshot
+
+        circuit, design = memory_design
+        batch, cycles, cut = 5, 30, 17
+        streams = lane_vectors(circuit, batch, cycles, seed=80)
+        per_cycle = [[s[c] for s in streams] for c in range(cycles)]
+        sequential = [design.simulator().run(s) for s in streams]
+
+        sim = design.simulator(batch=batch)
+        sim.run_lanes(per_cycle[:cut])
+        path = str(tmp_path / "mid.gemk")
+        save_checkpoint(snapshot(sim), path)
+        del sim
+
+        resumed = restore(design.simulator(batch=batch), load_checkpoint(path))
+        assert resumed.cycle == cut
+        tail = resumed.run_lanes(per_cycle[cut:])
+        for lane in range(batch):
+            assert [row[lane] for row in tail] == sequential[lane][cut:]
+
+    def test_restore_rejects_batch_mismatch(self, memory_design):
+        from repro.runtime.checkpoint import restore, snapshot
+
+        circuit, design = memory_design
+        sim = design.simulator(batch=4)
+        sim.run(random_vectors(circuit, 81, 5))
+        with pytest.raises(CheckpointError, match="lanes"):
+            restore(design.simulator(batch=2), snapshot(sim))
+
+    def test_v2_words_carry_batch(self, memory_design):
+        from repro.runtime.checkpoint import checkpoint_from_words, checkpoint_to_words, snapshot
+
+        circuit, design = memory_design
+        sim = design.simulator(batch=6)
+        streams = lane_vectors(circuit, 6, 12, seed=82)
+        sim.run_lanes([[s[c] for s in streams] for c in range(12)])
+        back = checkpoint_from_words(checkpoint_to_words(snapshot(sim)))
+        assert back.batch == 6
+        assert back.counters.lanes == 6
+        assert (back.global_state == sim.global_state).all()
+        for a, b in zip(back.ram_arrays, sim.ram_arrays):
+            assert a.shape == b.shape == (6, b.shape[1])
+            assert (a == b).all()
+
+    def test_v1_checkpoint_still_loads(self, memory_design):
+        """Acceptance: pre-lane (v1, bit-packed) files hydrate as batch=1
+        and resume bit-identically."""
+        from repro.core.integrity import seal
+        from repro.runtime.checkpoint import (
+            _COUNTER_FIELDS,
+            CKPT_MAGIC,
+            _pack_bits,
+            _u64_pair,
+            checkpoint_from_words,
+            restore,
+        )
+
+        circuit, design = memory_design
+        stimuli = random_vectors(circuit, 83, 30)
+        golden = design.simulator().run(stimuli)
+        sim = design.simulator()
+        for vec in stimuli[:14]:
+            sim.step(vec)
+
+        # Serialize sim's state exactly as the seed's v1 writer did:
+        # bit-packed global state, flat single-image RAM sections.
+        header = np.array(
+            [
+                CKPT_MAGIC,
+                1,
+                *_u64_pair(sim.cycle),
+                sim.program.digest() & 0xFFFFFFFF,
+                sim.global_state.size,
+                len(sim.ram_arrays),
+                0,
+            ],
+            dtype=np.uint32,
+        )
+        counter_words = []
+        for name in _COUNTER_FIELDS:
+            counter_words.extend(_u64_pair(getattr(sim.counters, name)))
+        state_sec = _pack_bits(sim.global_state.astype(bool))
+        ram_words = []
+        for arr in sim.ram_arrays:
+            flat = arr.reshape(-1)
+            ram_words.append(np.array([flat.size], dtype=np.uint32))
+            ram_words.append(flat.astype(np.uint32))
+        ram_sec = (
+            np.concatenate(ram_words) if ram_words else np.zeros(0, dtype=np.uint32)
+        )
+        v1_words = seal(
+            [
+                header,
+                np.array(counter_words, dtype=np.uint32),
+                state_sec,
+                ram_sec,
+                np.zeros(0, dtype=np.uint32),
+            ]
+        )
+
+        ckpt = checkpoint_from_words(v1_words)
+        assert ckpt.batch == 1
+        assert ckpt.cycle == 14
+        resumed = restore(design.simulator(), ckpt)
+        assert resumed.run(stimuli[14:]) == golden[14:]
+
+
+class TestRamReadFirst:
+    """Satellite: directed read-first coverage — ``ren`` and ``wen`` on
+    the same address in the same cycle must return the pre-write word."""
+
+    @pytest.fixture(scope="class")
+    def ram_design(self):
+        b = CircuitBuilder("readfirst")
+        addr = b.input("addr", 4)
+        wdata = b.input("wdata", 8)
+        wen = b.input("wen", 1)
+        ren = b.input("ren", 1)
+        mem = b.memory("mem", 16, 8, init=[0xA0 + i for i in range(16)])
+        b.write(mem, wen, addr, wdata)
+        b.output("rd", b.read(mem, addr, sync=True, en=ren))
+        circuit = b.build()
+        return circuit, _compile(circuit)
+
+    def test_same_address_same_cycle(self, ram_design):
+        circuit, design = ram_design
+        sim = design.simulator()
+        # Cycle 0: read and write address 5 together.
+        out = sim.step({"addr": 5, "wdata": 0x3C, "wen": 1, "ren": 1})
+        # Cycle 1: the registered read data is the OLD word, not 0x3C...
+        out = sim.step({"addr": 5, "wdata": 0, "wen": 0, "ren": 1})
+        assert out["rd"] == 0xA5
+        # ...and the write did land: the next read returns the new word.
+        out = sim.step({"addr": 0, "wdata": 0, "wen": 0, "ren": 0})
+        assert out["rd"] == 0x3C
+
+    def test_matches_word_level_golden(self, ram_design):
+        circuit, design = ram_design
+        import random
+
+        rng = random.Random(5)
+        stimuli = [
+            {
+                "addr": rng.randrange(16),
+                "wdata": rng.randrange(256),
+                "wen": rng.randrange(2),
+                "ren": rng.randrange(2),
+            }
+            for _ in range(40)
+        ]
+        # Force plenty of same-address read+write collisions.
+        for vec in stimuli[::3]:
+            vec["addr"], vec["wen"], vec["ren"] = 7, 1, 1
+        ref = WordSim(Netlist(circuit))
+        sim = design.simulator()
+        for cycle, vec in enumerate(stimuli):
+            assert sim.step(vec) == ref.step(vec), f"cycle {cycle}"
+
+    def test_per_lane_enables(self, ram_design):
+        """Lanes with ren=0 hold their read register; lanes with wen=0
+        keep their RAM image — enables are honored per lane."""
+        circuit, design = ram_design
+        batch = 4
+        streams = [
+            [
+                {
+                    "addr": 5,
+                    "wdata": 0x10 + lane,
+                    "wen": int(lane % 2 == 0),
+                    "ren": int(lane < 2),
+                },
+                {"addr": 5, "wdata": 0, "wen": 0, "ren": 1},
+                {"addr": 0, "wdata": 0, "wen": 0, "ren": 0},
+            ]
+            for lane in range(batch)
+        ]
+        sequential = [design.simulator().run(s) for s in streams]
+        batched = design.simulator(batch=batch).run_lanes(
+            [[s[c] for s in streams] for c in range(3)]
+        )
+        for lane in range(batch):
+            assert [row[lane] for row in batched] == sequential[lane]
+
+
+class TestBatchedCosim:
+    def test_each_lane_checked_against_reference(self, memory_design):
+        circuit, design = memory_design
+        batch = 4
+        streams = lane_vectors(circuit, batch, 20, seed=90)
+        result = cosim_lanes(
+            lambda: WordSim(Netlist(circuit)),
+            design.simulator(batch=batch),
+            streams,
+        )
+        assert result.passed
+        assert result.cycles == 20
+
+    def test_divergence_names_the_lane(self, memory_design):
+        circuit, design = memory_design
+        batch = 3
+        streams = lane_vectors(circuit, batch, 15, seed=91)
+
+        class LyingDut:
+            def __init__(self, sim, bad_lane):
+                self.sim, self.bad_lane = sim, bad_lane
+
+            def step_lanes(self, vecs):
+                outs = self.sim.step_lanes(vecs)
+                outs[self.bad_lane] = {
+                    k: v ^ 1 for k, v in outs[self.bad_lane].items()
+                }
+                return outs
+
+        result = cosim_lanes(
+            lambda: WordSim(Netlist(circuit)),
+            LyingDut(design.simulator(batch=batch), bad_lane=2),
+            streams,
+        )
+        assert not result.passed
+        assert result.divergence.lane == 2
+        assert "lane 2" in result.divergence.describe()
+
+    def test_mismatched_stream_lengths_rejected(self, memory_design):
+        circuit, design = memory_design
+        streams = lane_vectors(circuit, 2, 10, seed=92)
+        streams[1] = streams[1][:5]
+        with pytest.raises(ValueError, match="same length"):
+            cosim_lanes(
+                lambda: WordSim(Netlist(circuit)),
+                design.simulator(batch=2),
+                streams,
+            )

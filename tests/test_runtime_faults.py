@@ -187,6 +187,44 @@ class TestSupervisor:
         assert min(sup.backoff_cap, sup.backoff_base * 2**5) == 1.0
 
 
+class TestBatchedSupervisor:
+    def test_clean_batched_run_lane_outputs(self, compiled):
+        _, design, stimuli, golden = compiled
+        result = Supervisor(design, checkpoint_every=8, batch=4).run(stimuli)
+        assert not result.degraded
+        assert result.lanes == 4
+        assert result.outputs == golden
+        assert len(result.lane_outputs) == len(stimuli)
+        for per_cycle, expected in zip(result.lane_outputs, golden):
+            assert all(out == expected for out in per_cycle)
+
+    def test_lane_targeted_fault_detected_and_recovered(self, compiled):
+        """An SEU in lane 3 only is caught by the all-lane state digest
+        and rolled back; every lane's stream ends up golden."""
+        _, design, stimuli, golden = compiled
+        injector = FaultInjector(21)
+        fired = []
+
+        def hook(interp, cycle):
+            if cycle == 19 and not fired:
+                fired.append(cycle)
+                injector.flip_state_bit(interp, cycle, lane=3)
+
+        result = Supervisor(
+            design, checkpoint_every=8, batch=4, fault_hook=hook
+        ).run(stimuli)
+        assert result.faults_detected == 1
+        assert not result.degraded
+        for lane in range(4):
+            assert [row[lane] for row in result.lane_outputs] == golden
+
+    def test_batch1_has_no_lane_outputs(self, compiled):
+        _, design, stimuli, _ = compiled
+        result = Supervisor(design, checkpoint_every=8).run(stimuli)
+        assert result.lanes == 1
+        assert result.lane_outputs is None
+
+
 class TestCampaign:
     def test_campaign_passes_and_counts(self, compiled):
         """Acceptance: campaign report with injected/detected/recovered."""
@@ -209,3 +247,23 @@ class TestCampaign:
         a = run_campaign(design, stimuli[:20], trials=2, seed=9)
         b = run_campaign(design, stimuli[:20], trials=2, seed=9)
         assert [r.location for r in a.records] == [r.location for r in b.records]
+
+    def test_batched_trials_land_in_distinct_lanes(self, compiled):
+        """The batched campaign packs trial t into stimulus lane t."""
+        _, design, stimuli, _ = compiled
+        report = run_campaign(design, stimuli[:20], trials=3, seed=6)
+        state_lanes = [
+            r.location.rsplit("lane ", 1)[1]
+            for r in report.records
+            if r.kind == "state"
+        ]
+        assert sorted(state_lanes) == ["0", "1", "2"]
+
+    def test_sequential_mode_still_passes(self, compiled):
+        """Legacy one-run-per-trial path stays available behind a flag."""
+        _, design, stimuli, _ = compiled
+        report = run_campaign(
+            design, stimuli[:20], trials=2, seed=7, batched=False
+        )
+        assert report.passed
+        assert report.count("state", detected=True, recovered=True) == 2
