@@ -1,0 +1,90 @@
+"""Experiment C1 — stage-fused single-instance cycle latency.
+
+The tentpole acceptance of the stage-fused executor: at batch=1 the
+per-cycle cost of the legacy interpreter is dominated by NumPy dispatch
+(thousands of tiny kernels per cycle — the software analogue of the
+kernel-launch tax GEM's megakernel avoids, PAPER §III-E).  Fusing each
+stage into a handful of whole-stage array ops (constant-folded, CSE'd,
+wave-scheduled AND DAG; see docs/ENGINE.md §6) must therefore multiply
+batch=1 cycles/sec while staying bit-identical.
+
+Writes ``BENCH_cycle.json`` at the repo root (batch=1 cycles/sec for
+legacy vs fused on rocketchip + gemmini, plus the per-cycle array-op
+counts from the new ``CycleCounters`` fields) so the latency trajectory
+is tracked from this PR onward; the CI smoke job runs exactly this file.
+Acceptance: fused ≥ 5x legacy cycles/sec on rocketchip with the
+per-cycle array-op count reduced ≥ 10x; gemmini is tracked with softer
+floors (its DAG is deeper and wider, so dispatch amortizes less).
+"""
+
+import json
+import os
+
+from benchmarks.conftest import run_once
+from repro.harness.runner import measure_batch_throughput
+
+BENCH_PATH = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), os.pardir, "BENCH_cycle.json")
+)
+DESIGNS = ("rocketchip", "gemmini")
+MODES = ("legacy", "fused")
+CYCLES = 40
+WALL_FLOOR = {"rocketchip": 5.0, "gemmini": 3.0}
+OP_FLOOR = {"rocketchip": 10.0, "gemmini": 6.0}
+
+
+def test_cycle_latency(benchmark, record_experiment):
+    # Warm the compile cache and both engines' first-touch costs (decode,
+    # fusion, allocation) so neither mode pays them inside the timed run.
+    for design in DESIGNS:
+        for mode in MODES:
+            measure_batch_throughput(design, batch=1, max_cycles=5, engine_mode=mode)
+
+    def measure():
+        return [
+            measure_batch_throughput(design, batch=1, max_cycles=CYCLES, engine_mode=mode)
+            for design in DESIGNS
+            for mode in MODES
+        ]
+
+    rows = run_once(benchmark, measure)
+    by_key = {(row["design"], row["engine_mode"]): row for row in rows}
+    speedups = {}
+    op_ratios = {}
+    for design in DESIGNS:
+        legacy = by_key[(design, "legacy")]
+        fused = by_key[(design, "fused")]
+        speedups[design] = fused["cycles_per_s"] / legacy["cycles_per_s"]
+        op_ratios[design] = (
+            fused["array_ops_per_cycle"] / fused["fused_array_ops_per_cycle"]
+        )
+    payload = {
+        "cycles": CYCLES,
+        "batch": 1,
+        "rows": rows,
+        "fused_speedup": speedups,
+        "array_op_reduction": op_ratios,
+    }
+    with open(BENCH_PATH, "w") as f:
+        json.dump(payload, f, indent=2, sort_keys=True)
+    record_experiment("cycle_latency", payload)
+
+    print(f"\nbatch=1 cycle latency, legacy vs fused ({CYCLES} cycles):")
+    for design in DESIGNS:
+        legacy = by_key[(design, "legacy")]
+        fused = by_key[(design, "fused")]
+        print(
+            f"  {design:10s} legacy {legacy['cycles_per_s']:8.0f} c/s  "
+            f"fused {fused['cycles_per_s']:8.0f} c/s  "
+            f"({speedups[design]:5.2f}x wall, "
+            f"{op_ratios[design]:5.1f}x fewer array ops)"
+        )
+    for design in DESIGNS:
+        assert speedups[design] >= WALL_FLOOR[design], (
+            f"fused mode is only {speedups[design]:.2f}x legacy on {design} "
+            f"(acceptance floor: {WALL_FLOOR[design]}x)"
+        )
+        assert op_ratios[design] >= OP_FLOOR[design], (
+            f"fusion reduces per-cycle array ops only {op_ratios[design]:.1f}x "
+            f"on {design} (acceptance floor: {OP_FLOOR[design]}x)"
+        )

@@ -92,10 +92,16 @@ class CompiledDesign:
     program: GemProgram
     report: CompileReport
 
-    def simulator(self, batch: int = 1) -> "GemSimulator":
+    def simulator(
+        self, batch: int = 1, mode: str = "fused", profile: bool = False
+    ) -> "GemSimulator":
         """An execution engine for this design; ``batch`` packs that many
-        independent stimulus lanes into every state word (docs/ENGINE.md)."""
-        return GemSimulator(self.program, batch=batch)
+        independent stimulus lanes into every state word (docs/ENGINE.md).
+
+        ``mode`` selects the stage-fused executor (default) or the legacy
+        per-partition interpreter; ``profile`` enables per-phase timers.
+        """
+        return GemSimulator(self.program, batch=batch, mode=mode, profile=profile)
 
 
 class GemSimulator(GemInterpreter):

@@ -107,13 +107,22 @@ class ExecutionEngine:
         return np.where(int_to_bits(value, nbits), self.lane_mask, _ZERO)
 
     def pack_lanes(self, values: Sequence[int], nbits: int) -> np.ndarray:
-        """Per-lane integers to ``(nbits,)`` packed words (arbitrary width)."""
+        """Per-lane integers to ``(nbits,)`` packed words (arbitrary width).
+
+        Vectorized: all lanes' values become one ``(batch, nbytes)`` byte
+        matrix, one ``np.unpackbits`` yields the ``(batch, nbits)`` bit
+        plane, and a single shift-reduce packs each bit column into its
+        word — no per-lane Python loop.
+        """
         if self.batch == 1:
             return int_to_bits(values[0], nbits).astype(np.uint64)
-        words = np.zeros(nbits, dtype=np.uint64)
-        for lane, value in enumerate(values):
-            words |= int_to_bits(value, nbits).astype(np.uint64) << np.uint64(lane)
-        return words
+        nbytes = (nbits + 7) // 8
+        vmask = (1 << nbits) - 1
+        raw = b"".join((v & vmask).to_bytes(nbytes, "little") for v in values)
+        mat = np.frombuffer(raw, dtype=np.uint8).reshape(len(values), nbytes)
+        bits = np.unpackbits(mat, axis=1, bitorder="little")[:, :nbits]
+        shifted = bits.astype(np.uint64) << self.lane_shifts[: len(values), None]
+        return np.bitwise_or.reduce(shifted, axis=0)
 
     def lane_int(self, words: np.ndarray, lane: int) -> int:
         """One lane's integer value from packed bit-plane words."""

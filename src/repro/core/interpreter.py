@@ -31,10 +31,26 @@ The interpreter also keeps the per-cycle work counters (instruction words
 fetched, fold steps, synchronizations, global traffic) that feed the
 analytical GPU timing model in :mod:`repro.core.perfmodel`; the counters
 are lane-aware so amortized per-lane work is reportable.
+
+Two execution modes share those semantics bit-for-bit (docs/ENGINE.md §6):
+
+* ``mode="fused"`` (default) executes the decode-time stage fusion of
+  :mod:`repro.core.fused` — per-stage merged gathers, depth-grouped
+  liveness-compacted folds, coalesced commit tables — cutting the NumPy
+  dispatch count per cycle by an order of magnitude;
+* ``mode="legacy"`` walks the original per-partition loop, kept for
+  differential testing and for subclasses that hook ``_run_partition``.
+
+Decode and fusion results are memoized keyed by the bitstream CRC (plus
+container size and batch), so a Supervisor's primary+shadow pair and
+repeated ``GemSimulator`` instantiations decode and fuse exactly once —
+see :func:`decode_cache_stats`.
 """
 
 from __future__ import annotations
 
+import logging
+import time
 from dataclasses import dataclass
 from typing import Iterable, Mapping, Sequence
 
@@ -43,7 +59,15 @@ import numpy as np
 from repro.core import isa
 from repro.core.bitstream import MAGIC, VERSION, GemProgram, verify_integrity
 from repro.core.engine import ExecutionEngine, bits_to_int, weights
+from repro.core.fused import (
+    FusedExecutor,
+    FusionError,
+    count_legacy_array_ops,
+    fused_program,
+)
 from repro.errors import BitstreamError
+
+logger = logging.getLogger(__name__)
 
 _ONE = np.uint64(1)
 
@@ -114,6 +138,11 @@ class CycleCounters:
     device_syncs: int = 0
     global_reads: int = 0
     global_writes: int = 0
+    #: NumPy dispatches per cycle of the legacy per-partition path — the
+    #: kernel-launch-equivalent count; static, accumulated in both modes
+    array_ops: int = 0
+    #: NumPy dispatches per cycle of the fused whole-stage path
+    fused_array_ops: int = 0
     #: stimulus lanes served by each counted word op (the batch size)
     lanes: int = 1
 
@@ -127,6 +156,8 @@ class CycleCounters:
             "device_syncs": self.device_syncs / c,
             "global_reads": self.global_reads / c,
             "global_writes": self.global_writes / c,
+            "array_ops": self.array_ops / c,
+            "fused_array_ops": self.fused_array_ops / c,
         }
 
     def per_lane_cycle(self) -> dict:
@@ -140,6 +171,28 @@ class CycleCounters:
         return self.cycles * max(1, self.lanes)
 
 
+#: Decoded-partition memoization, keyed by (bitstream CRC, container
+#: size, batch).  The decoded tables are immutable at runtime, so
+#: sharing them across interpreter instances (Supervisor primary+shadow,
+#: repeated GemSimulator construction) is safe; batch is part of the key
+#: because decoded constants embed the engine's active-lane mask.
+_DECODE_CACHE: dict[tuple, list["_DecodedPartition"]] = {}
+_DECODE_CACHE_MAX = 8
+_DECODE_STATS = {"hits": 0, "misses": 0}
+
+
+def decode_cache_stats() -> dict:
+    """Hit/miss counters of the partition-decode cache."""
+    return dict(_DECODE_STATS)
+
+
+def clear_decode_cache() -> None:
+    """Drop every memoized decode (tests; frees the tables)."""
+    _DECODE_CACHE.clear()
+    _DECODE_STATS["hits"] = 0
+    _DECODE_STATS["misses"] = 0
+
+
 class GemInterpreter:
     """Execute an assembled GEM program cycle by cycle.
 
@@ -148,13 +201,31 @@ class GemInterpreter:
     (``step``/``outputs``/``run``) always addresses lane 0 and broadcasts
     its inputs to all lanes; the lane API (``step_lanes`` etc.) drives
     and observes every lane individually.
+
+    ``mode`` selects the execution path: ``"fused"`` (default) runs the
+    stage-fused whole-stage array ops of :mod:`repro.core.fused`,
+    ``"legacy"`` the original per-partition loop.  Both are bit-identical
+    in outputs, global state, and work counters.  ``profile=True`` keeps
+    lightweight wall-clock timers per phase in :attr:`phase_times`
+    (``inject`` / ``gather`` / ``fold`` / ``commit``).
     """
 
-    def __init__(self, program: GemProgram, batch: int = 1) -> None:
+    def __init__(
+        self,
+        program: GemProgram,
+        batch: int = 1,
+        mode: str = "fused",
+        profile: bool = False,
+    ) -> None:
+        if mode not in ("fused", "legacy"):
+            raise ValueError(f"mode must be 'fused' or 'legacy', got {mode!r}")
         self.program = program
         self.meta = program.meta
         self.engine = ExecutionEngine(batch)
         self.batch = batch
+        self.mode = mode
+        self.profile = profile
+        self.phase_times = {"inject": 0.0, "gather": 0.0, "fold": 0.0, "commit": 0.0}
         words = program.words
         if words.size < 8 or int(words[0]) != MAGIC:
             raise BitstreamError("not a GEM bitstream (bad magic)")
@@ -173,14 +244,24 @@ class GemInterpreter:
         num_rams = int(words[6])
         stage_counts = [int(words[8 + s]) for s in range(num_stages)]
         table_base = 8 + num_stages
-        offsets = [
-            (int(words[table_base + 2 * i]), int(words[table_base + 2 * i + 1]))
-            for i in range(num_parts)
-        ]
-        self.partitions = [
-            _decode_partition(words[start : start + length], self.engine)
-            for start, length in offsets
-        ]
+        cache_key = (program.digest(), int(words.size), batch)
+        cached = _DECODE_CACHE.get(cache_key)
+        if cached is not None:
+            _DECODE_STATS["hits"] += 1
+            self.partitions = cached
+        else:
+            _DECODE_STATS["misses"] += 1
+            offsets = [
+                (int(words[table_base + 2 * i]), int(words[table_base + 2 * i + 1]))
+                for i in range(num_parts)
+            ]
+            self.partitions = [
+                _decode_partition(words[start : start + length], self.engine)
+                for start, length in offsets
+            ]
+            while len(_DECODE_CACHE) >= _DECODE_CACHE_MAX:
+                _DECODE_CACHE.pop(next(iter(_DECODE_CACHE)))
+            _DECODE_CACHE[cache_key] = self.partitions
         self.stage_indices: list[list[int]] = []
         cursor = 0
         for count in stage_counts:
@@ -215,9 +296,39 @@ class GemInterpreter:
 
         self.global_state = self.engine.zeros(self.global_bits)
         self.global_state[self._reset_ones] = self.engine.lane_mask
-        self._locals = [self.engine.zeros(p.state_slots) for p in self.partitions]
         self.counters = CycleCounters(lanes=batch)
         self.cycle = 0
+
+        # Stage fusion (cached alongside the decode).  Fusion is also run
+        # in legacy mode so the fused_array_ops counter — the
+        # dispatch-amortization denominator — is reported either way; if
+        # a program cannot be fused the interpreter falls back to the
+        # legacy path, which has no ordering preconditions.
+        self._fused = None
+        self._executor: FusedExecutor | None = None
+        try:
+            self._fused = fused_program(
+                cache_key, self.partitions, self.stage_indices, self.engine
+            )
+        except FusionError as exc:
+            if self.mode == "fused":
+                logger.warning(
+                    "stage fusion unavailable (%s); running legacy path", exc
+                )
+            self.mode = "legacy"
+        if self.mode == "fused":
+            self._executor = FusedExecutor(self._fused, self)
+            self._locals: list[np.ndarray] = []
+        else:
+            self._locals = [self.engine.zeros(p.state_slots) for p in self.partitions]
+        self._array_ops_per_cycle = (
+            self._fused.static.array_ops
+            if self._fused is not None
+            else count_legacy_array_ops(self.partitions, self.stage_indices)
+        )
+        self._fused_ops_per_cycle = (
+            self._fused.static.fused_array_ops if self._fused is not None else 0
+        )
 
     # -- execution ------------------------------------------------------------
 
@@ -310,20 +421,40 @@ class GemInterpreter:
     # -- the cycle ------------------------------------------------------------
 
     def _run_cycle(self) -> list[tuple[np.ndarray, np.ndarray, np.uint64 | None]]:
-        deferred: list[tuple[np.ndarray, np.ndarray, np.uint64 | None]] = []
-        for stage_parts in self.stage_indices:
-            for idx in stage_parts:
-                deferred.extend(
-                    self._run_partition(self.partitions[idx], self._locals[idx])
-                )
-            self.counters.device_syncs += 1
+        counters = self.counters
+        if self.mode == "fused":
+            deferred = self._executor.run_cycle()
+            work = self._fused.static
+            counters.instruction_words += work.instruction_words
+            counters.fold_steps += work.fold_steps
+            counters.permutation_bits += work.permutation_bits
+            counters.layer_syncs += work.layer_syncs
+            counters.device_syncs += work.device_syncs
+            counters.global_reads += work.global_reads
+            counters.global_writes += work.global_writes
+        else:
+            t0 = time.perf_counter() if self.profile else 0.0
+            deferred = []
+            for stage_parts in self.stage_indices:
+                for idx in stage_parts:
+                    deferred.extend(
+                        self._run_partition(self.partitions[idx], self._locals[idx])
+                    )
+                counters.device_syncs += 1
+            if self.profile:
+                self.phase_times["fold"] += time.perf_counter() - t0
+        counters.array_ops += self._array_ops_per_cycle
+        counters.fused_array_ops += self._fused_ops_per_cycle
         return deferred
 
     def _commit(self, deferred: list[tuple[np.ndarray, np.ndarray, np.uint64 | None]]) -> None:
+        t0 = time.perf_counter() if self.profile else 0.0
         gstate = self.global_state
         merge = self.engine.merge
         for gidx, values, mask in deferred:
             merge(gstate, gidx, values, mask)
+        if self.profile:
+            self.phase_times["commit"] += time.perf_counter() - t0
         self.counters.cycles += 1
         self.cycle += 1
 
@@ -334,7 +465,12 @@ class GemInterpreter:
         returned outputs are lane 0's (all lanes see identical stimulus
         unless :meth:`step_lanes` is used).
         """
-        self._inject_broadcast(inputs)
+        if self.profile:
+            t0 = time.perf_counter()
+            self._inject_broadcast(inputs)
+            self.phase_times["inject"] += time.perf_counter() - t0
+        else:
+            self._inject_broadcast(inputs)
         deferred = self._run_cycle()
         outs = self.outputs()
         self._commit(deferred)
@@ -348,6 +484,7 @@ class GemInterpreter:
         ``inputs`` is either one mapping (broadcast to all lanes) or a
         sequence of exactly ``batch`` mappings, one per lane.
         """
+        t0 = time.perf_counter() if self.profile else 0.0
         if inputs is None or isinstance(inputs, Mapping):
             self._inject_broadcast(inputs)
         else:
@@ -356,6 +493,8 @@ class GemInterpreter:
                     f"expected {self.batch} per-lane input vectors, got {len(inputs)}"
                 )
             self._inject_lanes(inputs)
+        if self.profile:
+            self.phase_times["inject"] += time.perf_counter() - t0
         deferred = self._run_cycle()
         outs = self.outputs_lanes()
         self._commit(deferred)

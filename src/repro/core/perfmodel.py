@@ -201,6 +201,25 @@ def lane_amortized_work(counters) -> dict:
     return work
 
 
+def dispatch_amortization(counters) -> dict:
+    """Kernel-launch amortization of stage fusion from ``CycleCounters``.
+
+    Both execution modes accumulate the per-cycle array-op counts of the
+    legacy per-partition loop (``array_ops``) and the stage-fused DAG
+    executor (``fused_array_ops``); their ratio is how many legacy NumPy
+    dispatches (≈ GPU kernel launches for a CuPy backend) each fused
+    whole-stage op replaces.
+    """
+    per_cycle = counters.per_cycle()
+    legacy = per_cycle["array_ops"]
+    fused = per_cycle["fused_array_ops"]
+    return {
+        "array_ops_per_cycle": legacy,
+        "fused_array_ops_per_cycle": fused,
+        "amortization": legacy / fused if fused else 0.0,
+    }
+
+
 def event_sim_speed(events_per_cycle: float, cpu: CpuProfile = XEON) -> float:
     """Simulated Hz of the commercial event-driven baseline."""
     t = cpu.event_cycle_overhead_s + events_per_cycle / cpu.event_rate

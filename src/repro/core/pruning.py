@@ -38,7 +38,9 @@ class PruningGemInterpreter(GemInterpreter):
     """
 
     def __init__(self, program, batch: int = 1) -> None:
-        super().__init__(program, batch=batch)
+        # Pruning hooks _run_partition, which only the legacy per-partition
+        # dispatch calls; the fused executor has no per-block granularity.
+        super().__init__(program, batch=batch, mode="legacy")
         self._source_cache: list[np.ndarray | None] = [None] * len(self.partitions)
         self._stable_cycles: list[int] = [0] * len(self.partitions)
         self._index_of = {id(p): i for i, p in enumerate(self.partitions)}

@@ -59,6 +59,15 @@ def main_run(argv: list[str] | None = None) -> int:
         "all lanes see the workload stimuli, outputs report lane 0 "
         "(docs/ENGINE.md)",
     )
+    parser.add_argument(
+        "--engine-mode", choices=["fused", "legacy"], default="fused",
+        help="fused: stage-fused array executor (default); legacy: "
+        "per-partition interpreter loop (differential reference)",
+    )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="print the per-phase wall-clock split (inject/gather/fold/commit)",
+    )
     resilience = parser.add_argument_group("resilience (supervised execution)")
     resilience.add_argument(
         "--checkpoint-every", type=int, default=None, metavar="N",
@@ -92,7 +101,7 @@ def main_run(argv: list[str] | None = None) -> int:
     if supervised:
         return _run_supervised(args, wl)
     design = compile_design(args.design)
-    sim = design.simulator(batch=args.batch)
+    sim = design.simulator(batch=args.batch, mode=args.engine_mode, profile=args.profile)
     stimuli = wl.stimuli[: args.max_cycles] if args.max_cycles else wl.stimuli
     t0 = time.time()
     observed = []
@@ -104,7 +113,13 @@ def main_run(argv: list[str] | None = None) -> int:
     elapsed = time.time() - t0
     lanes = f" x {args.batch} lanes" if args.batch > 1 else ""
     print(f"{args.design}/{wl.name}: {len(stimuli)} cycles{lanes} in {elapsed:.2f}s "
-          f"({len(stimuli) * args.batch / max(elapsed, 1e-9):.0f} lane-cycles/s on this host)")
+          f"({len(stimuli) * args.batch / max(elapsed, 1e-9):.0f} lane-cycles/s on this host, "
+          f"{sim.mode} engine)")
+    if args.profile:
+        total = sum(sim.phase_times.values()) or 1e-9
+        print("per-phase time split:")
+        for phase, spent in sim.phase_times.items():
+            print(f"  {phase:8s} {spent:8.3f}s  {spent / total:6.1%}")
     if wl.expected_out is not None:
         status = "MATCH" if observed == wl.expected_out else "MISMATCH"
         print(f"observable output stream: {observed} [{status}]")
@@ -133,6 +148,7 @@ def _run_supervised(args, wl) -> int:
         scrub_every=args.scrub_every if args.scrub_every is not None else 1,
         resume=args.resume,
         batch=args.batch,
+        engine_mode=args.engine_mode,
     )
     elapsed = time.time() - t0
     print(f"{args.design}/{wl.name}: {result.report()}")

@@ -228,6 +228,7 @@ def run_resilient(
     backoff_base: float = 0.0,
     resume: bool = False,
     batch: int = 1,
+    engine_mode: str = "fused",
 ) -> "SupervisedRun":
     """Execute a registry design's workload under the resilience supervisor.
 
@@ -266,6 +267,7 @@ def run_resilient(
         max_retries=max_retries,
         backoff_base=backoff_base,
         batch=batch,
+        engine_mode=engine_mode,
     )
     return supervisor.run(stimuli, resume_from=resume_from)
 
@@ -276,6 +278,7 @@ def measure_batch_throughput(
     *,
     batch: int = 1,
     max_cycles: int | None = None,
+    engine_mode: str = "fused",
 ) -> dict:
     """Wall-clock lane throughput of the packed-lane engine on a workload.
 
@@ -293,18 +296,22 @@ def measure_batch_throughput(
     workloads = design_workloads(name)
     wl = workloads[workload or next(iter(workloads))]
     stimuli = wl.stimuli[:max_cycles] if max_cycles else wl.stimuli
-    sim = design.simulator(batch=batch)
+    sim = design.simulator(batch=batch, mode=engine_mode)
     t0 = time.perf_counter()
     for vec in stimuli:
         sim.step(vec)
     elapsed = max(time.perf_counter() - t0, 1e-9)
     cycles = len(stimuli)
+    per_cycle = sim.counters.per_cycle()
     return {
         "design": name,
         "workload": wl.name,
         "batch": batch,
+        "engine_mode": sim.mode,
         "cycles": cycles,
         "elapsed_s": elapsed,
         "cycles_per_s": cycles / elapsed,
         "lane_cycles_per_s": cycles * batch / elapsed,
+        "array_ops_per_cycle": per_cycle["array_ops"],
+        "fused_array_ops_per_cycle": per_cycle["fused_array_ops"],
     }

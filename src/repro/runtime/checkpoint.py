@@ -24,7 +24,8 @@ CRC32 footer as the bitstream — see :mod:`repro.core.integrity`)::
 
     section 0  header: magic 'GEMK', format version, cycle (lo, hi),
                program digest, global bits, #rams, #deferred writes, batch
-    section 1  counters: 8 fixed-order fields as (lo, hi) u64 pairs
+    section 1  counters: fixed-order fields as (lo, hi) u64 pairs
+               (``_COUNTER_FIELDS``; older files carry a shorter prefix)
     section 2  global state: one packed uint64 per bit as (lo, hi) pairs
     section 3  RAM images: per block, depth then batch×depth words
                (lane-major)
@@ -59,7 +60,10 @@ CKPT_VERSION = 2
 #: the pre-lane single-instance format, still readable
 CKPT_VERSION_V1 = 1
 
-#: fixed serialization order of the work-counter fields
+#: fixed serialization order of the work-counter fields.  Only ever
+#: extended at the tail: the loader hydrates however many fields a file
+#: carries, so snapshots written before ``array_ops``/``fused_array_ops``
+#: existed still restore (the missing counters stay 0).
 _COUNTER_FIELDS = (
     "cycles",
     "instruction_words",
@@ -69,6 +73,8 @@ _COUNTER_FIELDS = (
     "device_syncs",
     "global_reads",
     "global_writes",
+    "array_ops",
+    "fused_array_ops",
 )
 
 
@@ -285,10 +291,10 @@ def checkpoint_from_words(words: np.ndarray) -> Checkpoint:
             f"unsupported checkpoint format version {version} "
             f"(supported: {CKPT_VERSION_V1}, {CKPT_VERSION})"
         )
-    if counter_sec.size != 2 * len(_COUNTER_FIELDS):
+    if counter_sec.size % 2 or counter_sec.size > 2 * len(_COUNTER_FIELDS):
         raise CheckpointError("checkpoint: counter section has wrong size")
     counters = CycleCounters()
-    for i, name in enumerate(_COUNTER_FIELDS):
+    for i, name in enumerate(_COUNTER_FIELDS[: counter_sec.size // 2]):
         setattr(counters, name, _from_pair(counter_sec[2 * i], counter_sec[2 * i + 1]))
     if version == CKPT_VERSION_V1:
         return _parse_v1(header, state_sec, ram_sec, deferred_sec, counters)

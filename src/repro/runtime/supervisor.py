@@ -141,6 +141,11 @@ class Supervisor:
         ``outputs`` stream.  Reference (non-redundant) shadows model a
         single instance and scrub lane 0's outputs only; the state-digest
         scrub of the redundant shadow covers every lane.
+    engine_mode:
+        ``"fused"`` (default) or ``"legacy"`` — forwarded to
+        :meth:`CompiledDesign.simulator` for both primary and redundant
+        shadow.  Both engines share one fusion-cache entry, so the
+        shadow costs no extra decode/fusion work.
     fault_hook:
         Test/campaign instrumentation: called as ``hook(interp, cycle)``
         after every committed cycle — fault injectors flip bits here.
@@ -161,6 +166,7 @@ class Supervisor:
         scrub_every: int | None = 1,
         shadow: str | Callable[[], Steppable] | None = "redundant",
         batch: int = 1,
+        engine_mode: str = "fused",
         max_retries: int = 3,
         backoff_base: float = 0.0,
         backoff_cap: float = 2.0,
@@ -173,6 +179,7 @@ class Supervisor:
         self.scrub_every = scrub_every
         self.shadow_mode = shadow
         self.batch = batch
+        self.engine_mode = engine_mode
         self.max_retries = max_retries
         self.backoff_base = backoff_base
         self.backoff_cap = backoff_cap
@@ -191,7 +198,7 @@ class Supervisor:
         if self.shadow_mode is None:
             return None
         if self.shadow_mode == "redundant":
-            return self.design.simulator(batch=self.batch)
+            return self.design.simulator(batch=self.batch, mode=self.engine_mode)
         return self.shadow_mode()
 
     def _make_fallback(self) -> Steppable:
@@ -261,7 +268,7 @@ class Supervisor:
         """
         stimuli = [dict(vec) for vec in stimuli]
         events: list[str] = []
-        primary = self.design.simulator(batch=self.batch)
+        primary = self.design.simulator(batch=self.batch, mode=self.engine_mode)
         shadow = self._make_shadow()
         start = 0
         if resume_from is not None:

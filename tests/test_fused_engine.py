@@ -1,0 +1,209 @@
+"""Stage-fused executor (repro.core.fused): differential equivalence.
+
+The fused engine replaces the per-partition interpreter loop with a
+constant-folded, CSE'd, wave-scheduled AND-DAG executed as a handful of
+whole-stage array ops (docs/ENGINE.md §6).  Everything here certifies
+that the rewrite is *invisible*: bit-identical outputs and state digests
+against legacy mode over the real designs at batch 1/16/64, identical
+work counters, checkpoint/resume compatibility mid-run, and the
+decode/fusion caches that let Supervisor primary+shadow fuse once.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core.boomerang import BoomerangConfig
+from repro.core.compiler import GemCompiler, GemConfig
+from repro.core.interpreter import (
+    CycleCounters,
+    clear_decode_cache,
+    decode_cache_stats,
+)
+from repro.core.fused import clear_fusion_cache, fusion_cache_stats
+from repro.core.partition import PartitionConfig
+from repro.harness.runner import DESIGNS, compile_design, design_workloads
+from repro.runtime.supervisor import Supervisor, state_digest
+from tests.helpers import random_circuit, random_vectors
+
+BATCHES = (1, 16, 64)
+CYCLES = 40
+
+
+def _compile_small(circuit):
+    return GemCompiler(
+        GemConfig(
+            partition=PartitionConfig(gates_per_partition=400),
+            boomerang=BoomerangConfig(width_log2=10),
+        )
+    ).compile(circuit)
+
+
+def _lane_streams(stimuli, batch, cycles):
+    """``batch`` distinct stimulus streams: lane ``l`` starts ``l`` cycles
+    into the workload (wrapping), so lanes genuinely diverge."""
+    n = len(stimuli)
+    return [
+        [stimuli[(cycle + lane) % n] for cycle in range(cycles)]
+        for lane in range(batch)
+    ]
+
+
+def _differential(design, stimuli, batch, cycles):
+    fused = design.simulator(batch=batch, mode="fused")
+    legacy = design.simulator(batch=batch, mode="legacy")
+    assert fused.mode == "fused" and legacy.mode == "legacy"
+    streams = _lane_streams(stimuli, batch, cycles)
+    for cycle in range(cycles):
+        vecs = [streams[lane][cycle] for lane in range(batch)]
+        if batch == 1:
+            out_f, out_l = fused.step(vecs[0]), legacy.step(vecs[0])
+        else:
+            out_f, out_l = fused.step_lanes(vecs), legacy.step_lanes(vecs)
+        assert out_f == out_l, f"outputs diverge at cycle {cycle} (batch={batch})"
+    assert state_digest(fused) == state_digest(legacy)
+    return fused, legacy
+
+
+@pytest.mark.parametrize("batch", BATCHES)
+@pytest.mark.parametrize(
+    "name",
+    [
+        n if n in ("rocketchip", "gemmini", "openpiton1")
+        else pytest.param(n, marks=pytest.mark.slow)
+        for n in sorted(DESIGNS)
+    ],
+)
+def test_fused_matches_legacy_on_designs(name, batch):
+    """The sweep the acceptance criteria name: every design in
+    ``repro.designs``, batch 1/16/64, bit-identical outputs + digests."""
+    design = compile_design(name)
+    wl = next(iter(design_workloads(name).values()))
+    _differential(design, wl.stimuli, batch, min(CYCLES, len(wl.stimuli)))
+
+
+@pytest.mark.parametrize("batch", BATCHES)
+def test_fused_matches_legacy_random_memory_design(batch):
+    """Random circuit with RAMs: exercises per-lane addressing, write
+    enables, and deferred commits under fusion."""
+    circuit = random_circuit(977, n_ops=60, n_regs=4, with_memory=True)
+    design = _compile_small(circuit)
+    stimuli = random_vectors(circuit, seed=11, cycles=CYCLES)
+    _differential(design, stimuli, batch, CYCLES)
+
+
+def test_fused_is_the_default_mode():
+    circuit = random_circuit(31, n_ops=30)
+    design = _compile_small(circuit)
+    assert design.simulator().mode == "fused"
+
+
+def test_counters_identical_across_modes():
+    """Work accounting is mode-independent: the fused executor reports
+    the per-cycle deltas of the interpreter it replaced, and both modes
+    accumulate both array-op counters."""
+    design = compile_design("rocketchip")
+    wl = next(iter(design_workloads("rocketchip").values()))
+    fused, legacy = _differential(design, wl.stimuli, batch=1, cycles=16)
+    for field in dataclasses.fields(CycleCounters):
+        assert getattr(fused.counters, field.name) == getattr(
+            legacy.counters, field.name
+        ), f"counter {field.name} diverges between modes"
+    per_cycle = fused.counters.per_cycle()
+    assert per_cycle["fused_array_ops"] > 0
+    assert per_cycle["array_ops"] >= 10 * per_cycle["fused_array_ops"]
+
+
+def test_checkpoint_resume_mid_run_fused():
+    """Snapshot a fused run mid-flight, resume into a fresh fused
+    simulator, and finish bit-identically (outputs and digest)."""
+    from repro.runtime.checkpoint import restore, snapshot
+
+    design = compile_design("rocketchip")
+    wl = next(iter(design_workloads("rocketchip").values()))
+    stimuli = wl.stimuli[:32]
+    sim = design.simulator(mode="fused")
+    for vec in stimuli[:16]:
+        sim.step(vec)
+    ckpt = snapshot(sim)
+    tail = [sim.step(vec) for vec in stimuli[16:]]
+
+    resumed = restore(design.simulator(mode="fused"), ckpt)
+    assert [resumed.step(vec) for vec in stimuli[16:]] == tail
+    assert state_digest(resumed) == state_digest(sim)
+
+
+def test_legacy_checkpoint_loads_into_fused_and_back():
+    """Mode is not part of the checkpoint: a legacy snapshot resumes
+    under fused execution (and vice versa) bit-identically."""
+    from repro.runtime.checkpoint import restore, snapshot
+
+    circuit = random_circuit(55, n_ops=50, n_regs=3, with_memory=True)
+    design = _compile_small(circuit)
+    stimuli = random_vectors(circuit, seed=7, cycles=24)
+    legacy = design.simulator(mode="legacy")
+    for vec in stimuli[:12]:
+        legacy.step(vec)
+    ckpt = snapshot(legacy)
+    tail = [legacy.step(vec) for vec in stimuli[12:]]
+
+    fused = restore(design.simulator(mode="fused"), ckpt)
+    assert [fused.step(vec) for vec in stimuli[12:]] == tail
+    assert state_digest(fused) == state_digest(legacy)
+
+
+class TestDecodeAndFusionCaches:
+    def test_supervisor_decodes_and_fuses_once(self):
+        """Primary + redundant shadow share one decode and one fusion
+        (the satellite: Supervisor no longer decodes the program twice)."""
+        circuit = random_circuit(123, n_ops=40, n_regs=3, with_memory=True)
+        design = _compile_small(circuit)
+        stimuli = random_vectors(circuit, seed=3, cycles=8)
+        clear_decode_cache()
+        clear_fusion_cache()
+        result = Supervisor(design, shadow="redundant", batch=4).run(stimuli)
+        assert result.cycles == len(stimuli)
+        decode = decode_cache_stats()
+        fusion = fusion_cache_stats()
+        assert decode["misses"] == 1 and decode["hits"] >= 1
+        assert fusion["misses"] == 1 and fusion["hits"] >= 1
+
+    def test_batch_is_part_of_the_key(self):
+        """Decoded constants embed the lane mask, so a different batch
+        must miss rather than alias another batch's tables."""
+        circuit = random_circuit(124, n_ops=40, n_regs=2)
+        design = _compile_small(circuit)
+        clear_decode_cache()
+        clear_fusion_cache()
+        design.simulator(batch=1)
+        design.simulator(batch=8)
+        assert decode_cache_stats()["misses"] == 2
+        assert fusion_cache_stats()["misses"] == 2
+
+    def test_repeated_instantiation_hits(self):
+        circuit = random_circuit(125, n_ops=40, n_regs=2)
+        design = _compile_small(circuit)
+        clear_decode_cache()
+        clear_fusion_cache()
+        design.simulator(batch=2)
+        design.simulator(batch=2)
+        assert decode_cache_stats() == {"misses": 1, "hits": 1}
+        assert fusion_cache_stats() == {"misses": 1, "hits": 1}
+
+
+def test_profile_timers_populate():
+    """--profile's data source: phase_times buckets fill under both
+    modes and cover inject/gather/fold/commit."""
+    circuit = random_circuit(222, n_ops=40, n_regs=3, with_memory=True)
+    design = _compile_small(circuit)
+    stimuli = random_vectors(circuit, seed=5, cycles=12)
+    for mode, phases in (
+        ("fused", ("inject", "gather", "fold", "commit")),
+        ("legacy", ("inject", "fold", "commit")),
+    ):
+        sim = design.simulator(mode=mode, profile=True)
+        for vec in stimuli:
+            sim.step(vec)
+        assert set(sim.phase_times) == {"inject", "gather", "fold", "commit"}
+        for phase in phases:
+            assert sim.phase_times[phase] > 0.0, f"{mode}: {phase} never timed"
