@@ -17,6 +17,48 @@ import os
 import pytest
 
 RESULTS_PATH = os.path.join(os.path.dirname(__file__), "results.json")
+REPORTS_DIR = os.path.join(os.path.dirname(__file__), "reports")
+
+#: row keys that map onto first-class RunReport fields; everything else
+#: (array-op counts, speedup ratios, ...) rides along in ``extras``.
+_REPORT_FIELDS = frozenset(
+    {"design", "workload", "batch", "engine_mode", "cycles", "elapsed_s",
+     "cycles_per_s", "lane_cycles_per_s"}
+)
+
+
+def write_run_reports(experiment_id: str, rows: list[dict]) -> list[str]:
+    """Write one ``RunReport`` per measured row under ``benchmarks/reports/``.
+
+    The rows are the dicts ``measure_batch_throughput`` returns — the
+    same shape the ``BENCH_*.json`` history stores — so the emitted
+    reports feed straight into ``gem-perf show``/``diff``/``compare``.
+    """
+    from repro.obs.report import build_run_report, write_report
+
+    os.makedirs(REPORTS_DIR, exist_ok=True)
+    paths: list[str] = []
+    for row in rows:
+        extras = {k: v for k, v in row.items() if k not in _REPORT_FIELDS}
+        extras["experiment"] = experiment_id
+        report = build_run_report(
+            design=row["design"],
+            workload=row.get("workload", ""),
+            batch=int(row.get("batch", 1)),
+            engine_mode=row.get("engine_mode", "fused"),
+            cycles=int(row["cycles"]),
+            elapsed_s=float(row["elapsed_s"]),
+            extras=extras,
+            kind=f"benchmark/{experiment_id}",
+        )
+        name = (
+            f"{experiment_id}_{report.design}_{report.engine_mode}"
+            f"_b{report.batch}.json"
+        )
+        path = os.path.join(REPORTS_DIR, name)
+        write_report(report, path)
+        paths.append(path)
+    return paths
 
 
 def _load() -> dict:

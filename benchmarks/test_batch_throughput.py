@@ -17,7 +17,7 @@ this file.  Acceptance: batch=64 ≥ 10× the sequential lane throughput.
 import json
 import os
 
-from benchmarks.conftest import run_once
+from benchmarks.conftest import run_once, write_run_reports
 from repro.harness.runner import measure_batch_throughput
 
 BENCH_PATH = os.path.abspath(
@@ -55,6 +55,7 @@ def test_batch_throughput(benchmark, record_experiment):
     with open(BENCH_PATH, "w") as f:
         json.dump(payload, f, indent=2, sort_keys=True)
     record_experiment("batch_throughput", payload)
+    write_run_reports("batch_throughput", rows)
 
     print(f"\nlane throughput on {DESIGN}/{payload['workload']} ({CYCLES} cycles):")
     for batch in BATCHES:

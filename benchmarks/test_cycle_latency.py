@@ -20,7 +20,7 @@ floors (its DAG is deeper and wider, so dispatch amortizes less).
 import json
 import os
 
-from benchmarks.conftest import run_once
+from benchmarks.conftest import run_once, write_run_reports
 from repro.harness.runner import measure_batch_throughput
 
 BENCH_PATH = os.path.abspath(
@@ -68,6 +68,7 @@ def test_cycle_latency(benchmark, record_experiment):
     with open(BENCH_PATH, "w") as f:
         json.dump(payload, f, indent=2, sort_keys=True)
     record_experiment("cycle_latency", payload)
+    write_run_reports("cycle_latency", rows)
 
     print(f"\nbatch=1 cycle latency, legacy vs fused ({CYCLES} cycles):")
     for design in DESIGNS:

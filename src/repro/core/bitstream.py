@@ -47,6 +47,7 @@ from repro.core.merging import MergeResult
 from repro.core.placement import PlacedPartition
 from repro.core.synthesis import SynthesisResult
 from repro.errors import BitstreamError
+from repro.obs.trace import TRACER
 
 MAGIC = 0x47454D42  # "GEMB"
 VERSION = 2
@@ -245,9 +246,19 @@ def assemble(eaig: EAIG, synth: SynthesisResult, merge: MergeResult) -> GemProgr
     """Assemble the complete program for a compiled design."""
     meta = allocate_global_state(eaig, merge, synth)
     # Partition order is stage-major: all stage-0 blocks, then stage-1, ...
-    codes = [
-        assemble_partition(eaig, placed, meta, synth) for placed in merge.placements
-    ]
+    if TRACER.enabled:
+        codes = []
+        for pi, placed in enumerate(merge.placements):
+            with TRACER.span(
+                f"assemble:p{pi}",
+                cat="compile.partition",
+                args={"stage": placed.spec.stage, "layers": len(placed.layers)},
+            ):
+                codes.append(assemble_partition(eaig, placed, meta, synth))
+    else:
+        codes = [
+            assemble_partition(eaig, placed, meta, synth) for placed in merge.placements
+        ]
     num_parts = len(codes)
     num_stages = len(meta.stage_partition_counts)
     header_len = 8 + num_stages + 2 * num_parts

@@ -31,6 +31,7 @@ from repro.core.merging import MergeResult, merge_partitions
 from repro.core.partition import PartitionConfig, PartitionPlan, partition_design
 from repro.core.synthesis import SynthesisConfig, SynthesisResult, synthesize
 from repro.errors import UnmappableError
+from repro.obs.trace import TRACER
 from repro.rtl.ir import Circuit
 
 
@@ -127,18 +128,33 @@ class GemCompiler:
         if isinstance(circuit, SynthesisResult):
             synth = circuit
         else:
-            synth = synthesize(circuit, config.synthesis)
+            with TRACER.span("synthesis", cat="compile", args={"design": circuit.name}):
+                synth = synthesize(circuit, config.synthesis)
             if config.optimize:
-                synth = depth_optimize(synth)
+                with TRACER.span("depth_opt", cat="compile"):
+                    synth = depth_optimize(synth)
         eaig = synth.eaig
 
         pconfig = config.partition
         merge: MergeResult | None = None
         plan: PartitionPlan | None = None
-        for _ in range(config.max_partition_retries + 1):
-            plan = partition_design(eaig, pconfig)
+        for attempt in range(config.max_partition_retries + 1):
+            with TRACER.span(
+                "partition",
+                cat="compile",
+                args={
+                    "attempt": attempt,
+                    "gates_per_partition": pconfig.gates_per_partition,
+                },
+            ):
+                plan = partition_design(eaig, pconfig)
             try:
-                merge = merge_partitions(eaig, plan, config.boomerang)
+                with TRACER.span(
+                    "placement",
+                    cat="compile",
+                    args={"partitions": plan.num_partitions},
+                ):
+                    merge = merge_partitions(eaig, plan, config.boomerang)
                 break
             except UnmappableError:
                 pconfig = replace(
@@ -150,7 +166,10 @@ class GemCompiler:
                 f"{pconfig.gates_per_partition} gates per partition"
             )
 
-        program = assemble(eaig, synth, merge)
+        with TRACER.span(
+            "bitstream", cat="compile", args={"partitions": merge.plan.num_partitions}
+        ):
+            program = assemble(eaig, synth, merge)
         report = CompileReport(
             name=eaig.name,
             gates=eaig.num_gates(),

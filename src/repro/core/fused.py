@@ -77,6 +77,8 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from repro.errors import GemError
+from repro.obs.metrics import REGISTRY
+from repro.obs.trace import TRACER
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.interpreter import GemInterpreter
@@ -194,11 +196,23 @@ def fused_program(
     cached = _FUSE_CACHE.get(key)
     if cached is not None:
         _FUSE_STATS["hits"] += 1
+        REGISTRY.counter(
+            "gem_fusion_cache_hits_total", "stage-fusion cache hits"
+        ).inc()
         return cached
     _FUSE_STATS["misses"] += 1
-    fused = fuse(partitions, stage_indices, engine)
+    REGISTRY.counter(
+        "gem_fusion_cache_misses_total", "stage-fusion cache misses"
+    ).inc()
+    with TRACER.span("fuse", cat="compile", args={"stages": len(stage_indices)}):
+        fused = fuse(partitions, stage_indices, engine)
     while len(_FUSE_CACHE) >= _FUSE_CACHE_MAX:
         _FUSE_CACHE.pop(next(iter(_FUSE_CACHE)))
+        REGISTRY.counter(
+            "gem_cache_evictions_total",
+            "LRU evictions per in-process cache",
+            labels={"cache": "fusion"},
+        ).inc()
     _FUSE_CACHE[key] = fused
     return fused
 

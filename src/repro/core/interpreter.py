@@ -66,6 +66,8 @@ from repro.core.fused import (
     fused_program,
 )
 from repro.errors import BitstreamError
+from repro.obs.metrics import REGISTRY
+from repro.obs.trace import TRACER
 
 logger = logging.getLogger(__name__)
 
@@ -248,19 +250,31 @@ class GemInterpreter:
         cached = _DECODE_CACHE.get(cache_key)
         if cached is not None:
             _DECODE_STATS["hits"] += 1
+            REGISTRY.counter(
+                "gem_decode_cache_hits_total", "partition-decode cache hits"
+            ).inc()
             self.partitions = cached
         else:
             _DECODE_STATS["misses"] += 1
-            offsets = [
-                (int(words[table_base + 2 * i]), int(words[table_base + 2 * i + 1]))
-                for i in range(num_parts)
-            ]
-            self.partitions = [
-                _decode_partition(words[start : start + length], self.engine)
-                for start, length in offsets
-            ]
+            REGISTRY.counter(
+                "gem_decode_cache_misses_total", "partition-decode cache misses"
+            ).inc()
+            with TRACER.span("decode", cat="compile", args={"partitions": num_parts}):
+                offsets = [
+                    (int(words[table_base + 2 * i]), int(words[table_base + 2 * i + 1]))
+                    for i in range(num_parts)
+                ]
+                self.partitions = [
+                    _decode_partition(words[start : start + length], self.engine)
+                    for start, length in offsets
+                ]
             while len(_DECODE_CACHE) >= _DECODE_CACHE_MAX:
                 _DECODE_CACHE.pop(next(iter(_DECODE_CACHE)))
+                REGISTRY.counter(
+                    "gem_cache_evictions_total",
+                    "LRU evictions per in-process cache",
+                    labels={"cache": "decode"},
+                ).inc()
             _DECODE_CACHE[cache_key] = self.partitions
         self.stage_indices: list[list[int]] = []
         cursor = 0
@@ -272,12 +286,15 @@ class GemInterpreter:
         ram_base = table_base + 2 * num_parts + int(words[7])
         self.ram_arrays: list[np.ndarray] = []
         self.ram_shapes: list[tuple[int, int]] = []
+        #: pristine per-block images (depth,), kept for :meth:`reset`
+        self._ram_init: list[np.ndarray] = []
         pos = ram_base
         for _ in range(num_rams):
             shape = int(words[pos])
             depth = int(words[pos + 1])
             self.ram_shapes.append((shape >> 16, shape & 0xFFFF))
             image = words[pos + 2 : pos + 2 + depth].astype(np.uint32)
+            self._ram_init.append(image)
             self.ram_arrays.append(np.repeat(image[None, :], batch, axis=0).copy())
             pos += 2 + depth
         # Reset section: flip-flop init values as global bit indices.
@@ -329,6 +346,31 @@ class GemInterpreter:
         self._fused_ops_per_cycle = (
             self._fused.static.fused_array_ops if self._fused is not None else 0
         )
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def reset(self) -> None:
+        """Return to power-on state: FF reset values, pristine RAM images,
+        cycle 0, fresh work counters, zeroed phase timers.
+
+        Decoded tables, the fused program, and the executor's constant
+        presets are immutable at runtime and stay shared; only mutable
+        state is touched, so a reset interpreter replays a stimulus
+        stream bit-identically to a freshly constructed one.
+        """
+        self.global_state[:] = 0
+        self.global_state[self._reset_ones] = self.engine.lane_mask
+        for arr, init in zip(self.ram_arrays, self._ram_init):
+            arr[:] = init[None, :]
+        self.cycle = 0
+        self.counters = CycleCounters(lanes=self.batch)
+        self.reset_phase_times()
+
+    def reset_phase_times(self) -> None:
+        """Zero the per-phase wall-clock timers (kept across ``step``
+        calls so a run accumulates; call between measured runs)."""
+        for phase in self.phase_times:
+            self.phase_times[phase] = 0.0
 
     # -- execution ------------------------------------------------------------
 
@@ -463,8 +505,15 @@ class GemInterpreter:
 
         With ``batch > 1`` the inputs are broadcast to every lane and the
         returned outputs are lane 0's (all lanes see identical stimulus
-        unless :meth:`step_lanes` is used).
+        unless :meth:`step_lanes` is used).  When the global tracer is
+        enabled the cycle is recorded as a span with per-phase children
+        (the only hot-loop cost while it is disabled is this one check).
         """
+        if TRACER.enabled:
+            return _trace_cycle(self, self._step_impl, inputs)
+        return self._step_impl(inputs)
+
+    def _step_impl(self, inputs: Mapping[str, int] | None) -> dict[str, int]:
         if self.profile:
             t0 = time.perf_counter()
             self._inject_broadcast(inputs)
@@ -484,6 +533,13 @@ class GemInterpreter:
         ``inputs`` is either one mapping (broadcast to all lanes) or a
         sequence of exactly ``batch`` mappings, one per lane.
         """
+        if TRACER.enabled:
+            return _trace_cycle(self, self._step_lanes_impl, inputs)
+        return self._step_lanes_impl(inputs)
+
+    def _step_lanes_impl(
+        self, inputs: Sequence[Mapping[str, int]] | Mapping[str, int] | None
+    ) -> list[dict[str, int]]:
         t0 = time.perf_counter() if self.profile else 0.0
         if inputs is None or isinstance(inputs, Mapping):
             self._inject_broadcast(inputs)
@@ -528,6 +584,29 @@ class GemInterpreter:
     ) -> list[list[dict[str, int]]]:
         """Per-cycle, per-lane outputs for a stream of (per-lane) stimuli."""
         return [self.step_lanes(vec) for vec in stimuli]
+
+
+def _trace_cycle(interp: GemInterpreter, impl, inputs):
+    """Run one ``step``/``step_lanes`` under the span tracer.
+
+    Tracing implies per-phase timing: the profile timers are forced on
+    for the cycle so the emitted span carries inject/gather/fold/commit
+    children derived from the ``phase_times`` deltas.  The timers keep
+    their accumulated totals (tracing surfaces them, it never hides
+    work), and ``profile`` is restored afterwards.
+    """
+    t0 = time.perf_counter()
+    before = dict(interp.phase_times)
+    prev_profile = interp.profile
+    interp.profile = True
+    try:
+        out = impl(inputs)
+    finally:
+        interp.profile = prev_profile
+    dur = time.perf_counter() - t0
+    phases = {k: interp.phase_times[k] - before[k] for k in before}
+    TRACER.cycle(interp.cycle - 1, t0, dur, phases)
+    return out
 
 
 def _decode_ramop(op: isa.RamOp, engine: ExecutionEngine) -> _DecodedRamOp:

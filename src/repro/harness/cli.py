@@ -7,6 +7,7 @@ Usage (installed scripts or ``python -m repro.harness.cli``)::
     gem-tables [table1|table2|all]  # regenerate the paper's tables
     gem-cosim <design> <workload>   # lockstep against the golden model
     gem-faultcampaign <design>      # seeded SEU injection campaign
+    gem-perf show|diff|compare|validate-trace   # telemetry tooling
 
 ``gem-run`` grows a resilience mode: ``--checkpoint-every N`` snapshots
 interpreter state every N cycles into ``--checkpoint-dir`` (CRC-sealed,
@@ -14,14 +15,40 @@ rotating), ``--resume`` continues from the newest loadable checkpoint,
 and ``--scrub-every`` controls integrity scrubbing against a lockstep
 shadow (see docs/RESILIENCE.md).
 
+Observability (docs/OBSERVABILITY.md): every command takes
+``--log-level``; ``gem-run`` adds ``--trace-out`` (Chrome trace JSON for
+Perfetto), ``--report-out`` (per-run :class:`~repro.obs.report.RunReport`
+JSON), and ``--metrics-out`` (Prometheus text).  ``gem-perf`` renders and
+diffs reports and gates them against the ``BENCH_*.json`` history.
+
 ``<design>`` is one of: nvdla, rocketchip, gemmini, openpiton1, openpiton8.
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 import time
+
+LOG_LEVELS = ("debug", "info", "warning", "error")
+
+
+def _add_log_level(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--log-level", choices=LOG_LEVELS, default="warning",
+        help="stderr logging threshold (default: warning); supervisor and "
+        "checkpoint warnings are dropped below this",
+    )
+
+
+def _setup_logging(args: argparse.Namespace) -> None:
+    level = getattr(logging, getattr(args, "log_level", "warning").upper())
+    logging.basicConfig(
+        level=level,
+        format="%(asctime)s %(levelname)-7s %(name)s: %(message)s",
+        stream=sys.stderr,
+    )
 
 
 def main_compile(argv: list[str] | None = None) -> int:
@@ -30,7 +57,9 @@ def main_compile(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(prog="gem-compile", description="Run the GEM compile flow")
     parser.add_argument("design", choices=sorted(DESIGNS))
     parser.add_argument("--bitstream", help="write the assembled bitstream to this file")
+    _add_log_level(parser)
     args = parser.parse_args(argv)
+    _setup_logging(args)
     t0 = time.time()
     design = compile_design(args.design)
     elapsed = time.time() - t0
@@ -85,7 +114,22 @@ def main_run(argv: list[str] | None = None) -> int:
         "--scrub-every", type=int, default=None, metavar="N",
         help="integrity-scrub against a lockstep shadow every N cycles",
     )
+    obs = parser.add_argument_group("observability (docs/OBSERVABILITY.md)")
+    obs.add_argument(
+        "--trace-out", default=None, metavar="FILE",
+        help="write a Chrome trace-event JSON of the run (open in Perfetto)",
+    )
+    obs.add_argument(
+        "--report-out", default=None, metavar="FILE",
+        help="write a RunReport JSON (input to gem-perf)",
+    )
+    obs.add_argument(
+        "--metrics-out", default=None, metavar="FILE",
+        help="write the metric registry in Prometheus text format",
+    )
+    _add_log_level(parser)
     args = parser.parse_args(argv)
+    _setup_logging(args)
     workloads = design_workloads(args.design)
     if args.workload is None:
         args.workload = next(iter(workloads))
@@ -98,8 +142,52 @@ def main_run(argv: list[str] | None = None) -> int:
         or args.resume
         or args.scrub_every is not None
     )
-    if supervised:
-        return _run_supervised(args, wl)
+    if args.trace_out:
+        from repro.obs.trace import TRACER
+
+        TRACER.enable()
+    try:
+        rc = _run_supervised(args, wl) if supervised else _run_plain(args, wl)
+    finally:
+        if args.trace_out:
+            count = TRACER.write(args.trace_out)
+            TRACER.disable()
+            print(f"trace written to {args.trace_out} ({count} events)")
+    if args.metrics_out:
+        from repro.obs.metrics import REGISTRY
+
+        with open(args.metrics_out, "w") as f:
+            f.write(REGISTRY.to_prometheus())
+        print(f"metrics written to {args.metrics_out}")
+    return rc
+
+
+def _write_run_report(args, wl, **kwargs) -> None:
+    """Assemble and write the ``--report-out`` RunReport for a run."""
+    from repro.obs.report import build_run_report, write_report
+
+    extras = kwargs.pop("extras", {})
+    if args.trace_out:
+        extras["trace_out"] = args.trace_out
+    report = build_run_report(
+        design=args.design,
+        workload=wl.name,
+        batch=args.batch,
+        engine_mode=args.engine_mode,
+        extras=extras,
+        **kwargs,
+    )
+    write_report(report, args.report_out)
+    print(f"run report written to {args.report_out}")
+
+
+def _run_plain(args, wl) -> int:
+    """The unsupervised fast path of ``gem-run``."""
+    from dataclasses import asdict
+
+    from repro.harness.runner import compile_design
+    from repro.obs.metrics import REGISTRY
+
     design = compile_design(args.design)
     sim = design.simulator(batch=args.batch, mode=args.engine_mode, profile=args.profile)
     stimuli = wl.stimuli[: args.max_cycles] if args.max_cycles else wl.stimuli
@@ -120,6 +208,17 @@ def main_run(argv: list[str] | None = None) -> int:
         print("per-phase time split:")
         for phase, spent in sim.phase_times.items():
             print(f"  {phase:8s} {spent:8.3f}s  {spent / total:6.1%}")
+    REGISTRY.publish_cycle_counters(sim.counters)
+    if any(sim.phase_times.values()):
+        REGISTRY.publish_phase_times(sim.phase_times)
+    if args.report_out:
+        _write_run_report(
+            args, wl,
+            cycles=len(stimuli),
+            elapsed_s=elapsed,
+            counters=asdict(sim.counters),
+            phase_times=dict(sim.phase_times),
+        )
     if wl.expected_out is not None:
         status = "MATCH" if observed == wl.expected_out else "MISMATCH"
         print(f"observable output stream: {observed} [{status}]")
@@ -149,12 +248,33 @@ def _run_supervised(args, wl) -> int:
         resume=args.resume,
         batch=args.batch,
         engine_mode=args.engine_mode,
+        profile=args.profile,
     )
     elapsed = time.time() - t0
     print(f"{args.design}/{wl.name}: {result.report()}")
     print(f"  {result.cycles} cycles x {result.lanes} lanes in {elapsed:.2f}s "
           f"({result.cycles * result.lanes / max(elapsed, 1e-9):.0f} "
           f"supervised lane-cycles/s on this host)")
+    if args.profile and any(result.phase_times.values()):
+        total = sum(result.phase_times.values()) or 1e-9
+        print("per-phase time split (all attempts):")
+        for phase, spent in result.phase_times.items():
+            print(f"  {phase:8s} {spent:8.3f}s  {spent / total:6.1%}")
+    if args.report_out:
+        _write_run_report(
+            args, wl,
+            cycles=result.cycles,
+            elapsed_s=elapsed,
+            phase_times=dict(result.phase_times),
+            kind="gem-run/supervised",
+            extras={
+                "engine": result.engine,
+                "degraded": result.degraded,
+                "retries": result.retries,
+                "faults_detected": result.faults_detected,
+                "checkpoints_written": result.checkpoints_written,
+            },
+        )
     observed = [
         out[wl.out_port]
         for out in result.outputs
@@ -191,7 +311,9 @@ def main_faultcampaign(argv: list[str] | None = None) -> int:
         help="one supervised run per trial (legacy) instead of lane-batched "
         "trials sharing a single run per fault class",
     )
+    _add_log_level(parser)
     args = parser.parse_args(argv)
+    _setup_logging(args)
     workloads = design_workloads(args.design)
     wl = workloads[args.workload or next(iter(workloads))]
     design = compile_design(args.design)
@@ -223,7 +345,9 @@ def main_tables(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(prog="gem-tables", description="Regenerate the paper's tables")
     parser.add_argument("which", nargs="?", default="all", choices=["table1", "table2", "all"])
     parser.add_argument("--designs", nargs="*", default=None)
+    _add_log_level(parser)
     args = parser.parse_args(argv)
+    _setup_logging(args)
     if args.which in ("table1", "all"):
         print("Table I: design statistics and GEM mapping results")
         print(format_table(table1_rows(args.designs)))
@@ -249,7 +373,9 @@ def main_cosim(argv: list[str] | None = None) -> int:
     parser.add_argument("workload", nargs="?")
     parser.add_argument("--max-cycles", type=int, default=None)
     parser.add_argument("--keep-going", action="store_true", help="do not stop at the first divergence")
+    _add_log_level(parser)
     args = parser.parse_args(argv)
+    _setup_logging(args)
     workloads = design_workloads(args.design)
     wl = workloads[args.workload or next(iter(workloads))]
     design = compile_design(args.design)
@@ -264,11 +390,107 @@ def main_cosim(argv: list[str] | None = None) -> int:
     return 0 if result.passed else 1
 
 
+def main_perf(argv: list[str] | None = None) -> int:
+    """Render, diff, and regression-gate run telemetry (docs/OBSERVABILITY.md)."""
+    import json
+
+    from repro.obs.report import (
+        compare_to_bench,
+        diff_reports,
+        format_report,
+        load_report,
+    )
+    from repro.obs.trace import validate_trace
+
+    parser = argparse.ArgumentParser(prog="gem-perf", description=main_perf.__doc__)
+    _add_log_level(parser)
+    sub = parser.add_subparsers(dest="cmd", required=True)
+
+    p_show = sub.add_parser("show", help="render one RunReport")
+    p_show.add_argument("report")
+
+    p_diff = sub.add_parser("diff", help="field-by-field diff of two RunReports")
+    p_diff.add_argument("report_a")
+    p_diff.add_argument("report_b")
+
+    p_cmp = sub.add_parser(
+        "compare", help="gate a RunReport against BENCH_*.json history"
+    )
+    p_cmp.add_argument("report")
+    p_cmp.add_argument("bench", nargs="+", help="one or more BENCH_*.json files")
+    p_cmp.add_argument(
+        "--threshold", type=float, default=0.10, metavar="FRAC",
+        help="throughput-drop fraction that counts as a regression (default 0.10)",
+    )
+    p_cmp.add_argument(
+        "--strict", action="store_true",
+        help="exit 1 on any regression (default: warn only)",
+    )
+
+    p_val = sub.add_parser(
+        "validate-trace", help="schema-check a Chrome trace-event JSON"
+    )
+    p_val.add_argument("trace")
+
+    args = parser.parse_args(argv)
+    _setup_logging(args)
+
+    if args.cmd == "show":
+        print(format_report(load_report(args.report)))
+        return 0
+    if args.cmd == "diff":
+        a, b = load_report(args.report_a), load_report(args.report_b)
+        print(f"a: {args.report_a}  ({a.design}/{a.workload})")
+        print(f"b: {args.report_b}  ({b.design}/{b.workload})")
+        for d in diff_reports(a, b):
+            print(f"  {d.render()}")
+        return 0
+    if args.cmd == "validate-trace":
+        problems = validate_trace(args.trace)
+        if problems:
+            print(f"{args.trace}: INVALID")
+            for p in problems:
+                print(f"  {p}")
+            return 1
+        print(f"{args.trace}: valid Chrome trace")
+        return 0
+
+    # compare
+    report = load_report(args.report)
+    regressions = 0
+    compared = 0
+    import os
+
+    for bench_path in args.bench:
+        with open(bench_path) as f:
+            bench = json.load(f)
+        comparisons, notes = compare_to_bench(
+            report, bench,
+            threshold=args.threshold,
+            source=os.path.basename(bench_path),
+        )
+        for note in notes:
+            print(f"note: {note}")
+        for cmp in comparisons:
+            compared += 1
+            regressions += cmp.regressed
+            print(f"{cmp.source}: {cmp.render()}")
+    if compared == 0:
+        print("no comparable baselines found (gate is vacuous)")
+    verdict = f"{regressions} regression(s) over {compared} comparison(s)"
+    if regressions and not args.strict:
+        print(f"WARNING: {verdict} (warn-only; pass --strict to gate)")
+        return 0
+    print(verdict)
+    return 1 if (regressions and args.strict) else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     argv = sys.argv[1:] if argv is None else argv
     parser = argparse.ArgumentParser(prog="python -m repro.harness.cli")
     parser.add_argument(
-        "command", choices=["compile", "run", "tables", "cosim", "faultcampaign"]
+        "command",
+        choices=["compile", "run", "tables", "cosim", "faultcampaign", "perf"],
     )
     parser.add_argument("rest", nargs=argparse.REMAINDER)
     args = parser.parse_args(argv)
@@ -280,6 +502,8 @@ def main(argv: list[str] | None = None) -> int:
         return main_cosim(args.rest)
     if args.command == "faultcampaign":
         return main_faultcampaign(args.rest)
+    if args.command == "perf":
+        return main_perf(args.rest)
     return main_tables(args.rest)
 
 

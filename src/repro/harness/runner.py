@@ -27,6 +27,8 @@ from repro.core.compiler import CompiledDesign, GemCompiler, GemConfig
 from repro.core.depth_opt import optimize
 from repro.core.synthesis import SynthesisResult, synthesize
 from repro.designs.workloads import Workload, workloads_for
+from repro.obs.metrics import REGISTRY
+from repro.obs.trace import TRACER
 from repro.rtl.ir import Circuit
 from repro.rtl.netlist import Netlist
 
@@ -129,14 +131,30 @@ def _load_cached(path: str, key: str):
 
 
 def _cached(key: str, make: Callable[[], object], use_disk: bool = True):
+    kind = key.split(":", 1)[0]
     if key in _memory_cache:
+        REGISTRY.counter(
+            "gem_compile_cache_hits_total",
+            help="runner cache hits (memory or disk)",
+            labels={"kind": kind, "tier": "memory"},
+        ).inc()
         return _memory_cache[key]
     path = _cache_path(key)
     if use_disk:
         hit = _load_cached(path, key)
         if hit is not None:
+            REGISTRY.counter(
+                "gem_compile_cache_hits_total",
+                help="runner cache hits (memory or disk)",
+                labels={"kind": kind, "tier": "disk"},
+            ).inc()
             _memory_cache[key] = hit[0]
             return hit[0]
+    REGISTRY.counter(
+        "gem_compile_cache_misses_total",
+        help="runner cache misses (value rebuilt)",
+        labels={"kind": kind},
+    ).inc()
     value = make()
     _memory_cache[key] = value
     if use_disk:
@@ -163,7 +181,10 @@ def compile_design(name: str, config: GemConfig | None = None) -> CompiledDesign
     """Full GEM compile (and cache) of a registered design."""
     tag = "default" if config is None else repr(config)
     key = f"compile:{name}:{hashlib.sha256(tag.encode()).hexdigest()[:8]}:v1"
-    return _cached(key, lambda: GemCompiler(config).compile(design_synth(name)))
+    # The span exists even on a cache hit, so every traced run carries a
+    # compile span (the child phase spans only appear on real compiles).
+    with TRACER.span(f"compile:{name}", cat="compile", args={"design": name}):
+        return _cached(key, lambda: GemCompiler(config).compile(design_synth(name)))
 
 
 def design_workloads(name: str) -> dict[str, Workload]:
@@ -229,6 +250,7 @@ def run_resilient(
     resume: bool = False,
     batch: int = 1,
     engine_mode: str = "fused",
+    profile: bool = False,
 ) -> "SupervisedRun":
     """Execute a registry design's workload under the resilience supervisor.
 
@@ -268,6 +290,7 @@ def run_resilient(
         backoff_base=backoff_base,
         batch=batch,
         engine_mode=engine_mode,
+        profile=profile,
     )
     return supervisor.run(stimuli, resume_from=resume_from)
 

@@ -1,0 +1,51 @@
+"""repro.obs — the unified telemetry layer (tracing, metrics, reports).
+
+Three cooperating pieces, all dependency-free and import-cycle-safe (the
+rest of the package imports ``repro.obs``, never the other way round):
+
+* :mod:`repro.obs.trace` — a low-overhead span tracer emitting Chrome
+  trace-event JSON (load it at https://ui.perfetto.dev).  Disabled by
+  default: every instrumented hot path guards on ``TRACER.enabled`` so
+  the fused cycle loop pays one attribute check when tracing is off.
+* :mod:`repro.obs.metrics` — a process-wide metrics registry (counters,
+  gauges, histograms) with Prometheus-text and JSON exporters.  The
+  compile cache, decode/fusion caches, supervisor, checkpoint manager
+  and fault campaigns all publish here.
+* :mod:`repro.obs.report` — the per-run :class:`RunReport` (rates,
+  counters, metric snapshot, environment) plus report diffing and the
+  ``BENCH_*.json`` regression gate behind ``gem-perf``.
+
+See docs/OBSERVABILITY.md for the full tour and the metric-name table.
+"""
+
+from repro.obs.metrics import REGISTRY, Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.report import (
+    RunReport,
+    build_run_report,
+    compare_to_bench,
+    diff_reports,
+    environment_info,
+    format_report,
+    load_report,
+    write_report,
+)
+from repro.obs.trace import TRACER, Tracer, validate_trace
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+    "RunReport",
+    "TRACER",
+    "Tracer",
+    "build_run_report",
+    "compare_to_bench",
+    "diff_reports",
+    "environment_info",
+    "format_report",
+    "load_report",
+    "validate_trace",
+    "write_report",
+]

@@ -52,6 +52,8 @@ import numpy as np
 from repro.core.integrity import seal, unseal
 from repro.core.interpreter import CycleCounters, GemInterpreter
 from repro.errors import CheckpointError
+from repro.obs.metrics import REGISTRY
+from repro.obs.trace import TRACER
 
 logger = logging.getLogger(__name__)
 
@@ -402,7 +404,16 @@ class CheckpointManager:
         """Snapshot ``interp`` now; returns the file path."""
         os.makedirs(self.directory, exist_ok=True)
         path = self._path(interp.cycle)
-        save_checkpoint(snapshot(interp), path)
+        with TRACER.span(
+            "checkpoint.save", cat="checkpoint", args={"cycle": interp.cycle}
+        ):
+            save_checkpoint(snapshot(interp), path)
+        REGISTRY.counter(
+            "gem_checkpoint_writes_total", help="checkpoint files written"
+        ).inc()
+        REGISTRY.counter(
+            "gem_checkpoint_bytes_total", help="checkpoint bytes written"
+        ).inc(os.path.getsize(path))
         for stale in self.paths()[: -self.keep]:
             os.remove(stale)
         return path
@@ -417,7 +428,22 @@ class CheckpointManager:
         """Newest loadable checkpoint, or ``None`` if there is none."""
         for path in reversed(self.paths()):
             try:
-                return load_checkpoint(path)
+                ckpt = load_checkpoint(path)
             except CheckpointError as exc:
                 logger.warning("skipping unusable checkpoint %s: %s", path, exc)
+                REGISTRY.counter(
+                    "gem_checkpoint_skipped_total",
+                    help="corrupted/unreadable checkpoints skipped by latest()",
+                ).inc()
+                if TRACER.enabled:
+                    TRACER.instant(
+                        "checkpoint.skip_corrupt",
+                        cat="checkpoint",
+                        args={"path": os.path.basename(path)},
+                    )
+                continue
+            REGISTRY.counter(
+                "gem_checkpoint_loads_total", help="checkpoints loaded"
+            ).inc()
+            return ckpt
         return None

@@ -28,6 +28,8 @@ from repro.core.compiler import CompiledDesign
 from repro.core.engine import WORD_LANES
 from repro.core.interpreter import GemInterpreter
 from repro.errors import BitstreamError
+from repro.obs.metrics import REGISTRY
+from repro.obs.trace import TRACER
 from repro.runtime.supervisor import Supervisor
 
 FAULT_KINDS = ("bitstream", "state", "ram")
@@ -52,6 +54,25 @@ class FaultInjector:
         self.rng = random.Random(seed)
         self.records: list[FaultRecord] = []
 
+    def _register(self, record: FaultRecord) -> FaultRecord:
+        self.records.append(record)
+        REGISTRY.counter(
+            "gem_faults_injected_total",
+            help="SEUs injected by fault campaigns",
+            labels={"kind": record.kind},
+        ).inc()
+        if TRACER.enabled:
+            TRACER.instant(
+                "fault.inject",
+                cat="faults",
+                args={
+                    "kind": record.kind,
+                    "location": record.location,
+                    "cycle": record.cycle,
+                },
+            )
+        return record
+
     def corrupt_bitstream(self, program: GemProgram) -> tuple[GemProgram, FaultRecord]:
         """A copy of ``program`` with one random bit flipped anywhere in
         the container (payload or integrity footer)."""
@@ -59,8 +80,9 @@ class FaultInjector:
         index = self.rng.randrange(words.size)
         bit = self.rng.randrange(32)
         words[index] = np.uint32(int(words[index]) ^ (1 << bit))
-        record = FaultRecord(kind="bitstream", location=f"word {index} bit {bit}")
-        self.records.append(record)
+        record = self._register(
+            FaultRecord(kind="bitstream", location=f"word {index} bit {bit}")
+        )
         return GemProgram(words=words, meta=program.meta), record
 
     def flip_state_bit(
@@ -78,11 +100,11 @@ class FaultInjector:
         interp.global_state[index] = np.uint64(
             int(interp.global_state[index]) ^ (1 << lane)
         )
-        record = FaultRecord(
-            kind="state", location=f"global bit {index} lane {lane}", cycle=cycle
+        return self._register(
+            FaultRecord(
+                kind="state", location=f"global bit {index} lane {lane}", cycle=cycle
+            )
         )
-        self.records.append(record)
-        return record
 
     def flip_ram_bit(
         self, interp: GemInterpreter, cycle: int = -1, lane: int | None = None
@@ -104,13 +126,13 @@ class FaultInjector:
         data_bits = max(1, interp.ram_shapes[ram][1])
         bit = self.rng.randrange(data_bits)
         arr[lane, word] = np.uint32(int(arr[lane, word]) ^ (1 << bit))
-        record = FaultRecord(
-            kind="ram",
-            location=f"ram {ram} word {word} bit {bit} lane {lane}",
-            cycle=cycle,
+        return self._register(
+            FaultRecord(
+                kind="ram",
+                location=f"ram {ram} word {word} bit {bit} lane {lane}",
+                cycle=cycle,
+            )
         )
-        self.records.append(record)
-        return record
 
 
 @dataclass
@@ -254,7 +276,29 @@ def run_campaign(
                 record.detail = (
                     "degraded" if result.degraded else "outputs differ from golden"
                 )
+    _publish_campaign(report)
     return report
+
+
+def _publish_campaign(report: CampaignReport) -> None:
+    """Mirror a campaign's detected/recovered tallies into the registry."""
+    for kind in FAULT_KINDS:
+        detected = report.count(kind, detected=True)
+        if detected:
+            REGISTRY.counter(
+                "gem_faults_detected_total",
+                help="injected SEUs caught by CRC or scrubbing",
+                labels={"kind": kind},
+            ).inc(detected)
+        if kind == "bitstream":
+            continue
+        recovered = report.count(kind, recovered=True)
+        if recovered:
+            REGISTRY.counter(
+                "gem_faults_recovered_total",
+                help="injected SEUs recovered to golden outputs",
+                labels={"kind": kind},
+            ).inc(recovered)
 
 
 def _run_batched_trials(

@@ -45,6 +45,8 @@ from repro.core.compiler import CompiledDesign
 from repro.core.interpreter import GemInterpreter
 from repro.errors import CheckpointError, GemError, StateCorruptionError
 from repro.harness.cosim import Steppable, output_mismatches
+from repro.obs.metrics import REGISTRY
+from repro.obs.trace import TRACER
 from repro.runtime.checkpoint import Checkpoint, CheckpointManager, restore, snapshot
 
 logger = logging.getLogger(__name__)
@@ -76,6 +78,9 @@ class SupervisedRun:
     faults_detected: int
     checkpoints_written: int
     events: list[str] = field(default_factory=list)
+    #: primary engine's inject/gather/fold/commit wall seconds, aggregated
+    #: across every attempt (rollbacks included) — zeros unless profiled
+    phase_times: dict[str, float] = field(default_factory=dict)
     #: stimulus lanes executed per cycle (1 = single-instance run)
     lanes: int = 1
     #: per-cycle, per-lane outputs when the run is lane-batched
@@ -146,6 +151,11 @@ class Supervisor:
         :meth:`CompiledDesign.simulator` for both primary and redundant
         shadow.  Both engines share one fusion-cache entry, so the
         shadow costs no extra decode/fusion work.
+    profile:
+        Enable the primary engine's per-phase timers; the aggregated
+        inject/gather/fold/commit seconds (across every retry attempt)
+        land on :attr:`SupervisedRun.phase_times` and in the metrics
+        registry.
     fault_hook:
         Test/campaign instrumentation: called as ``hook(interp, cycle)``
         after every committed cycle — fault injectors flip bits here.
@@ -167,6 +177,7 @@ class Supervisor:
         shadow: str | Callable[[], Steppable] | None = "redundant",
         batch: int = 1,
         engine_mode: str = "fused",
+        profile: bool = False,
         max_retries: int = 3,
         backoff_base: float = 0.0,
         backoff_cap: float = 2.0,
@@ -180,6 +191,7 @@ class Supervisor:
         self.shadow_mode = shadow
         self.batch = batch
         self.engine_mode = engine_mode
+        self.profile = profile
         self.max_retries = max_retries
         self.backoff_base = backoff_base
         self.backoff_cap = backoff_cap
@@ -268,7 +280,9 @@ class Supervisor:
         """
         stimuli = [dict(vec) for vec in stimuli]
         events: list[str] = []
-        primary = self.design.simulator(batch=self.batch, mode=self.engine_mode)
+        primary = self.design.simulator(
+            batch=self.batch, mode=self.engine_mode, profile=self.profile
+        )
         shadow = self._make_shadow()
         start = 0
         if resume_from is not None:
@@ -325,6 +339,14 @@ class Supervisor:
                 if self.fault_hook is not None:
                     self.fault_hook(primary, i)
                 if self.scrub_every and i % self.scrub_every == 0:
+                    REGISTRY.counter(
+                        "gem_supervisor_scrubs_total",
+                        help="integrity scrubs performed by the supervisor",
+                    ).inc()
+                    if TRACER.enabled:
+                        TRACER.instant(
+                            "supervisor.scrub", cat="supervisor", args={"cycle": i}
+                        )
                     self._scrub(primary, shadow, out, shadow_out, i)
                 if i > high_water:
                     high_water = i
@@ -338,19 +360,49 @@ class Supervisor:
                     if self.manager is not None:
                         self.manager.save(primary)
                     checkpoints_written += 1
+                    REGISTRY.counter(
+                        "gem_supervisor_recovery_points_total",
+                        help="in-memory rollback targets captured",
+                    ).inc()
+                    if TRACER.enabled:
+                        TRACER.instant(
+                            "supervisor.recovery_point",
+                            cat="supervisor",
+                            args={"cycle": i},
+                        )
             except GemError as exc:
                 faults += 1
                 retries += 1
                 consecutive += 1
                 events.append(f"cycle {i}: {type(exc).__name__}: {exc}")
                 logger.warning("supervised run fault at cycle %d: %s", i, exc)
+                REGISTRY.counter(
+                    "gem_supervisor_faults_detected_total",
+                    help="faults caught by scrubbing or engine errors",
+                ).inc()
+                REGISTRY.counter(
+                    "gem_supervisor_retries_total",
+                    help="recovery attempts (rollback + replay)",
+                ).inc()
+                if TRACER.enabled:
+                    TRACER.instant(
+                        "supervisor.fault",
+                        cat="supervisor",
+                        args={"cycle": i, "error": type(exc).__name__},
+                    )
                 if consecutive > self.max_retries:
                     events.append(
                         f"no forward progress after {self.max_retries} retries; "
                         "degrading to simref gate-level engine"
                     )
                     return self._degrade(
-                        stimuli, start, events, retries, faults, checkpoints_written
+                        stimuli,
+                        start,
+                        events,
+                        retries,
+                        faults,
+                        checkpoints_written,
+                        phase_times=self._collect_phase_times(primary),
                     )
                 delay = min(
                     self.backoff_cap, self.backoff_base * (2 ** (consecutive - 1))
@@ -367,6 +419,16 @@ class Supervisor:
                     f"rolled back to checkpoint at cycle {i} "
                     f"(attempt {consecutive}/{self.max_retries}, backoff {delay:.2f}s)"
                 )
+                REGISTRY.counter(
+                    "gem_supervisor_rollbacks_total",
+                    help="rollbacks to the last good recovery point",
+                ).inc()
+                if TRACER.enabled:
+                    TRACER.instant(
+                        "supervisor.rollback",
+                        cat="supervisor",
+                        args={"cycle": i, "attempt": consecutive},
+                    )
 
         return SupervisedRun(
             outputs=outputs,
@@ -377,9 +439,19 @@ class Supervisor:
             faults_detected=faults,
             checkpoints_written=checkpoints_written,
             events=events,
+            phase_times=self._collect_phase_times(primary),
             lanes=self.batch,
             lane_outputs=lane_outputs,
         )
+
+    def _collect_phase_times(self, primary: GemInterpreter) -> dict[str, float]:
+        """Primary engine's phase timers, aggregated across every attempt
+        (``restore`` rewinds state but not the wall-clock timers), mirrored
+        into the metrics registry."""
+        phase_times = dict(primary.phase_times)
+        if any(phase_times.values()):
+            REGISTRY.publish_phase_times(phase_times)
+        return phase_times
 
     def _degrade(
         self,
@@ -389,8 +461,19 @@ class Supervisor:
         retries: int,
         faults: int,
         checkpoints_written: int,
+        phase_times: dict[str, float] | None = None,
     ) -> SupervisedRun:
         """Replay on the gate-level reference so results keep flowing."""
+        REGISTRY.counter(
+            "gem_supervisor_degraded_total",
+            help="runs degraded to the gate-level fallback",
+        ).inc()
+        if TRACER.enabled:
+            TRACER.instant(
+                "supervisor.degrade",
+                cat="supervisor",
+                args={"retries": retries, "faults": faults},
+            )
         fallback = self._make_fallback()
         outputs: list[dict[str, int]] = []
         # The gate-level engine cannot adopt interpreter checkpoints; it
@@ -413,6 +496,7 @@ class Supervisor:
             faults_detected=faults,
             checkpoints_written=checkpoints_written,
             events=events,
+            phase_times=dict(phase_times or {}),
             lanes=self.batch,
             lane_outputs=lane_outputs,
         )

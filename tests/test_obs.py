@@ -1,0 +1,542 @@
+"""The repro.obs telemetry subsystem: tracer, metrics, reports, gem-perf.
+
+Covers the tracer's ring buffer and Chrome trace-event output, the
+metrics registry and its exporters, RunReport build/write/load/diff and
+the BENCH regression gate, interpreter reset semantics, and the CLI
+surface end to end (``gem-run --trace-out/--report-out/--metrics-out``,
+``gem-perf show|diff|compare|validate-trace``, ``--log-level``).
+"""
+
+import json
+
+import pytest
+
+from repro.harness import cli
+from repro.obs.metrics import REGISTRY, MetricsRegistry
+from repro.obs.report import (
+    build_run_report,
+    compare_to_bench,
+    diff_reports,
+    format_report,
+    load_report,
+    write_report,
+)
+from repro.obs.trace import CYCLE_PHASES, TRACER, Tracer, validate_trace
+from tests.helpers import random_circuit, random_vectors
+from tests.test_fused_engine import _compile_small
+
+
+@pytest.fixture(autouse=True)
+def _clean_telemetry():
+    """Every test starts and ends with the global tracer/registry quiet."""
+    TRACER.disable()
+    TRACER.clear()
+    REGISTRY.clear()
+    yield
+    TRACER.disable()
+    TRACER.clear()
+    REGISTRY.clear()
+
+
+# -- tracer -------------------------------------------------------------------
+
+
+class TestTracer:
+    def test_span_records_complete_event(self):
+        t = Tracer()
+        t.enable()
+        with t.span("work", cat="compile", args={"k": 1}):
+            pass
+        (ev,) = t.events()
+        assert ev["name"] == "work" and ev["ph"] == "X"
+        assert ev["cat"] == "compile" and ev["args"] == {"k": 1}
+        assert ev["dur"] >= 0 and isinstance(ev["ts"], float)
+
+    def test_decorator_and_instant_and_counter(self):
+        t = Tracer()
+        t.enable()
+
+        @t.traced(cat="compile")
+        def helper():
+            return 7
+
+        assert helper() == 7
+        t.instant("mark", cat="supervisor", args={"cycle": 3})
+        t.counter("cache", {"hits": 2.0})
+        phs = [e["ph"] for e in t.events()]
+        assert phs == ["X", "i", "C"]
+        names = [e["name"] for e in t.events()]
+        assert names[0].endswith("helper") and names[1:] == ["mark", "cache"]
+
+    def test_disabled_is_a_noop(self):
+        t = Tracer()
+        with t.span("work"):
+            pass
+        t.instant("mark")
+        t.complete("x", t.now())
+        t.cycle(0, t.now(), 0.0, {})
+        assert len(t) == 0
+
+    def test_ring_buffer_evicts_and_counts_dropped(self):
+        t = Tracer(capacity=4)
+        t.enable()
+        for i in range(10):
+            t.instant(f"e{i}")
+        assert len(t) == 4
+        assert t.dropped == 6
+        assert [e["name"] for e in t.events()] == ["e6", "e7", "e8", "e9"]
+        assert t.chrome()["otherData"]["dropped_events"] == 6
+
+    def test_enable_can_resize(self):
+        t = Tracer(capacity=2)
+        t.enable(capacity=16)
+        assert t.capacity == 16
+
+    def test_cycle_emits_parent_and_phase_children(self):
+        t = Tracer()
+        t.enable()
+        t.cycle(5, t.now(), 0.01, {p: 0.001 for p in CYCLE_PHASES})
+        evs = t.events()
+        assert evs[0]["name"] == "cycle" and evs[0]["args"] == {"cycle": 5}
+        assert [e["name"] for e in evs[1:]] == list(CYCLE_PHASES)
+        assert sum(e["dur"] for e in evs[1:]) <= evs[0]["dur"] + 1e-6
+
+    def test_write_produces_valid_chrome_trace(self, tmp_path):
+        t = Tracer()
+        t.enable()
+        with t.span("a"):
+            t.instant("b")
+        path = str(tmp_path / "trace.json")
+        assert t.write(path) == 2
+        assert validate_trace(path) == []
+
+
+class TestValidateTrace:
+    def test_accepts_dict_list_and_json_string(self):
+        events = [{"name": "a", "ph": "X", "ts": 0.0, "dur": 1.0}]
+        assert validate_trace({"traceEvents": events}) == []
+        assert validate_trace(events) == []
+        assert validate_trace(json.dumps({"traceEvents": events})) == []
+
+    def test_flags_schema_problems(self):
+        bad = [
+            {"ph": "X", "ts": 0.0},  # no name, no dur
+            {"name": "x", "ph": "Z", "ts": "later"},  # bad phase, bad ts
+            {"name": "y", "ph": "i", "ts": 0.0, "args": [1]},  # args not a dict
+        ]
+        problems = validate_trace(bad)
+        assert any("missing 'name'" in p for p in problems)
+        assert any("dur" in p for p in problems)
+        assert any("unknown phase" in p for p in problems)
+        assert any("non-numeric ts" in p for p in problems)
+        assert any("args" in p for p in problems)
+
+    def test_flags_unreadable_and_wrong_shape(self, tmp_path):
+        assert validate_trace(str(tmp_path / "absent.json"))
+        assert validate_trace({"notTraceEvents": []})
+        assert validate_trace(42)
+
+
+# -- metrics ------------------------------------------------------------------
+
+
+class TestMetrics:
+    def test_counter_gauge_histogram_basics(self):
+        reg = MetricsRegistry()
+        c = reg.counter("gem_t_total", help="h")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+        with pytest.raises(ValueError):
+            c.inc(-1)
+        g = reg.gauge("gem_t_gauge")
+        g.set(5)
+        g.inc(-2)
+        assert g.value == 3.0
+        h = reg.histogram("gem_t_seconds", buckets=(0.1, 1.0))
+        h.observe(0.05)
+        h.observe(0.5)
+        h.observe(100.0)
+        assert h.count == 3 and h.sum == pytest.approx(100.55)
+        assert h.cumulative()[-1] == (float("inf"), 3)
+
+    def test_get_or_create_is_identity_and_type_checked(self):
+        reg = MetricsRegistry()
+        assert reg.counter("gem_x_total") is reg.counter("gem_x_total")
+        assert reg.counter("gem_l_total", labels={"k": "a"}) is not reg.counter(
+            "gem_l_total", labels={"k": "b"}
+        )
+        with pytest.raises(TypeError):
+            reg.gauge("gem_x_total")
+
+    def test_invalid_names_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.counter("bad name")
+        with pytest.raises(ValueError):
+            reg.counter("gem_ok_total", labels={"bad-label": "x"})
+
+    def test_reset_keeps_identity_clear_drops(self):
+        reg = MetricsRegistry()
+        c = reg.counter("gem_r_total")
+        c.inc(4)
+        reg.reset()
+        assert c.value == 0
+        assert reg.counter("gem_r_total") is c
+        reg.clear()
+        assert reg.counter("gem_r_total") is not c
+
+    def test_prometheus_text_format(self):
+        reg = MetricsRegistry()
+        reg.counter("gem_hits_total", help="cache hits", labels={"kind": "a"}).inc(3)
+        reg.gauge("gem_rate").set(1.5)
+        reg.histogram("gem_dur_seconds", buckets=(1.0,)).observe(0.5)
+        text = reg.to_prometheus()
+        assert "# HELP gem_hits_total cache hits" in text
+        assert "# TYPE gem_hits_total counter" in text
+        assert 'gem_hits_total{kind="a"} 3' in text
+        assert "gem_rate 1.5" in text
+        assert 'gem_dur_seconds_bucket{le="1.0"} 1' in text
+        assert 'gem_dur_seconds_bucket{le="+Inf"} 1' in text
+        assert "gem_dur_seconds_count 1" in text
+
+    def test_snapshot_and_json(self):
+        reg = MetricsRegistry()
+        reg.counter("gem_a_total").inc()
+        reg.histogram("gem_h", buckets=(1.0,)).observe(2.0)
+        snap = reg.snapshot()
+        assert snap["gem_a_total"] == 1.0
+        assert snap["gem_h"]["count"] == 1 and snap["gem_h"]["buckets"]["+Inf"] == 1
+        assert reg.to_json() == {"metrics": snap}
+
+    def test_publish_phase_times_accumulates(self):
+        reg = MetricsRegistry()
+        reg.publish_phase_times({"fold": 0.25, "inject": 0.0})
+        reg.publish_phase_times({"fold": 0.25})
+        snap = reg.snapshot()
+        assert snap['gem_phase_seconds_total{phase="fold"}'] == pytest.approx(0.5)
+        assert 'gem_phase_seconds_total{phase="inject"}' not in snap
+
+    def test_publish_cycle_counters(self):
+        from repro.core.interpreter import CycleCounters
+
+        reg = MetricsRegistry()
+        counters = CycleCounters(cycles=9, fold_steps=100)
+        reg.publish_cycle_counters(counters)
+        snap = reg.snapshot()
+        assert snap["gem_interp_cycles"] == 9.0
+        assert snap["gem_interp_fold_steps"] == 100.0
+
+
+# -- reports and the regression gate ------------------------------------------
+
+
+def _report(**overrides):
+    base = dict(
+        design="rocketchip",
+        workload="wl",
+        batch=1,
+        engine_mode="fused",
+        cycles=100,
+        elapsed_s=0.5,
+    )
+    base.update(overrides)
+    return build_run_report(**base)
+
+
+class TestRunReport:
+    def test_build_computes_rates_and_captures_registry(self):
+        REGISTRY.counter("gem_seen_total").inc(7)
+        rep = _report(batch=4)
+        assert rep.cycles_per_s == pytest.approx(200.0)
+        assert rep.lane_cycles_per_s == pytest.approx(800.0)
+        assert rep.metrics["gem_seen_total"] == 7.0
+        assert rep.environment["python"]
+
+    def test_write_load_roundtrip_and_unknown_keys(self, tmp_path):
+        path = str(tmp_path / "r.json")
+        write_report(_report(extras={"note": "x"}), path)
+        raw = json.load(open(path))
+        raw["future_field"] = 123
+        json.dump(raw, open(path, "w"))
+        rep = load_report(path)
+        assert rep.design == "rocketchip"
+        assert rep.extras["note"] == "x" and rep.extras["future_field"] == 123
+
+    def test_load_rejects_non_reports(self, tmp_path):
+        path = str(tmp_path / "bad.json")
+        json.dump({"hello": 1}, open(path, "w"))
+        with pytest.raises(ValueError):
+            load_report(path)
+        json.dump([1, 2], open(path, "w"))
+        with pytest.raises(ValueError):
+            load_report(path)
+
+    def test_format_report_renders(self):
+        rep = _report(
+            counters={"cycles": 100, "array_ops": 500},
+            phase_times={"fold": 0.3, "inject": 0.1},
+        )
+        text = format_report(rep)
+        assert "rocketchip/wl" in text and "phase split" in text
+        assert "array_ops/cycle" in text
+
+    def test_diff_reports(self):
+        a = _report(counters={"array_ops": 100}, phase_times={"fold": 0.1})
+        b = _report(
+            elapsed_s=1.0, counters={"array_ops": 200}, phase_times={"fold": 0.2}
+        )
+        names = [d.name for d in diff_reports(a, b)]
+        assert "cycles_per_s" in names
+        assert "counters.array_ops" in names and "phase.fold" in names
+
+    def test_compare_to_bench_flags_regression(self):
+        bench = {
+            "rows": [
+                {
+                    "design": "rocketchip",
+                    "engine_mode": "fused",
+                    "batch": 1,
+                    "cycles_per_s": 1000.0,
+                    "lane_cycles_per_s": 1000.0,
+                }
+            ]
+        }
+        rep = _report()  # 200 cycles/s vs 1000 baseline: an 80% drop
+        comparisons, notes = compare_to_bench(rep, bench, threshold=0.10)
+        assert notes == []
+        assert len(comparisons) == 2
+        assert all(c.regressed for c in comparisons)
+        ok, _ = compare_to_bench(rep, bench, threshold=0.9)
+        assert not any(c.regressed for c in ok)
+
+    def test_compare_to_bench_notes_non_matches(self):
+        comparisons, notes = compare_to_bench(
+            _report(design="nvdla"), {"rows": [{"design": "rocketchip"}]}
+        )
+        assert comparisons == [] and any("no baseline row" in n for n in notes)
+
+    def test_compare_tolerates_engine_modeless_rows(self):
+        """BENCH_batch.json rows predate engine_mode; they still match."""
+        bench = [{"design": "rocketchip", "batch": 1, "cycles_per_s": 150.0}]
+        comparisons, notes = compare_to_bench(_report(), bench)
+        assert notes == [] and len(comparisons) == 1
+        assert not comparisons[0].regressed
+
+
+# -- interpreter reset + traced cycles ----------------------------------------
+
+
+class TestInterpreterTelemetry:
+    def test_reset_replays_bit_identically(self):
+        circuit = random_circuit(321, n_ops=40, n_regs=3, with_memory=True)
+        design = _compile_small(circuit)
+        stimuli = random_vectors(circuit, seed=9, cycles=10)
+        sim = design.simulator(profile=True)
+        first = [sim.step(vec) for vec in stimuli]
+        assert sim.cycle == 10 and any(sim.phase_times.values())
+        sim.reset()
+        assert sim.cycle == 0
+        assert sim.counters.cycles == 0
+        assert all(v == 0.0 for v in sim.phase_times.values())
+        second = [sim.step(vec) for vec in stimuli]
+        assert first == second
+
+    def test_traced_step_emits_cycle_spans(self):
+        circuit = random_circuit(322, n_ops=40, n_regs=2)
+        design = _compile_small(circuit)
+        stimuli = random_vectors(circuit, seed=2, cycles=3)
+        sim = design.simulator()
+        TRACER.enable()
+        TRACER.clear()
+        try:
+            baseline = [sim.step(vec) for vec in stimuli]
+        finally:
+            TRACER.disable()
+        evs = TRACER.events()
+        cycles = [e for e in evs if e["name"] == "cycle"]
+        assert len(cycles) == 3
+        assert [c["args"]["cycle"] for c in cycles] == [0, 1, 2]
+        phase_names = {e["name"] for e in evs if e.get("cat") == "runtime.phase"}
+        assert phase_names == set(CYCLE_PHASES)
+        # Tracing must not have perturbed simulation results.
+        sim2 = design.simulator()
+        assert [sim2.step(vec) for vec in stimuli] == baseline
+
+    def test_traced_step_does_not_leave_profiling_on(self):
+        circuit = random_circuit(323, n_ops=30, n_regs=2)
+        design = _compile_small(circuit)
+        vec = random_vectors(circuit, seed=1, cycles=1)[0]
+        sim = design.simulator(profile=False)
+        TRACER.enable()
+        try:
+            sim.step(vec)
+        finally:
+            TRACER.disable()
+        assert sim.profile is False
+        before = dict(sim.phase_times)
+        sim.step(vec)
+        assert sim.phase_times == before  # untraced step doesn't time
+
+
+class TestSupervisorTelemetry:
+    def test_supervised_run_emits_events_and_metrics(self, tmp_path):
+        from repro.runtime.supervisor import Supervisor
+
+        circuit = random_circuit(324, n_ops=40, n_regs=3, with_memory=True)
+        design = _compile_small(circuit)
+        stimuli = random_vectors(circuit, seed=4, cycles=12)
+        TRACER.enable()
+        try:
+            result = Supervisor(
+                design,
+                checkpoint_every=4,
+                checkpoint_dir=str(tmp_path / "ckpt"),
+                scrub_every=4,
+                profile=True,
+            ).run(stimuli)
+        finally:
+            TRACER.disable()
+        assert result.cycles == 12
+        assert any(result.phase_times.values())
+        names = {e["name"] for e in TRACER.events()}
+        assert "supervisor.scrub" in names
+        assert "checkpoint.save" in names
+        snap = REGISTRY.snapshot()
+        assert snap["gem_supervisor_scrubs_total"] == 3.0
+        assert snap["gem_checkpoint_writes_total"] == 3.0
+        assert snap["gem_checkpoint_bytes_total"] > 0
+        assert snap['gem_phase_seconds_total{phase="fold"}'] > 0
+
+    def test_fault_recovery_counts(self, tmp_path):
+        from repro.runtime.supervisor import Supervisor
+
+        circuit = random_circuit(325, n_ops=40, n_regs=3)
+        design = _compile_small(circuit)
+        stimuli = random_vectors(circuit, seed=5, cycles=10)
+        flipped = []
+
+        def hook(interp, cycle):
+            if cycle == 5 and not flipped:
+                flipped.append(cycle)
+                interp.global_state[1] ^= 1
+
+        TRACER.enable()
+        try:
+            result = Supervisor(
+                design, checkpoint_every=2, scrub_every=1, fault_hook=hook
+            ).run(stimuli)
+        finally:
+            TRACER.disable()
+        assert result.faults_detected >= 1 and not result.degraded
+        names = {e["name"] for e in TRACER.events()}
+        assert {"supervisor.fault", "supervisor.rollback"} <= names
+        snap = REGISTRY.snapshot()
+        assert snap["gem_supervisor_faults_detected_total"] >= 1
+        assert snap["gem_supervisor_rollbacks_total"] >= 1
+
+
+# -- CLI end to end -----------------------------------------------------------
+
+
+class TestRunObservabilityFlags:
+    def test_trace_report_metrics_outputs(self, capsys, tmp_path):
+        trace = str(tmp_path / "trace.json")
+        report = str(tmp_path / "report.json")
+        metrics = str(tmp_path / "metrics.prom")
+        assert cli.main_run([
+            "openpiton1", "--max-cycles", "8",
+            "--trace-out", trace, "--report-out", report,
+            "--metrics-out", metrics, "--log-level", "info",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "trace written" in out and "report written" in out
+        assert validate_trace(trace) == []
+        doc = json.load(open(trace))
+        names = [e["name"] for e in doc["traceEvents"]]
+        assert any(n.startswith("compile:") for n in names)
+        cycle_evs = [
+            e for e in doc["traceEvents"]
+            if e["name"] == "cycle" and e.get("cat") == "runtime"
+        ]
+        assert len(cycle_evs) >= 1
+        phase_names = {
+            e["name"] for e in doc["traceEvents"]
+            if e.get("cat") == "runtime.phase"
+        }
+        assert phase_names == set(CYCLE_PHASES)
+        rep = load_report(report)
+        assert rep.design == "openpiton1" and rep.cycles == 8
+        assert rep.extras["trace_out"] == trace
+        prom = open(metrics).read()
+        assert "gem_interp_cycles" in prom
+
+    def test_supervised_trace_has_supervisor_events(self, tmp_path):
+        trace = str(tmp_path / "trace.json")
+        report = str(tmp_path / "report.json")
+        assert cli.main_run([
+            "openpiton1", "--max-cycles", "16",
+            "--checkpoint-every", "4", "--scrub-every", "4",
+            "--checkpoint-dir", str(tmp_path / "ckpt"),
+            "--trace-out", trace, "--report-out", report, "--profile",
+        ]) == 0
+        names = {e["name"] for e in json.load(open(trace))["traceEvents"]}
+        assert "supervisor.scrub" in names
+        assert "checkpoint.save" in names
+        rep = load_report(report)
+        assert rep.kind == "gem-run/supervised"
+        assert rep.extras["checkpoints_written"] == 4
+        assert any(rep.phase_times.values())
+
+    def test_log_level_accepted_everywhere(self, capsys):
+        assert cli.main_run([
+            "openpiton1", "--max-cycles", "4", "--log-level", "debug",
+        ]) == 0
+        with pytest.raises(SystemExit):
+            cli.main_run(["openpiton1", "--log-level", "loud"])
+
+
+class TestPerfCommand:
+    @pytest.fixture()
+    def reports(self, tmp_path):
+        a = str(tmp_path / "a.json")
+        b = str(tmp_path / "b.json")
+        write_report(_report(), a)
+        write_report(_report(elapsed_s=1.0), b)
+        return a, b
+
+    def test_show_and_diff(self, capsys, reports):
+        a, b = reports
+        assert cli.main_perf(["show", a]) == 0
+        assert "rocketchip/wl" in capsys.readouterr().out
+        assert cli.main_perf(["diff", a, b]) == 0
+        assert "cycles_per_s" in capsys.readouterr().out
+
+    def test_validate_trace_exit_codes(self, capsys, tmp_path):
+        good = str(tmp_path / "good.json")
+        json.dump({"traceEvents": [{"name": "a", "ph": "i", "ts": 0.0}]},
+                  open(good, "w"))
+        assert cli.main_perf(["validate-trace", good]) == 0
+        bad = str(tmp_path / "bad.json")
+        json.dump({"traceEvents": [{"ph": "Q"}]}, open(bad, "w"))
+        assert cli.main_perf(["validate-trace", bad]) == 1
+
+    def test_compare_warn_only_vs_strict(self, capsys, reports, tmp_path):
+        a, _ = reports
+        bench = str(tmp_path / "bench.json")
+        json.dump({"rows": [{
+            "design": "rocketchip", "engine_mode": "fused", "batch": 1,
+            "cycles_per_s": 1e9, "lane_cycles_per_s": 1e9,
+        }]}, open(bench, "w"))
+        assert cli.main_perf(["compare", a, bench]) == 0  # warn-only
+        assert "WARNING" in capsys.readouterr().out
+        assert cli.main_perf(["compare", a, bench, "--strict"]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_compare_vacuous_gate_is_explicit(self, capsys, reports, tmp_path):
+        a, _ = reports
+        bench = str(tmp_path / "bench.json")
+        json.dump({"rows": []}, open(bench, "w"))
+        assert cli.main_perf(["compare", a, bench]) == 0
+        out = capsys.readouterr().out
+        assert "no comparable baselines" in out

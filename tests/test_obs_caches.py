@@ -1,0 +1,129 @@
+"""Decode/fusion cache behaviour under real sharing patterns (satellite).
+
+Extends the basic cache tests in test_fused_engine with the scenarios
+the observability PR cares about: supervisor primary+shadow sharing in
+both engine modes, eviction past the 8-entry LRU bound, cross-mode
+(fused + legacy) sharing of one decode/fusion entry, and the mirroring
+of cache traffic into the metrics registry.
+"""
+
+import pytest
+
+from repro.core.fused import (
+    _FUSE_CACHE_MAX,
+    clear_fusion_cache,
+    fusion_cache_stats,
+)
+from repro.core.interpreter import (
+    _DECODE_CACHE_MAX,
+    clear_decode_cache,
+    decode_cache_stats,
+)
+from repro.obs.metrics import REGISTRY
+from repro.runtime.supervisor import Supervisor
+from tests.helpers import random_circuit, random_vectors
+from tests.test_fused_engine import _compile_small
+
+
+@pytest.fixture(autouse=True)
+def _clean_caches():
+    clear_decode_cache()
+    clear_fusion_cache()
+    REGISTRY.clear()
+    yield
+    clear_decode_cache()
+    clear_fusion_cache()
+    REGISTRY.clear()
+
+
+@pytest.fixture(scope="module")
+def design():
+    return _compile_small(random_circuit(711, n_ops=40, n_regs=3, with_memory=True))
+
+
+class TestSupervisorSharing:
+    @pytest.mark.parametrize("engine_mode", ["fused", "legacy"])
+    def test_primary_and_shadow_share_one_entry(self, design, engine_mode):
+        """Primary + redundant shadow decode and fuse exactly once in
+        either engine mode (legacy still fuses for the work counters)."""
+        circuit = random_circuit(711, n_ops=40, n_regs=3, with_memory=True)
+        stimuli = random_vectors(circuit, seed=7, cycles=6)
+        result = Supervisor(
+            design, shadow="redundant", batch=2, engine_mode=engine_mode
+        ).run(stimuli)
+        assert result.cycles == len(stimuli)
+        assert decode_cache_stats() == {"misses": 1, "hits": 1}
+        assert fusion_cache_stats() == {"misses": 1, "hits": 1}
+
+    def test_consecutive_supervised_runs_hit(self, design):
+        circuit = random_circuit(711, n_ops=40, n_regs=3, with_memory=True)
+        stimuli = random_vectors(circuit, seed=8, cycles=4)
+        for _ in range(2):
+            Supervisor(design, shadow="redundant", batch=2).run(stimuli)
+        stats = decode_cache_stats()
+        assert stats["misses"] == 1 and stats["hits"] == 3
+
+
+class TestEviction:
+    def test_lru_eviction_past_capacity(self, design):
+        """Distinct batch sizes are distinct keys; pushing past the
+        8-entry bound evicts the oldest and re-keying it re-misses."""
+        assert _DECODE_CACHE_MAX == _FUSE_CACHE_MAX == 8
+        for batch in range(1, _DECODE_CACHE_MAX + 2):  # 9 distinct keys
+            design.simulator(batch=batch)
+        stats = decode_cache_stats()
+        assert stats["misses"] == _DECODE_CACHE_MAX + 1
+        assert stats["hits"] == 0
+        # batch=1 was the oldest entry: it must have been evicted.
+        design.simulator(batch=1)
+        assert decode_cache_stats()["misses"] == _DECODE_CACHE_MAX + 2
+        # The newest key is still resident.
+        design.simulator(batch=_DECODE_CACHE_MAX + 1)
+        assert decode_cache_stats()["hits"] == 1
+        assert fusion_cache_stats()["misses"] == _DECODE_CACHE_MAX + 2
+        snap = REGISTRY.snapshot()
+        assert snap['gem_cache_evictions_total{cache="decode"}'] >= 2
+        assert snap['gem_cache_evictions_total{cache="fusion"}'] >= 2
+
+
+class TestCrossMode:
+    def test_fused_and_legacy_share_decode_and_fusion(self, design):
+        """Legacy mode reuses the same decode and fusion entries (fusion
+        runs in legacy mode too, for the work counters) and both modes
+        produce identical outputs from the shared tables."""
+        circuit = random_circuit(711, n_ops=40, n_regs=3, with_memory=True)
+        stimuli = random_vectors(circuit, seed=11, cycles=8)
+        fused_sim = design.simulator(batch=4, mode="fused")
+        legacy_sim = design.simulator(batch=4, mode="legacy")
+        assert decode_cache_stats() == {"misses": 1, "hits": 1}
+        assert fusion_cache_stats() == {"misses": 1, "hits": 1}
+        for vec in stimuli:
+            assert fused_sim.step(vec) == legacy_sim.step(vec)
+
+
+class TestRegistryMirroring:
+    def test_cache_traffic_lands_in_registry(self, design):
+        design.simulator(batch=2)
+        design.simulator(batch=2)
+        snap = REGISTRY.snapshot()
+        assert snap["gem_decode_cache_misses_total"] == 1.0
+        assert snap["gem_decode_cache_hits_total"] == 1.0
+        assert snap["gem_fusion_cache_misses_total"] == 1.0
+        assert snap["gem_fusion_cache_hits_total"] == 1.0
+        assert snap["gem_decode_cache_misses_total"] == decode_cache_stats()[
+            "misses"
+        ]
+
+    def test_registry_reset_does_not_break_counting(self, design):
+        design.simulator(batch=2)
+        REGISTRY.reset()
+        design.simulator(batch=2)
+        assert REGISTRY.snapshot()["gem_decode_cache_hits_total"] == 1.0
+
+    def test_registry_clear_does_not_break_counting(self, design):
+        """Call sites fetch metrics get-or-create, so clear() between
+        runs (the test idiom) never orphans a counter."""
+        design.simulator(batch=2)
+        REGISTRY.clear()
+        design.simulator(batch=2)
+        assert REGISTRY.snapshot()["gem_decode_cache_hits_total"] == 1.0
