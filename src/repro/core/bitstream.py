@@ -41,7 +41,7 @@ import numpy as np
 
 from repro.core import isa
 from repro.core.boomerang import BoomerangConfig
-from repro.core.eaig import EAIG, NodeKind, lit_node
+from repro.core.eaig import EAIG, lit_node
 from repro.core.integrity import crc32_words, seal, unseal
 from repro.core.merging import MergeResult
 from repro.core.placement import PlacedPartition
@@ -309,3 +309,56 @@ def assemble(eaig: EAIG, synth: SynthesisResult, merge: MergeResult) -> GemProgr
     )
     words = seal([header, inst_stream, ram_words, reset_section])
     return GemProgram(words=words, meta=meta)
+
+
+# -- fault injection -----------------------------------------------------------
+
+
+def _fold_sites(instructions: np.ndarray) -> list[tuple[int, int]]:
+    """(stream offset, eff_width_log2) of every FOLD with a live payload."""
+    sites: list[tuple[int, int]] = []
+    pos = 0
+    while pos < instructions.size:
+        opcode, length, count = isa.parse_header(int(instructions[pos]))
+        if opcode is isa.Opcode.FOLD and count > 0:
+            sites.append((pos, count))
+        pos += length
+    return sites
+
+
+def count_fold_instructions(program: GemProgram) -> int:
+    """Number of FOLD instructions with at least one live constant bit."""
+    return len(_fold_sites(verify_integrity(program.words)[1]))
+
+
+def mutate_fold_constant(program: GemProgram, fold_index: int, bit: int) -> GemProgram:
+    """A copy of ``program`` with one boomerang fold-constant bit flipped.
+
+    The differential fuzzer's canonical *semantics* bug: both GEM
+    execution paths (stage-fused and legacy) decode the same instruction
+    stream, so the mutation mis-simulates identically on both while the
+    gate-level and word-level references stay correct — exactly the kind
+    of defect only cross-engine checking can catch.  The mutated
+    container is resealed (section CRCs recomputed), so it loads cleanly;
+    this is a wrong *program*, not a corrupt one (contrast the SEU
+    campaigns of :mod:`repro.runtime.faults`, which flip resident bits
+    and expect integrity machinery to notice).
+
+    ``fold_index`` selects a FOLD instruction (see
+    :func:`count_fold_instructions`); ``bit`` indexes into its live
+    constant bits, modulo the payload size so any non-negative value is
+    usable.  Raises :class:`ValueError` when the program has no live fold
+    constants.
+    """
+    sections = verify_integrity(program.words)
+    instructions = sections[1].copy()
+    sites = _fold_sites(instructions)
+    if not sites:
+        raise ValueError("program has no FOLD instructions with live constants")
+    pos, eff_width_log2 = sites[fold_index % len(sites)]
+    live_bits = 3 * ((1 << eff_width_log2) - 1)  # xor_a/xor_b/or_b per step
+    target = bit % live_bits
+    word = pos + 1 + (target >> 5)
+    instructions[word] = np.uint32(instructions[word]) ^ np.uint32(1 << (target & 31))
+    words = seal([sections[0], instructions, sections[2], sections[3]])
+    return GemProgram(words=words, meta=program.meta)

@@ -25,7 +25,7 @@ on demand, port wiring last.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Sequence
 
 from repro.core.eaig import EAIG, FALSE, TRUE, lit_not
@@ -86,6 +86,18 @@ def _eq_const(eaig: EAIG, lits: Sequence[int], value: int) -> int:
             nxt.append(level[-1])
         level = nxt
     return level[0]
+
+
+def _effective_addr_bits(memory: Memory) -> int:
+    """Address bits that actually select a word: ``log2(depth)``.
+
+    ``Memory.addr_bits`` is floored at 1 so a port signal always exists,
+    which leaves a depth-1 memory with one *dead* address bit.  The word
+    simulator indexes modulo depth, so every mapping must ignore dead
+    bits rather than decode them (a depth-1 write at address 1 wraps to
+    word 0; it is neither dropped nor stored elsewhere).
+    """
+    return max(0, (memory.depth - 1).bit_length())
 
 
 def _mux_word(eaig: EAIG, sel: int, a: Sequence[int], b: Sequence[int]) -> list[int]:
@@ -194,16 +206,17 @@ class BlockMappedMemory(MappedMemory):
         ab, db = self.config.addr_bits, self.config.data_bits
         gates0 = eaig.num_gates()
         # Write side (single port, possibly absent for ROMs).
+        eff = _effective_addr_bits(mem)
         if mem.write_ports:
             wp = mem.write_ports[0]
             wen = lits_of(wp.en)[0]
-            waddr = lits_of(wp.addr)
+            waddr = lits_of(wp.addr)[:eff]
             wdata = lits_of(wp.data)
             wdata = (wdata + [FALSE] * (self.chunks * db))[: self.chunks * db]
             wlow = (waddr[:ab] + [FALSE] * ab)[:ab]
             whigh = waddr[ab : ab + self.bank_bits]
         for p, rp in enumerate(mem.read_ports):
-            raddr = lits_of(rp.addr)
+            raddr = lits_of(rp.addr)[:eff]
             ren = lits_of(rp.en)[0] if rp.en is not None else TRUE
             rlow = (raddr[:ab] + [FALSE] * ab)[:ab]
             rhigh = raddr[ab : ab + self.bank_bits]
@@ -259,7 +272,7 @@ class PolyfilledMemory(MappedMemory):
         return self.sync_ffs[port_index]
 
     def async_read_data(self, port_index: int, addr: Sequence[int]) -> list[int]:
-        addr_bits = self.memory.addr_bits
+        addr_bits = _effective_addr_bits(self.memory)
         return _mux_tree(self.eaig, list(addr)[:addr_bits], self.word_ffs)
 
     def finalize(self, lits_of: LitsOf) -> None:
@@ -269,9 +282,10 @@ class PolyfilledMemory(MappedMemory):
         # Write decoders; ports applied in order so later ports win, matching
         # the word simulator's sequential application.
         next_words = [list(bits) for bits in self.word_ffs]
+        eff = _effective_addr_bits(mem)
         for wp in mem.write_ports:
             wen = lits_of(wp.en)[0]
-            waddr = lits_of(wp.addr)[: mem.addr_bits]
+            waddr = lits_of(wp.addr)[:eff]
             wdata = lits_of(wp.data)
             for w in range(mem.depth):
                 hit = eaig.add_and(wen, _eq_const(eaig, waddr, w))
@@ -283,7 +297,7 @@ class PolyfilledMemory(MappedMemory):
         for p, rp in enumerate(mem.read_ports):
             if not rp.sync:
                 continue
-            raddr = lits_of(rp.addr)[: mem.addr_bits]
+            raddr = lits_of(rp.addr)[:eff]
             data = _mux_tree(eaig, raddr, self.word_ffs)
             ren = lits_of(rp.en)[0] if rp.en is not None else TRUE
             for b, ff in enumerate(self.sync_ffs[p]):

@@ -1,0 +1,363 @@
+"""N-way differential oracle: one spec, every engine, lockstep.
+
+Four independent implementations of the same RTL semantics exist in this
+repository, and they disagree only when one of them is wrong:
+
+* ``word`` — the word-level golden model (:class:`repro.rtl.netlist.WordSim`),
+  which never sees the GEM compile flow at all;
+* ``simref`` — the levelized gate-level engine over the synthesized E-AIG
+  (catches synthesis/RAM-adapter bugs independent of partitioning);
+* ``legacy`` — the per-partition GEM interpreter over the assembled
+  bitstream;
+* ``fused`` — the stage-fused executor over the same bitstream.
+
+:func:`run_oracle` compiles a :class:`~repro.fuzz.designgen.DesignSpec`
+under a named compile profile, runs all requested engines in lockstep at
+batch 1, then re-runs the two GEM paths at the requested lane batches
+(each lane seeing a rotated stimulus stream) and cross-checks them
+per-lane, with lane 0 additionally pinned to the batch-1 reference.  The
+first disagreement is reported as a :class:`FuzzDivergence` (cycle,
+signal, engine pair, lane).
+
+An ``inject`` descriptor swaps in a deliberately mutated bitstream
+(:func:`repro.core.bitstream.mutate_fold_constant`) so the fuzzer's own
+detection path can be exercised end to end: the mutation hits both GEM
+engines while the references stay clean.
+"""
+
+from __future__ import annotations
+
+import logging
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.core.bitstream import GemProgram, mutate_fold_constant
+from repro.core.boomerang import BoomerangConfig
+from repro.core.compiler import CompiledDesign, GemCompiler, GemConfig, GemSimulator
+from repro.core.partition import PartitionConfig
+from repro.core.ram_mapping import RamMappingConfig
+from repro.core.synthesis import SynthesisConfig
+from repro.fuzz.designgen import DesignSpec
+from repro.harness.cosim import output_mismatches
+from repro.rtl.netlist import Netlist, WordSim
+from repro.simref.gate_sim import GateLevelSim
+
+logger = logging.getLogger(__name__)
+
+#: every engine the oracle can run, in reference-preference order
+ENGINES = ("word", "simref", "legacy", "fused")
+
+
+def _profile_small() -> GemConfig:
+    return GemConfig(
+        partition=PartitionConfig(gates_per_partition=400),
+        boomerang=BoomerangConfig(width_log2=10),
+    )
+
+
+def _profile_merge() -> GemConfig:
+    """Narrow processor: partitions crowd the state budget, so Algorithm 1
+    merging and the unmappable-retry loop both get real work."""
+    return GemConfig(
+        partition=PartitionConfig(gates_per_partition=256),
+        boomerang=BoomerangConfig(width_log2=9),
+    )
+
+
+def _profile_ram_small_blocks() -> GemConfig:
+    """Tiny native RAM blocks (16×8): even small behavioral memories split
+    into multiple banks and width chunks, forcing the §III-B adapters."""
+    return GemConfig(
+        synthesis=SynthesisConfig(ram=RamMappingConfig(addr_bits=4, data_bits=8)),
+        partition=PartitionConfig(gates_per_partition=400),
+        boomerang=BoomerangConfig(width_log2=10),
+    )
+
+
+#: named compile profiles (factories — ``GemConfig.__post_init__`` mutates
+#: the partition config it is handed, so every compile needs a fresh one)
+COMPILE_PROFILES: dict[str, callable] = {
+    "default": GemConfig,
+    "small": _profile_small,
+    "merge": _profile_merge,
+    "ram_small_blocks": _profile_ram_small_blocks,
+}
+
+
+def compile_profile(name: str) -> GemConfig:
+    """A fresh :class:`GemConfig` for a named profile."""
+    try:
+        factory = COMPILE_PROFILES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown compile profile {name!r}; have {sorted(COMPILE_PROFILES)}"
+        ) from None
+    return factory()
+
+
+@dataclass(frozen=True)
+class OracleConfig:
+    """What to cross-check and how hard."""
+
+    engines: tuple[str, ...] = ENGINES
+    #: lane batches beyond 1 run fused-vs-legacy per-lane lockstep
+    batches: tuple[int, ...] = (1, 16, 64)
+    compile_profile: str = "small"
+    #: fault descriptor, e.g. ``{"kind": "fold", "index": 0, "bit": 3}``
+    inject: dict | None = None
+
+    def to_json(self) -> dict:
+        return {
+            "engines": list(self.engines),
+            "batches": list(self.batches),
+            "compile_profile": self.compile_profile,
+            "inject": self.inject,
+        }
+
+    @classmethod
+    def from_json(cls, raw: dict) -> "OracleConfig":
+        return cls(
+            engines=tuple(raw.get("engines", ENGINES)),
+            batches=tuple(int(b) for b in raw.get("batches", (1, 16, 64))),
+            compile_profile=str(raw.get("compile_profile", "small")),
+            inject=raw.get("inject"),
+        )
+
+
+@dataclass
+class FuzzDivergence:
+    """First cross-engine disagreement of an oracle run."""
+
+    cycle: int
+    engine: str
+    reference: str
+    #: signal name -> (reference value, engine value)
+    signals: dict[str, tuple[int, int]]
+    batch: int = 1
+    lane: int | None = None
+
+    @property
+    def signal(self) -> str:
+        """Deterministic representative signal (alphabetically first)."""
+        return min(self.signals) if self.signals else ""
+
+    def describe(self) -> str:
+        where = f" batch={self.batch}" + (f" lane={self.lane}" if self.lane is not None else "")
+        lines = [f"divergence at cycle {self.cycle}: {self.engine} vs {self.reference}{where}"]
+        for name, (ref, dut) in sorted(self.signals.items()):
+            lines.append(f"  {name}: {self.reference}={ref:#x} {self.engine}={dut:#x}")
+        return "\n".join(lines)
+
+    def to_json(self) -> dict:
+        return {
+            "cycle": self.cycle,
+            "engine": self.engine,
+            "reference": self.reference,
+            "signals": {k: list(v) for k, v in self.signals.items()},
+            "batch": self.batch,
+            "lane": self.lane,
+        }
+
+    @classmethod
+    def from_json(cls, raw: dict) -> "FuzzDivergence":
+        return cls(
+            cycle=int(raw["cycle"]),
+            engine=str(raw["engine"]),
+            reference=str(raw["reference"]),
+            signals={str(k): (int(v[0]), int(v[1])) for k, v in raw["signals"].items()},
+            batch=int(raw.get("batch", 1)),
+            lane=raw.get("lane"),
+        )
+
+    def same_site(self, other: "FuzzDivergence | None") -> bool:
+        """Same first-divergence site (cycle + representative signal)?"""
+        return (
+            other is not None
+            and self.cycle == other.cycle
+            and self.signal == other.signal
+        )
+
+
+@dataclass
+class OracleResult:
+    """Verdict plus the coverage signal the corpus loop feeds on."""
+
+    ok: bool
+    divergence: FuzzDivergence | None
+    coverage: frozenset[str]
+    cycles: int
+    stats: dict = field(default_factory=dict)
+
+
+def _bucket(n: int) -> str:
+    """Power-of-two bucket label (coverage features must be coarse enough
+    to saturate, or every design looks novel and the signal is useless)."""
+    if n <= 0:
+        return "0"
+    lo = 1 << (n.bit_length() - 1)
+    return f"{lo}-{2 * lo - 1}" if lo > 1 else "1"
+
+
+def design_coverage(compiled: CompiledDesign, profile: str) -> set[str]:
+    """Structural coverage features of one compiled design."""
+    report = compiled.report
+    feats = {
+        f"profile:{profile}",
+        f"partitions:{_bucket(report.partitions)}",
+        f"stages:{report.stages}",
+        f"layers:{_bucket(report.layers)}",
+        f"depth:{_bucket(report.levels)}",
+    }
+    for mr in compiled.synth.memory_reports:
+        feats.add(f"ram:{mr.mode}")
+        if mr.blocks > 1:
+            feats.add("ram:multiblock")
+        if mr.adapter_gates > 0:
+            feats.add("ram:adapter")
+        if mr.polyfill_ffs > 0:
+            feats.add("ram:polyfill_ffs")
+    return feats
+
+
+def _rotated(stimuli: list[dict[str, int]], lane: int) -> list[dict[str, int]]:
+    """Lane ``lane`` sees the stimulus stream rotated ``lane`` cycles in
+    (lane 0 unrotated), so batched runs exercise genuinely distinct lane
+    state while staying replayable from the same stimulus list."""
+    if lane == 0 or not stimuli:
+        return stimuli
+    k = lane % len(stimuli)
+    return stimuli[k:] + stimuli[:k]
+
+
+def run_oracle(
+    spec: DesignSpec,
+    stimuli: list[dict[str, int]],
+    config: OracleConfig | None = None,
+) -> OracleResult:
+    """Compile ``spec`` and run the N-way lockstep cross-check."""
+    config = config or OracleConfig()
+    circuit = spec.build()
+    compiled = GemCompiler(compile_profile(config.compile_profile)).compile(circuit)
+    program: GemProgram = compiled.program
+    if config.inject is not None:
+        inj = config.inject
+        if inj.get("kind", "fold") != "fold":
+            raise ValueError(f"unknown inject kind {inj!r}")
+        program = mutate_fold_constant(
+            compiled.program, int(inj.get("index", 0)), int(inj.get("bit", 0))
+        )
+
+    coverage = design_coverage(compiled, config.compile_profile)
+    stats = {
+        "gates": compiled.report.gates,
+        "levels": compiled.report.levels,
+        "stages": compiled.report.stages,
+        "layers": compiled.report.layers,
+        "partitions": compiled.report.partitions,
+    }
+
+    def make_engine(name: str, batch: int = 1):
+        if name == "word":
+            return WordSim(Netlist(circuit))
+        if name == "simref":
+            return GateLevelSim(compiled.synth)
+        if name in ("fused", "legacy"):
+            sim = GemSimulator(program, batch=batch, mode=name)
+            if name == "fused" and sim.mode != "fused":
+                coverage.add("fallback:legacy")
+            return sim
+        raise ValueError(f"unknown engine {name!r}; have {ENGINES}")
+
+    engines = [e for e in ENGINES if e in config.engines]
+    if not engines:
+        raise ValueError("oracle needs at least one engine")
+    reference_name, *duts = engines
+
+    def finish(div: FuzzDivergence | None) -> OracleResult:
+        return OracleResult(
+            ok=div is None,
+            divergence=div,
+            coverage=frozenset(coverage),
+            cycles=len(stimuli),
+            stats=stats,
+        )
+
+    # Phase 1: batch-1 lockstep, every engine against the best reference.
+    reference = make_engine(reference_name)
+    dut_sims = [(name, make_engine(name)) for name in duts]
+    ref_trace: list[dict[str, int]] = []
+    for cycle, vec in enumerate(stimuli):
+        ref_out = reference.step(vec)
+        ref_trace.append(ref_out)
+        for name, sim in dut_sims:
+            mism = output_mismatches(ref_out, sim.step(vec))
+            if mism:
+                return finish(
+                    FuzzDivergence(
+                        cycle=cycle,
+                        engine=name,
+                        reference=reference_name,
+                        signals=mism,
+                    )
+                )
+
+    # Phase 2: lane-batched GEM paths (fused vs legacy per lane; lane 0
+    # additionally pinned to the batch-1 reference trace).
+    gem_modes = [e for e in engines if e in ("fused", "legacy")]
+    if gem_modes:
+        primary = gem_modes[0]
+        secondary = gem_modes[1] if len(gem_modes) > 1 else None
+        for batch in sorted(set(config.batches)):
+            if batch <= 1:
+                continue
+            coverage.add(f"batch:{batch}")
+            sim_a = make_engine(primary, batch=batch)
+            sim_b = make_engine(secondary, batch=batch) if secondary else None
+            lane_streams = [_rotated(stimuli, lane) for lane in range(batch)]
+            for cycle in range(len(stimuli)):
+                vecs = [lane_streams[lane][cycle] for lane in range(batch)]
+                outs_a = sim_a.step_lanes(vecs)
+                mism = output_mismatches(ref_trace[cycle], outs_a[0])
+                if mism:
+                    return finish(
+                        FuzzDivergence(
+                            cycle=cycle,
+                            engine=primary,
+                            reference=reference_name,
+                            signals=mism,
+                            batch=batch,
+                            lane=0,
+                        )
+                    )
+                if sim_b is None:
+                    continue
+                outs_b = sim_b.step_lanes(vecs)
+                for lane in range(batch):
+                    mism = output_mismatches(outs_b[lane], outs_a[lane])
+                    if mism:
+                        return finish(
+                            FuzzDivergence(
+                                cycle=cycle,
+                                engine=primary,
+                                reference=secondary,
+                                signals=mism,
+                                batch=batch,
+                                lane=lane,
+                            )
+                        )
+
+    return finish(None)
+
+
+def _coerce_stimuli(spec: DesignSpec, stimuli: list[Mapping[str, int]]) -> list[dict[str, int]]:
+    """Mask stimulus words to input widths, drop unknown names (shrunk
+    specs replay the original stimuli against fewer/narrower inputs)."""
+    widths = dict(spec.inputs)
+    return [
+        {
+            name: value & ((1 << widths[name]) - 1)
+            for name, value in vec.items()
+            if name in widths
+        }
+        for vec in stimuli
+    ]

@@ -1,0 +1,253 @@
+"""Delta-debugging shrinker for failing fuzz cases.
+
+Given a (spec, stimuli) pair on which the oracle reports a divergence,
+:func:`shrink` searches for a smaller pair that *still* diverges, ddmin
+style: propose a reduction, re-run the oracle, keep the reduction only if
+the failure survives.  The predicate is "any divergence" rather than
+"the same divergence" — the canonical delta-debugging choice; the shrunk
+repro records whatever divergence the final candidate exhibits, and
+replay pins *that*.
+
+Reduction passes, in order (each bounded by the shared check budget):
+
+1. truncate the stimulus to the divergence cycle + 1;
+2. drop all outputs except the diverging ones;
+3. drop whole memories, then registers (chunked);
+4. drop combinational ops (binary-chunk ddmin over op positions);
+5. garbage-collect unreferenced inputs;
+6. zero each input's stimulus column;
+7. re-truncate (structure changes can move the divergence earlier).
+
+Dropping a pool entry rewrites every later reference: uses of the removed
+op collapse to its first operand (or pool index 0), and all higher
+indices shift down by one.  ``DesignSpec.build`` coerces operand widths,
+so any remapped spec still elaborates — the property that makes blind
+structural deletion safe.
+"""
+
+from __future__ import annotations
+
+import logging
+from dataclasses import dataclass
+
+from repro.fuzz.designgen import DesignSpec
+from repro.fuzz.oracle import FuzzDivergence, OracleConfig, run_oracle
+
+logger = logging.getLogger(__name__)
+
+
+@dataclass
+class ShrinkResult:
+    """The minimized failing case plus shrink accounting."""
+
+    spec: DesignSpec
+    stimuli: list[dict[str, int]]
+    divergence: FuzzDivergence
+    #: oracle runs spent (≤ the max_checks budget)
+    checks: int
+    #: (ops, regs, mems, outputs, cycles) of original → shrunk
+    original_size: tuple[int, int, int, int, int]
+    shrunk_size: tuple[int, int, int, int, int]
+
+
+def _size(spec: DesignSpec, stimuli: list) -> tuple[int, int, int, int, int]:
+    return (len(spec.ops), len(spec.regs), len(spec.mems), len(spec.outputs), len(stimuli))
+
+
+def _copy(spec: DesignSpec) -> DesignSpec:
+    return DesignSpec.from_json(spec.to_json())
+
+
+def _remap_all(spec: DesignSpec, remap) -> None:
+    """Apply an index remap to every pool reference in ``spec``."""
+    for op in spec.ops:
+        op.a = [remap(i) for i in op.a]
+    for r in spec.regs:
+        r.next = remap(r.next)
+        if r.en is not None:
+            r.en = remap(r.en)
+    for m in spec.mems:
+        m.addr = remap(m.addr)
+        m.wdata = remap(m.wdata)
+        m.wen = remap(m.wen)
+        if m.ren is not None:
+            m.ren = remap(m.ren)
+        m.addr2 = remap(m.addr2)
+        m.wen2 = remap(m.wen2)
+        m.wdata2 = remap(m.wdata2)
+    spec.outputs = [(name, remap(src)) for name, src in spec.outputs]
+
+
+def _drop_pool_index(spec: DesignSpec, p: int, replacement: int) -> None:
+    """Rewrite references after pool entry ``p`` was removed: uses of ``p``
+    become ``replacement`` (pre-removal indexing, must be < p), and every
+    index above ``p`` shifts down by one."""
+
+    def remap(idx: int) -> int:
+        if idx == p:
+            idx = replacement
+        return idx - 1 if idx > p else idx
+
+    _remap_all(spec, remap)
+
+
+def _without_ops(spec: DesignSpec, positions: list[int]) -> DesignSpec:
+    """Copy of ``spec`` with the ops at ``positions`` removed."""
+    out = _copy(spec)
+    for oi in sorted(positions, reverse=True):
+        op = out.ops[oi]
+        p = out.n_fixed + oi
+        replacement = op.a[0] if op.a else 0
+        del out.ops[oi]
+        _drop_pool_index(out, p, replacement)
+    return out
+
+
+def _without_reg(spec: DesignSpec, ri: int) -> DesignSpec:
+    out = _copy(spec)
+    p = len(out.inputs) + ri
+    del out.regs[ri]
+    _drop_pool_index(out, p, 0)
+    return out
+
+
+def _without_mem(spec: DesignSpec, mi: int) -> DesignSpec:
+    out = _copy(spec)
+    mem = out.mems[mi]
+    base = out.mem_read_base() + sum(m.num_reads() for m in out.mems[:mi])
+    del out.mems[mi]
+    for p in range(base + mem.num_reads() - 1, base - 1, -1):
+        _drop_pool_index(out, p, 0)
+    return out
+
+
+def _gc_inputs(spec: DesignSpec, stimuli: list[dict[str, int]]) -> tuple[DesignSpec, list[dict[str, int]]]:
+    """Drop inputs no pool reference reaches (always keeping at least one)."""
+    out = _copy(spec)
+    used: set[int] = set()
+    for op in out.ops:
+        used.update(op.a)
+    for r in out.regs:
+        used.add(r.next)
+        if r.en is not None:
+            used.add(r.en)
+    for m in out.mems:
+        used.update((m.addr, m.wdata, m.wen, m.addr2, m.wen2, m.wdata2))
+        if m.ren is not None:
+            used.add(m.ren)
+    used.update(src for _, src in out.outputs)
+    dead = [i for i in range(len(out.inputs)) if i not in used]
+    if len(dead) >= len(out.inputs):
+        dead = dead[:-1]  # a circuit with no inputs is a different bug
+    if not dead:
+        return spec, stimuli
+    dropped = set()
+    for i in sorted(dead, reverse=True):
+        dropped.add(out.inputs[i][0])
+        del out.inputs[i]
+        _drop_pool_index(out, i, 0)
+    slim = [{k: v for k, v in vec.items() if k not in dropped} for vec in stimuli]
+    return out, slim
+
+
+def shrink(
+    spec: DesignSpec,
+    stimuli: list[dict[str, int]],
+    config: OracleConfig | None = None,
+    *,
+    max_checks: int = 200,
+) -> ShrinkResult:
+    """Minimize a failing (spec, stimuli) pair; raises ValueError if the
+    input does not diverge under ``config`` in the first place."""
+    config = config or OracleConfig()
+    checks = 0
+
+    def diverges(cand_spec: DesignSpec, cand_stim: list) -> FuzzDivergence | None:
+        nonlocal checks
+        if checks >= max_checks:
+            return None
+        checks += 1
+        try:
+            result = run_oracle(cand_spec, cand_stim, config)
+        except Exception as exc:  # un-buildable/un-compilable candidate: reject
+            logger.debug("shrink candidate rejected (%s: %s)", type(exc).__name__, exc)
+            return None
+        return result.divergence
+
+    best_div = diverges(spec, stimuli)
+    if best_div is None:
+        raise ValueError("shrink() needs a failing case: the oracle reports no divergence")
+    best_spec, best_stim = _copy(spec), list(stimuli)
+    original = _size(spec, stimuli)
+
+    def accept(cand_spec: DesignSpec, cand_stim: list) -> bool:
+        nonlocal best_spec, best_stim, best_div
+        div = diverges(cand_spec, cand_stim)
+        if div is None:
+            return False
+        best_spec, best_stim, best_div = cand_spec, cand_stim, div
+        return True
+
+    def truncate() -> None:
+        cut = best_div.cycle + 1
+        if cut < len(best_stim):
+            accept(best_spec, best_stim[:cut])
+
+    truncate()
+
+    # Outputs: try collapsing straight to the diverging signals.
+    diverging = set(best_div.signals)
+    keep = [(n, s) for n, s in best_spec.outputs if n in diverging]
+    if keep and len(keep) < len(best_spec.outputs):
+        cand = _copy(best_spec)
+        cand.outputs = keep
+        accept(cand, best_stim)
+
+    for mi in range(len(best_spec.mems) - 1, -1, -1):
+        accept(_without_mem(best_spec, mi), best_stim)
+    for ri in range(len(best_spec.regs) - 1, -1, -1):
+        accept(_without_reg(best_spec, ri), best_stim)
+
+    # Ops: ddmin over positions — halves, then quarters, … then singles.
+    chunk = max(1, len(best_spec.ops) // 2)
+    while chunk >= 1 and checks < max_checks:
+        pos = len(best_spec.ops)
+        progress = False
+        while pos > 0 and checks < max_checks:
+            lo = max(0, pos - chunk)
+            if accept(_without_ops(best_spec, list(range(lo, pos))), best_stim):
+                progress = True
+            pos = lo
+        if chunk == 1 and not progress:
+            break
+        chunk = chunk // 2
+
+    gc_spec, gc_stim = _gc_inputs(best_spec, best_stim)
+    if gc_spec is not best_spec:
+        accept(gc_spec, gc_stim)
+
+    # Stimulus columns: a constant-0 input is far easier to reason about.
+    for name, _ in list(best_spec.inputs):
+        if all(vec.get(name, 0) == 0 for vec in best_stim):
+            continue
+        cand = [{**vec, name: 0} for vec in best_stim]
+        accept(best_spec, cand)
+
+    truncate()
+
+    logger.info(
+        "shrink: %s -> %s in %d checks (divergence now cycle %d signal %r)",
+        original,
+        _size(best_spec, best_stim),
+        checks,
+        best_div.cycle,
+        best_div.signal,
+    )
+    return ShrinkResult(
+        spec=best_spec,
+        stimuli=best_stim,
+        divergence=best_div,
+        checks=checks,
+        original_size=original,
+        shrunk_size=_size(best_spec, best_stim),
+    )

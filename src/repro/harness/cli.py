@@ -8,6 +8,7 @@ Usage (installed scripts or ``python -m repro.harness.cli``)::
     gem-cosim <design> <workload>   # lockstep against the golden model
     gem-faultcampaign <design>      # seeded SEU injection campaign
     gem-perf show|diff|compare|validate-trace   # telemetry tooling
+    gem-fuzz run|replay|corpus      # differential fuzzing (docs/FUZZING.md)
 
 ``gem-run`` grows a resilience mode: ``--checkpoint-every N`` snapshots
 interpreter state every N cycles into ``--checkpoint-dir`` (CRC-sealed,
@@ -485,12 +486,135 @@ def main_perf(argv: list[str] | None = None) -> int:
     return 1 if (regressions and args.strict) else 0
 
 
+def main_fuzz(argv: list[str] | None = None) -> int:
+    """Differential fuzzing: generate/cross-check/shrink (docs/FUZZING.md)."""
+    import json
+
+    from repro.fuzz import PROFILES, replay_repro, run_fuzz
+    from repro.fuzz.corpus import Corpus
+
+    parser = argparse.ArgumentParser(prog="gem-fuzz", description=main_fuzz.__doc__)
+    _add_log_level(parser)
+    sub = parser.add_subparsers(dest="cmd", required=True)
+
+    p_run = sub.add_parser("run", help="coverage-guided fuzz campaign")
+    p_run.add_argument("--seed", type=int, default=0, help="campaign seed (default 0)")
+    p_run.add_argument("--iters", type=int, default=20, help="iterations (default 20)")
+    p_run.add_argument(
+        "--profiles", default=None, metavar="P1,P2",
+        help=f"shape profiles to draw from (default: all of {sorted(PROFILES)})",
+    )
+    p_run.add_argument("--cycles", type=int, default=24, help="stimulus cycles per design")
+    p_run.add_argument(
+        "--batches", default="1,16", metavar="B1,B2",
+        help="lane batches to cross-check (default 1,16; add 64 for full width)",
+    )
+    p_run.add_argument(
+        "--failure-dir", default="fuzz-failures",
+        help="where shrunk failing .gemrepro files land (default fuzz-failures/)",
+    )
+    p_run.add_argument("--no-shrink", action="store_true", help="save failures unshrunk")
+    p_run.add_argument(
+        "--shrink-budget", type=int, default=120,
+        help="max oracle runs the shrinker may spend per failure (default 120)",
+    )
+    p_run.add_argument("--corpus", default=None, help="corpus directory to pre-seed coverage from")
+    p_run.add_argument(
+        "--bank-novel", action="store_true",
+        help="save passing novel-coverage designs into --corpus as regression cases",
+    )
+    p_run.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="soft wall-time bound, checked between iterations (CI smoke budget)",
+    )
+    p_run.add_argument(
+        "--inject-fold", default=None, metavar="INDEX:BIT",
+        help="flip one fold-constant bit in every compiled bitstream "
+        "(self-test: the oracle must catch the mutation)",
+    )
+    p_run.add_argument("--json", action="store_true", help="emit the stats as JSON")
+
+    p_rep = sub.add_parser("replay", help="re-run .gemrepro files against their expectation")
+    p_rep.add_argument("repro", nargs="+", help="one or more .gemrepro files")
+    p_rep.add_argument("--json", action="store_true", help="emit outcomes as JSON")
+
+    p_cor = sub.add_parser("corpus", help="summarize a corpus directory")
+    p_cor.add_argument("dir", nargs="?", default="tests/corpus", help="corpus directory")
+    p_cor.add_argument("--json", action="store_true", help="emit the summary as JSON")
+
+    args = parser.parse_args(argv)
+    _setup_logging(args)
+
+    if args.cmd == "replay":
+        failures = 0
+        outcomes = []
+        for path in args.repro:
+            outcome = replay_repro(path)
+            outcomes.append({"repro": path, "ok": outcome.ok, "message": outcome.message})
+            if not args.json:
+                print(f"{'ok  ' if outcome.ok else 'FAIL'} {path}: {outcome.message}")
+            failures += not outcome.ok
+        if args.json:
+            print(json.dumps(outcomes, indent=1))
+        return 1 if failures else 0
+
+    if args.cmd == "corpus":
+        summary = Corpus(args.dir).summarize()
+        if args.json:
+            print(json.dumps(summary, indent=1))
+        else:
+            print(f"{summary['root']}: {summary['entries']} entries "
+                  f"({summary['expect_pass']} pass, {summary['expect_divergence']} divergence)")
+            for feat in summary["coverage_features"]:
+                print(f"  {feat}")
+        return 0
+
+    # run
+    inject = None
+    if args.inject_fold:
+        idx, _, bit = args.inject_fold.partition(":")
+        inject = {"kind": "fold", "index": int(idx), "bit": int(bit or 0)}
+    stats = run_fuzz(
+        args.seed,
+        args.iters,
+        profiles=args.profiles.split(",") if args.profiles else None,
+        cycles=args.cycles,
+        batches=tuple(int(b) for b in args.batches.split(",")),
+        inject=inject,
+        shrink_failures=not args.no_shrink,
+        shrink_budget=args.shrink_budget,
+        failure_dir=args.failure_dir,
+        corpus=Corpus(args.corpus) if args.corpus else None,
+        bank_novel=args.bank_novel,
+        deadline_s=args.deadline,
+    )
+    if args.json:
+        print(json.dumps({
+            "seed": stats.seed,
+            "iterations": stats.iterations,
+            "divergences": stats.divergences,
+            "failures": stats.failures,
+            "coverage": sorted(stats.coverage),
+            "novel_iterations": stats.novel_iterations,
+            "per_profile": stats.per_profile,
+            "banked": stats.banked,
+            "elapsed_s": stats.elapsed_s,
+        }, indent=1))
+    else:
+        print(stats.summary())
+        for path in stats.failures:
+            print(f"  failure: {path}")
+        for path in stats.banked:
+            print(f"  banked:  {path}")
+    return 1 if stats.divergences else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     argv = sys.argv[1:] if argv is None else argv
     parser = argparse.ArgumentParser(prog="python -m repro.harness.cli")
     parser.add_argument(
         "command",
-        choices=["compile", "run", "tables", "cosim", "faultcampaign", "perf"],
+        choices=["compile", "run", "tables", "cosim", "faultcampaign", "perf", "fuzz"],
     )
     parser.add_argument("rest", nargs=argparse.REMAINDER)
     args = parser.parse_args(argv)
@@ -504,6 +628,8 @@ def main(argv: list[str] | None = None) -> int:
         return main_faultcampaign(args.rest)
     if args.command == "perf":
         return main_perf(args.rest)
+    if args.command == "fuzz":
+        return main_fuzz(args.rest)
     return main_tables(args.rest)
 
 

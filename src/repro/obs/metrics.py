@@ -312,3 +312,31 @@ class MetricsRegistry:
 
 #: The process-wide registry every instrumented module publishes into.
 REGISTRY = MetricsRegistry()
+
+
+def publish_fuzz_iteration(
+    profile: str, diverged: bool, coverage_size: int, shrink_checks: int = 0
+) -> None:
+    """Publish one differential-fuzz iteration (``repro.fuzz`` calls this
+    so fuzz campaigns show up in the same Prometheus exposition as runs).
+    """
+    REGISTRY.counter(
+        "gem_fuzz_iterations_total",
+        help="differential fuzz iterations by shape profile",
+        labels={"profile": profile},
+    ).inc()
+    if diverged:
+        REGISTRY.counter(
+            "gem_fuzz_divergences_total",
+            help="cross-engine divergences found by the fuzzer",
+            labels={"profile": profile},
+        ).inc()
+    if shrink_checks:
+        REGISTRY.counter(
+            "gem_fuzz_shrink_checks_total",
+            help="oracle runs spent inside the shrinker",
+        ).inc(shrink_checks)
+    REGISTRY.gauge(
+        "gem_fuzz_coverage_features",
+        help="distinct structural coverage features seen this campaign",
+    ).set(float(coverage_size))

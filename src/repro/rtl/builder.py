@@ -301,6 +301,17 @@ class CircuitBuilder:
         self._pending_regs[q.uid] = reg
         return reg
 
+    def reg_en(self, reg: Reg, en: "Value | int", d: "Value | int") -> None:
+        """Assign a register's input behind a clock enable.
+
+        ``reg_en(r, en, d)`` is ``r.next = mux(en, d, r)`` — the
+        multi-clock-enable FF idiom (every enabled register holds its value
+        on disabled cycles).  Provided as a first-class helper so generated
+        and hand-written designs spell the hold loop identically.
+        """
+        d_v = reg._coerce(d).resize(reg.width)
+        reg.next = self.mux(en, d_v, reg)
+
     def _finish_reg(self, reg: Reg, d: Value) -> None:
         if reg.signal.uid not in self._pending_regs:
             raise ValueError(f"register {reg.name!r} is not pending (already assigned?)")

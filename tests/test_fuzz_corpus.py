@@ -1,0 +1,58 @@
+"""Replay every ``tests/corpus/*.gemrepro`` through the N-way oracle.
+
+The corpus is the fuzzer's regression memory: passing entries pin
+cross-engine agreement on structurally novel designs (banked for new
+coverage during seeding campaigns), and ``expect``-divergence entries pin
+the detection path itself — each carries an injected fold-constant
+mutation that must still be caught at the recorded cycle and signal.
+No generation happens here; every case replays a self-contained JSON
+file, so this stays fast and deterministic (docs/FUZZING.md).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.fuzz.corpus import Corpus, load_repro, replay_repro
+
+CORPUS_DIR = os.path.join(os.path.dirname(__file__), "corpus")
+CORPUS = Corpus(CORPUS_DIR)
+PATHS = CORPUS.paths()
+
+
+def test_corpus_is_seeded():
+    assert len(PATHS) >= 10, "tests/corpus should ship at least 10 repros"
+
+
+def test_corpus_pins_both_outcomes():
+    repros = CORPUS.load_all()
+    assert any(r.expect is None for r in repros), "need expect-pass entries"
+    assert any(r.expect is not None for r in repros), "need expect-divergence entries"
+
+
+def test_corpus_covers_ram_adapters_and_merging():
+    feats = CORPUS.coverage()
+    assert "ram:blocks" in feats
+    assert "ram:polyfill" in feats
+    assert "ram:multiblock" in feats, "corpus should hit multi-bank adapters"
+    assert any(f.startswith("partitions:2") for f in feats), (
+        "corpus should include a multi-partition (Algorithm 1 merging) design"
+    )
+
+
+@pytest.mark.parametrize("path", PATHS, ids=[os.path.basename(p) for p in PATHS])
+def test_replay(path):
+    outcome = replay_repro(path)
+    assert outcome.ok, outcome.message
+
+
+@pytest.mark.parametrize("path", PATHS, ids=[os.path.basename(p) for p in PATHS])
+def test_repro_roundtrip(path):
+    """Every shipped repro re-serializes to the identical JSON document."""
+    repro = load_repro(path)
+    assert repro.spec.build() is not None
+    from repro.fuzz.corpus import Repro
+
+    assert Repro.from_json(repro.to_json()).to_json() == repro.to_json()

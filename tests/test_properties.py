@@ -18,12 +18,11 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.boomerang import BoomerangConfig
-from repro.core.eaig import EAIG, EAIGSim, FALSE, TRUE, lit_not
+from repro.core.eaig import EAIG, EAIGSim, TRUE
 from repro.core.partition import PartitionConfig, partition_design
 from repro.core.placement import UnmappableError, place_partition
-from repro.core.synthesis import synthesize
 from repro.partition.repcut import repcut_partition
-from tests.helpers import random_circuit, random_vectors
+from tests.helpers import random_circuit
 
 
 def random_eaig(rng: random.Random, n_pis: int, n_ffs: int, n_gates: int) -> EAIG:
@@ -135,7 +134,6 @@ class TestBitstreamRobustness:
             GemInterpreter(program)
 
     def test_corrupted_opcode_fails_loudly(self):
-        from repro.core import isa
         from repro.core.interpreter import GemInterpreter
 
         design = self._program(43)
@@ -164,3 +162,81 @@ class TestCompiledSimDeterminism:
         src1 = generate_cycle_source(Netlist(circuit))
         src2 = generate_cycle_source(Netlist(circuit))
         assert src1 == src2
+
+
+class TestFuzzGeneratorProperties:
+    """Hypothesis strategies drawn from the fuzz design generator.
+
+    Small shapes only: each example compiles a full design.  The heavier,
+    curated structures live in tests/corpus/ (replayed, not generated).
+    """
+
+    SMALL = None  # populated lazily to keep import cost out of collection
+
+    @staticmethod
+    def _small_knobs():
+        from repro.fuzz import ShapeKnobs
+
+        return ShapeKnobs(
+            n_inputs=3,
+            n_regs=2,
+            n_ops=10,
+            widths=(1, 3, 8),
+            max_arith_width=8,
+            clock_enable_frac=0.5,
+            mem_recipes=(((4, 8), (3, 5), 0.7, 0.2, 0.2),),
+            n_outputs=3,
+        )
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_generated_specs_roundtrip_and_build(self, seed):
+        from repro.fuzz import DesignSpec, random_spec
+
+        spec = random_spec(seed, self._small_knobs())
+        again = DesignSpec.from_json(spec.to_json())
+        assert again.to_json() == spec.to_json()
+        circuit = spec.build()
+        assert circuit.name == spec.name
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=6, deadline=None)
+    def test_engines_agree_on_generated_designs(self, seed):
+        """fused == legacy == simref == word on generator output."""
+        from repro.fuzz import OracleConfig, random_spec, random_stimuli, run_oracle
+
+        spec = random_spec(seed, self._small_knobs())
+        stimuli = random_stimuli(spec, seed, 8)
+        result = run_oracle(
+            spec, stimuli, OracleConfig(batches=(1, 4), compile_profile="small")
+        )
+        assert result.ok, result.divergence.describe()
+
+    @given(seed=st.integers(0, 10_000), cut=st.integers(1, 6))
+    @settings(max_examples=6, deadline=None)
+    def test_checkpoint_resume_bit_identity_mid_fuzz(self, seed, cut):
+        """Snapshot at a random cycle, restore into a fresh interpreter,
+        and finish the stimulus: outputs and state digests must match the
+        uninterrupted run bit-for-bit."""
+        from repro.core.compiler import GemCompiler
+        from repro.fuzz import random_spec, random_stimuli
+        from repro.fuzz.oracle import compile_profile
+        from repro.runtime.checkpoint import restore, snapshot
+        from repro.runtime.supervisor import state_digest
+
+        spec = random_spec(seed, self._small_knobs())
+        stimuli = random_stimuli(spec, seed, 8)
+        design = GemCompiler(compile_profile("small")).compile(spec.build())
+
+        straight = design.simulator(mode="fused")
+        full_trace = [straight.step(vec) for vec in stimuli]
+
+        first = design.simulator(mode="fused")
+        for vec in stimuli[:cut]:
+            first.step(vec)
+        ckpt = snapshot(first)
+        resumed = design.simulator(mode="fused")
+        restore(resumed, ckpt)
+        tail = [resumed.step(vec) for vec in stimuli[cut:]]
+        assert tail == full_trace[cut:]
+        assert state_digest(resumed) == state_digest(straight)
