@@ -71,8 +71,37 @@ class ExecutionEngine:
         self.batch = batch
         #: active-lane mask: bit ``l`` set for every lane ``l < batch``
         self.lane_mask = _ALL if batch == WORD_LANES else np.uint64((1 << batch) - 1)
+        #: bit ``l`` set for every lane the runtime has masked out of the
+        #: batch (fault containment — see :meth:`quarantine_lanes`)
+        self.quarantined = _ZERO
         self.lane_shifts = np.arange(batch, dtype=np.uint64)
         self.lane_index = np.arange(batch)
+
+    # -- lane quarantine ------------------------------------------------------
+
+    @property
+    def active_mask(self) -> np.uint64:
+        """Lanes still in service: :attr:`lane_mask` minus quarantined."""
+        return self.lane_mask & ~self.quarantined
+
+    def quarantine_lanes(self, lanes: Sequence[int]) -> np.uint64:
+        """Mask ``lanes`` out of the batch; returns the *keep* mask.
+
+        Quarantined lanes stay physically present in every packed word
+        (the decoded program's constants are immutable and still drive
+        them), but the runtime zeroes their state bits with the returned
+        keep mask and stops trusting their outputs.  Because primary and
+        shadow are zeroed identically, the quarantined lane's bits evolve
+        deterministically and whole-word digest scrubs stay valid for the
+        healthy lanes.
+        """
+        for lane in lanes:
+            if not 0 <= lane < self.batch:
+                raise ValueError(
+                    f"lane {lane} out of range for batch {self.batch}"
+                )
+            self.quarantined |= _ONE << np.uint64(lane)
+        return ~self.quarantined
 
     # -- state allocation -----------------------------------------------------
 

@@ -358,6 +358,7 @@ class GemInterpreter:
         state is touched, so a reset interpreter replays a stimulus
         stream bit-identically to a freshly constructed one.
         """
+        self.engine.quarantined = np.uint64(0)
         self.global_state[:] = 0
         self.global_state[self._reset_ones] = self.engine.lane_mask
         for arr, init in zip(self.ram_arrays, self._ram_init):
@@ -365,6 +366,30 @@ class GemInterpreter:
         self.cycle = 0
         self.counters = CycleCounters(lanes=self.batch)
         self.reset_phase_times()
+
+    def quarantine_lanes(self, lanes: Sequence[int]) -> None:
+        """Mask stimulus lanes out of the batch (fault containment).
+
+        Zeroes the quarantined lanes' bits across the global state vector
+        and their per-lane RAM images, and records them on the engine's
+        quarantine mask.  Healthy lanes' bits are untouched, so their
+        simulation continues bit-identically; the quarantined lanes keep
+        executing (the program's fold constants still drive them) but
+        from an all-zero state, deterministically.  Call at a cycle
+        boundary only — deferred writes must be drained.
+        """
+        lanes = sorted(set(int(lane) for lane in lanes))
+        keep = self.engine.quarantine_lanes(lanes)
+        self.global_state &= keep
+        for arr in self.ram_arrays:
+            if arr.size:
+                arr[lanes, :] = 0
+
+    @property
+    def quarantined_lanes(self) -> list[int]:
+        """Lane indices currently masked out by :meth:`quarantine_lanes`."""
+        mask = int(self.engine.quarantined)
+        return [lane for lane in range(self.batch) if mask >> lane & 1]
 
     def reset_phase_times(self) -> None:
         """Zero the per-phase wall-clock timers (kept across ``step``

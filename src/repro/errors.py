@@ -11,8 +11,11 @@ The hierarchy::
     GemError
     ├── BitstreamError        malformed / corrupted bitstream container
     ├── StateCorruptionError  runtime state failed an integrity check
+    │   └── LaneDivergenceError   ...localized to specific stimulus lanes
     ├── CheckpointError       unusable checkpoint (corrupt, version skew,
     │                         or taken against a different bitstream)
+    ├── GemTimeoutError       a watchdog deadline (wall clock or cycle
+    │                         budget) expired before the run finished
     └── UnmappableError       partition state demand exceeds core width
 
 :class:`BitstreamError` additionally subclasses :class:`ValueError`
@@ -44,12 +47,44 @@ class StateCorruptionError(GemError):
     """
 
 
+class LaneDivergenceError(StateCorruptionError):
+    """State corruption localized to specific stimulus lanes.
+
+    Raised by the lane-batched scrub when the per-lane state digests of
+    primary and shadow disagree on a *proper subset* of the active lanes.
+    The supervisor can then contain the fault by quarantining exactly
+    those lanes instead of rolling the whole batch back.
+    """
+
+    def __init__(self, message: str, lanes: tuple[int, ...] = ()) -> None:
+        super().__init__(message)
+        #: the diverging lane indices (sorted, never empty when raised
+        #: by the scrubber)
+        self.lanes = tuple(lanes)
+
+
 class CheckpointError(GemError):
     """A checkpoint cannot be used.
 
     Covers corrupt or truncated checkpoint files, format-version skew,
     and checkpoints bound to a different bitstream than the one loaded.
     """
+
+
+class GemTimeoutError(GemError):
+    """A watchdog deadline expired before the run finished.
+
+    Raised cooperatively by :class:`repro.runtime.watchdog.Deadline`
+    checks at cycle boundaries when either the wall-clock budget or the
+    executed-cycle budget is exhausted.  The supervisor treats it as a
+    recoverable fault class: checkpoint retry under a tightened budget,
+    then degradation — a hung run becomes an event, not a lost campaign.
+    """
+
+    def __init__(self, message: str, reason: str = "wall") -> None:
+        super().__init__(message)
+        #: ``"wall"`` (wall-clock budget) or ``"cycles"`` (cycle budget)
+        self.reason = reason
 
 
 class UnmappableError(GemError):

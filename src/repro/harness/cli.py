@@ -9,12 +9,17 @@ Usage (installed scripts or ``python -m repro.harness.cli``)::
     gem-faultcampaign <design>      # seeded SEU injection campaign
     gem-perf show|diff|compare|validate-trace   # telemetry tooling
     gem-fuzz run|replay|corpus      # differential fuzzing (docs/FUZZING.md)
+    gem-chaos [--seed N]            # chaos harness: injected crashes/hangs
 
 ``gem-run`` grows a resilience mode: ``--checkpoint-every N`` snapshots
 interpreter state every N cycles into ``--checkpoint-dir`` (CRC-sealed,
-rotating), ``--resume`` continues from the newest loadable checkpoint,
-and ``--scrub-every`` controls integrity scrubbing against a lockstep
-shadow (see docs/RESILIENCE.md).
+journaled, rotating), ``--resume [latest|DIR|FILE.gemk]`` continues from
+the newest *valid* checkpoint (walking the journal past torn files),
+``--scrub-every`` controls integrity scrubbing against a lockstep
+shadow, and ``--deadline`` / ``--cycle-budget`` arm a cooperative
+watchdog (see docs/RESILIENCE.md).  Supervised exit codes are distinct:
+0 ok, 1 output mismatch, 3 degraded after fault-retry exhaustion,
+4 degraded on a watchdog timeout, 5 unresolvable ``--resume`` target.
 
 Observability (docs/OBSERVABILITY.md): every command takes
 ``--log-level``; ``gem-run`` adds ``--trace-out`` (Chrome trace JSON for
@@ -33,6 +38,14 @@ import sys
 import time
 
 LOG_LEVELS = ("debug", "info", "warning", "error")
+
+#: supervised ``gem-run`` exit codes (docs/RESILIENCE.md)
+EXIT_OK = 0
+EXIT_MISMATCH = 1
+EXIT_USAGE = 2
+EXIT_DEGRADED = 3
+EXIT_TIMEOUT = 4
+EXIT_CORRUPT_RESUME = 5
 
 
 def _add_log_level(parser: argparse.ArgumentParser) -> None:
@@ -108,12 +121,30 @@ def main_run(argv: list[str] | None = None) -> int:
         help="persist rotating checkpoints here (default: .gem_checkpoints/<design>)",
     )
     resilience.add_argument(
-        "--resume", action="store_true",
-        help="continue from the newest loadable checkpoint in --checkpoint-dir",
+        "--resume", nargs="?", const="latest", default=None, metavar="TARGET",
+        help="continue from a checkpoint: 'latest' (default when the flag "
+        "is given bare) picks the newest valid snapshot in --checkpoint-dir "
+        "via its journal; a directory picks from there; a .gemk file loads "
+        "exactly that snapshot.  Exits 5 if nothing valid resolves.",
     )
     resilience.add_argument(
         "--scrub-every", type=int, default=None, metavar="N",
         help="integrity-scrub against a lockstep shadow every N cycles",
+    )
+    resilience.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="cooperative wall-clock budget; expiry rolls back and retries "
+        "under tightened grace, then degrades (exit 4)",
+    )
+    resilience.add_argument(
+        "--cycle-budget", type=int, default=None, metavar="N",
+        help="budget of executed cycles (replays included); same recovery "
+        "ladder as --deadline",
+    )
+    resilience.add_argument(
+        "--quarantine-after", type=int, default=2, metavar="K",
+        help="quarantine a lane after it diverges in K consecutive recovery "
+        "attempts (batched redundant runs; default 2)",
     )
     obs = parser.add_argument_group("observability (docs/OBSERVABILITY.md)")
     obs.add_argument(
@@ -140,8 +171,10 @@ def main_run(argv: list[str] | None = None) -> int:
     wl = workloads[args.workload]
     supervised = (
         args.checkpoint_every is not None
-        or args.resume
+        or args.resume is not None
         or args.scrub_every is not None
+        or args.deadline is not None
+        or args.cycle_budget is not None
     )
     if args.trace_out:
         from repro.obs.trace import TRACER
@@ -233,24 +266,32 @@ def _run_supervised(args, wl) -> int:
     """The resilience path of ``gem-run`` (checkpointed + scrubbed)."""
     import os
 
+    from repro.errors import CheckpointError
     from repro.harness.runner import run_resilient
 
     checkpoint_dir = args.checkpoint_dir
-    if checkpoint_dir is None and (args.checkpoint_every or args.resume):
+    if checkpoint_dir is None and (args.checkpoint_every or args.resume is not None):
         checkpoint_dir = os.path.join(".gem_checkpoints", args.design)
     t0 = time.time()
-    result = run_resilient(
-        args.design,
-        wl.name,
-        max_cycles=args.max_cycles,
-        checkpoint_every=args.checkpoint_every,
-        checkpoint_dir=checkpoint_dir,
-        scrub_every=args.scrub_every if args.scrub_every is not None else 1,
-        resume=args.resume,
-        batch=args.batch,
-        engine_mode=args.engine_mode,
-        profile=args.profile,
-    )
+    try:
+        result = run_resilient(
+            args.design,
+            wl.name,
+            max_cycles=args.max_cycles,
+            checkpoint_every=args.checkpoint_every,
+            checkpoint_dir=checkpoint_dir,
+            scrub_every=args.scrub_every if args.scrub_every is not None else 1,
+            resume=args.resume if args.resume is not None else False,
+            batch=args.batch,
+            engine_mode=args.engine_mode,
+            profile=args.profile,
+            deadline_s=args.deadline,
+            cycle_budget=args.cycle_budget,
+            quarantine_after=args.quarantine_after,
+        )
+    except CheckpointError as exc:
+        print(f"cannot resume: {exc}")
+        return EXIT_CORRUPT_RESUME
     elapsed = time.time() - t0
     print(f"{args.design}/{wl.name}: {result.report()}")
     print(f"  {result.cycles} cycles x {result.lanes} lanes in {elapsed:.2f}s "
@@ -274,6 +315,8 @@ def _run_supervised(args, wl) -> int:
                 "retries": result.retries,
                 "faults_detected": result.faults_detected,
                 "checkpoints_written": result.checkpoints_written,
+                "timeouts": result.timeouts,
+                "quarantined_lanes": result.quarantined_lanes,
             },
         )
     observed = [
@@ -282,12 +325,14 @@ def _run_supervised(args, wl) -> int:
         if wl.valid_port in out and out.get(wl.valid_port)
     ]
     whole_workload = args.max_cycles is None or args.max_cycles >= len(wl.stimuli)
-    if wl.expected_out is not None and whole_workload and not args.resume:
+    if wl.expected_out is not None and whole_workload and args.resume is None:
         status = "MATCH" if observed == wl.expected_out else "MISMATCH"
         print(f"observable output stream: {observed} [{status}]")
         if status == "MISMATCH":
-            return 1
-    return 0
+            return EXIT_MISMATCH
+    if result.degraded:
+        return EXIT_TIMEOUT if result.timeouts else EXIT_DEGRADED
+    return EXIT_OK
 
 
 def main_faultcampaign(argv: list[str] | None = None) -> int:
@@ -609,12 +654,89 @@ def main_fuzz(argv: list[str] | None = None) -> int:
     return 1 if stats.divergences else 0
 
 
+def main_chaos(argv: list[str] | None = None) -> int:
+    """Chaos harness: inject crashes/corruption/hangs, assert recovery."""
+    import json
+
+    from repro.runtime.chaos import SCENARIOS, SMOKE_SEEDS, run_chaos
+
+    parser = argparse.ArgumentParser(prog="gem-chaos", description=main_chaos.__doc__)
+    parser.add_argument(
+        "--seeds", default=None, metavar="S1,S2",
+        help=f"comma-separated seeds (default {','.join(map(str, SMOKE_SEEDS))})",
+    )
+    parser.add_argument(
+        "--scenarios", default=None, metavar="NAME,NAME",
+        help=f"scenarios to run (default: all of {sorted(SCENARIOS)})",
+    )
+    parser.add_argument(
+        "--engine-mode", choices=["fused", "legacy", "both"], default="fused",
+        help="engine mode(s) the scenarios drive (default fused)",
+    )
+    parser.add_argument(
+        "--work-dir", default=None,
+        help="scratch directory for checkpoint/cache fixtures "
+        "(default: a private temp dir; keep it to inspect failures)",
+    )
+    parser.add_argument(
+        "--metrics-out", default=None, metavar="FILE",
+        help="write the metric registry (gem_chaos_scenarios_total et al.) "
+        "in Prometheus text format",
+    )
+    parser.add_argument("--json", action="store_true", help="emit outcomes as JSON")
+    _add_log_level(parser)
+    args = parser.parse_args(argv)
+    _setup_logging(args)
+    seeds = (
+        tuple(int(s) for s in args.seeds.split(",")) if args.seeds else SMOKE_SEEDS
+    )
+    scenarios = tuple(args.scenarios.split(",")) if args.scenarios else None
+    modes = ("fused", "legacy") if args.engine_mode == "both" else (args.engine_mode,)
+    outcomes = []
+    passed = True
+    for mode in modes:
+        try:
+            report = run_chaos(
+                seeds=seeds, scenarios=scenarios, engine_mode=mode, work_dir=args.work_dir
+            )
+        except ValueError as exc:  # unknown scenario name
+            print(f"error: {exc}")
+            return EXIT_USAGE
+        passed &= report.passed
+        if args.json:
+            outcomes.extend(
+                {
+                    "scenario": o.scenario,
+                    "seed": o.seed,
+                    "engine_mode": mode,
+                    "ok": o.ok,
+                    "detail": o.detail,
+                    "events": o.events,
+                }
+                for o in report.outcomes
+            )
+        else:
+            print(f"engine mode: {mode}")
+            print(report.summary())
+    if args.json:
+        print(json.dumps({"passed": passed, "outcomes": outcomes}, indent=1))
+    if args.metrics_out:
+        from repro.obs.metrics import REGISTRY
+
+        with open(args.metrics_out, "w") as f:
+            f.write(REGISTRY.to_prometheus())
+    return 0 if passed else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     argv = sys.argv[1:] if argv is None else argv
     parser = argparse.ArgumentParser(prog="python -m repro.harness.cli")
     parser.add_argument(
         "command",
-        choices=["compile", "run", "tables", "cosim", "faultcampaign", "perf", "fuzz"],
+        choices=[
+            "compile", "run", "tables", "cosim", "faultcampaign", "perf",
+            "fuzz", "chaos",
+        ],
     )
     parser.add_argument("rest", nargs=argparse.REMAINDER)
     args = parser.parse_args(argv)
@@ -630,6 +752,8 @@ def main(argv: list[str] | None = None) -> int:
         return main_perf(args.rest)
     if args.command == "fuzz":
         return main_fuzz(args.rest)
+    if args.command == "chaos":
+        return main_chaos(args.rest)
     return main_tables(args.rest)
 
 

@@ -247,23 +247,33 @@ def run_resilient(
     shadow: str | None = "redundant",
     max_retries: int = 3,
     backoff_base: float = 0.0,
-    resume: bool = False,
+    resume: bool | str = False,
     batch: int = 1,
     engine_mode: str = "fused",
     profile: bool = False,
+    deadline_s: float | None = None,
+    cycle_budget: int | None = None,
+    quarantine_after: int = 2,
 ) -> "SupervisedRun":
     """Execute a registry design's workload under the resilience supervisor.
 
     The supervised counterpart of the plain ``gem-run`` loop: scrubbed
     against a lockstep shadow, periodically checkpointed, and self-healing
     via checkpoint retry with degradation to the gate-level engine (see
-    :mod:`repro.runtime.supervisor`).  With ``resume=True`` the run
-    continues from the newest loadable checkpoint in ``checkpoint_dir``;
-    ``batch`` packs that many stimulus lanes per state word (the result
-    then carries per-lane output streams — see docs/ENGINE.md).
+    :mod:`repro.runtime.supervisor`).  ``resume`` continues a previous
+    run: ``True``/``"latest"`` selects the newest *valid* checkpoint in
+    ``checkpoint_dir`` (journal-guided, walking past torn files), a
+    directory path selects from that directory, and a ``.gemk`` path
+    loads exactly that file; an unresolvable target raises
+    :class:`~repro.errors.CheckpointError` rather than silently
+    restarting from cycle 0.  ``deadline_s``/``cycle_budget`` arm a
+    cooperative watchdog; ``batch`` packs that many stimulus lanes per
+    state word (the result then carries per-lane output streams — see
+    docs/ENGINE.md).
     """
-    from repro.runtime.checkpoint import CheckpointManager
+    from repro.runtime.checkpoint import resolve_resume
     from repro.runtime.supervisor import Supervisor
+    from repro.runtime.watchdog import Deadline
 
     design = compile_design(name)
     workloads = design_workloads(name)
@@ -271,15 +281,13 @@ def run_resilient(
     stimuli = wl.stimuli[:max_cycles] if max_cycles else wl.stimuli
     resume_from = None
     if resume:
-        if not checkpoint_dir:
-            raise ValueError("resume requires a checkpoint directory")
-        resume_from = CheckpointManager(
-            checkpoint_dir, every=checkpoint_every or 1000
-        ).latest()
-        if resume_from is None:
-            logger.warning(
-                "no usable checkpoint in %s; starting from cycle 0", checkpoint_dir
-            )
+        recovered = resolve_resume(resume, checkpoint_dir)
+        resume_from = recovered.checkpoint
+        for path, reason in recovered.skipped:
+            logger.warning("resume skipped %s: %s", path, reason)
+    deadline = None
+    if deadline_s is not None or cycle_budget is not None:
+        deadline = Deadline(wall_s=deadline_s, max_cycles=cycle_budget)
     supervisor = Supervisor(
         design,
         checkpoint_every=checkpoint_every,
@@ -291,6 +299,8 @@ def run_resilient(
         batch=batch,
         engine_mode=engine_mode,
         profile=profile,
+        deadline=deadline,
+        quarantine_after=quarantine_after,
     )
     return supervisor.run(stimuli, resume_from=resume_from)
 

@@ -37,14 +37,22 @@ are still read and hydrate as ``batch=1`` checkpoints; new files are
 always written as v2.
 
 :class:`CheckpointManager` adds the operational layer: periodic rotating
-snapshots with atomic writes, and a ``latest()`` that walks backwards
-past corrupted files so one bad write never strands a run.
+snapshots with *crash-consistent* writes (temp file + ``fsync`` + atomic
+rename + directory ``fsync``), a per-directory **journal**
+(``journal.json``, itself written atomically) recording the checkpoint
+chain — file name, cycle, byte size, and a CRC32 of the file image —
+and a :meth:`CheckpointManager.recover` that walks the journal newest
+first past torn, truncated, or corrupted files to the newest snapshot
+that still verifies.  One bad write never strands a run, and a crash
+*during* a write leaves only an ignorable ``*.tmp`` file behind.
 """
 
 from __future__ import annotations
 
+import json
 import logging
 import os
+import zlib
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -354,12 +362,43 @@ def checkpoint_from_words(words: np.ndarray) -> Checkpoint:
     )
 
 
-def save_checkpoint(ckpt: Checkpoint, path: str) -> None:
-    """Atomically write a checkpoint file (write temp, then rename)."""
-    words = checkpoint_to_words(ckpt)
+def _fsync_dir(directory: str) -> None:
+    """Flush a directory entry (the rename) to stable storage."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform without dir fds
+        return
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def _write_atomic(path: str, data: bytes) -> None:
+    """Crash-consistent file write: temp + fsync + rename + dir fsync.
+
+    After a crash at any instant, ``path`` holds either its previous
+    content or the complete new content — never a torn mixture.  The
+    chaos harness patches this seam to inject write failures.
+    """
     tmp = f"{path}.tmp"
-    words.tofile(tmp)
+    with open(tmp, "wb") as f:
+        f.write(data)
+        f.flush()
+        os.fsync(f.fileno())
     os.replace(tmp, path)
+    _fsync_dir(os.path.dirname(path) or ".")
+
+
+def save_checkpoint(ckpt: Checkpoint, path: str) -> int:
+    """Atomically + durably write a checkpoint file.
+
+    Returns the CRC32 of the written byte image (the journal records it
+    so recovery can reject torn files without parsing them).
+    """
+    data = np.ascontiguousarray(checkpoint_to_words(ckpt), dtype="<u4").tobytes()
+    _write_atomic(path, data)
+    return zlib.crc32(data) & 0xFFFFFFFF
 
 
 def load_checkpoint(path: str) -> Checkpoint:
@@ -371,13 +410,35 @@ def load_checkpoint(path: str) -> Checkpoint:
     return checkpoint_from_words(words)
 
 
+#: journal file name inside a checkpoint directory
+JOURNAL_NAME = "journal.json"
+#: journal schema version
+JOURNAL_VERSION = 1
+
+
+@dataclass
+class RecoveredCheckpoint:
+    """Outcome of journal-guided recovery: the snapshot plus provenance."""
+
+    checkpoint: Checkpoint
+    path: str
+    #: ``(path, reason)`` for every newer candidate that was rejected
+    skipped: list[tuple[str, str]] = field(default_factory=list)
+
+
 class CheckpointManager:
-    """Periodic rotating checkpoints for a supervised run.
+    """Periodic rotating, journaled checkpoints for a supervised run.
 
     ``every`` is the snapshot period in cycles; ``keep`` bounds how many
-    files stay on disk (oldest are pruned).  ``latest()`` returns the
-    newest checkpoint that still passes its CRCs, skipping corrupted
-    files with a warning.
+    files stay on disk (oldest are pruned).  Every :meth:`save` appends
+    to the directory's ``journal.json`` — the authoritative record of
+    the checkpoint chain, carrying each file's cycle, byte size, and
+    CRC32 of its on-disk image.  :meth:`recover` (and the compatibility
+    wrapper :meth:`latest`) walks the journal newest first, rejecting
+    torn/truncated/corrupt files by size, image CRC, and a full parse,
+    and falls back to a directory scan when the journal itself is
+    missing or unreadable — one bad write, journal included, never
+    strands a run.
     """
 
     def __init__(self, directory: str, every: int = 1000, keep: int = 3) -> None:
@@ -390,6 +451,10 @@ class CheckpointManager:
     def _path(self, cycle: int) -> str:
         return os.path.join(self.directory, f"ckpt-{cycle:012d}.gemk")
 
+    @property
+    def journal_path(self) -> str:
+        return os.path.join(self.directory, JOURNAL_NAME)
+
     def paths(self) -> list[str]:
         """Checkpoint files on disk, oldest first."""
         if not os.path.isdir(self.directory):
@@ -400,22 +465,85 @@ class CheckpointManager:
         )
         return [os.path.join(self.directory, n) for n in names]
 
+    # -- journal --------------------------------------------------------------
+
+    def read_journal(self) -> list[dict]:
+        """Journal entries oldest first; ``[]`` if missing/unreadable."""
+        try:
+            with open(self.journal_path) as f:
+                doc = json.load(f)
+        except FileNotFoundError:
+            return []
+        except (OSError, ValueError) as exc:
+            logger.warning("unreadable checkpoint journal %s: %s", self.journal_path, exc)
+            return []
+        if not isinstance(doc, dict) or doc.get("version") != JOURNAL_VERSION:
+            logger.warning("checkpoint journal %s has unknown format", self.journal_path)
+            return []
+        entries = doc.get("entries")
+        return entries if isinstance(entries, list) else []
+
+    def _write_journal(self, entries: list[dict]) -> None:
+        doc = {"version": JOURNAL_VERSION, "entries": entries}
+        _write_atomic(self.journal_path, json.dumps(doc, indent=1).encode())
+
+    def sweep_stale_tmp(self) -> list[str]:
+        """Remove ``*.tmp`` leftovers of writes torn by a crash."""
+        removed = []
+        if not os.path.isdir(self.directory):
+            return removed
+        for name in os.listdir(self.directory):
+            if name.endswith(".tmp"):
+                path = os.path.join(self.directory, name)
+                try:
+                    os.remove(path)
+                except OSError:  # pragma: no cover - raced cleanup
+                    continue
+                logger.warning("removed stale temp file %s (torn write)", path)
+                removed.append(path)
+        return removed
+
+    # -- save -----------------------------------------------------------------
+
     def save(self, interp: GemInterpreter) -> str:
-        """Snapshot ``interp`` now; returns the file path."""
+        """Snapshot ``interp`` now; returns the file path.
+
+        The checkpoint file lands durably *before* the journal entry
+        that references it, so the journal never points at a file that
+        might not have hit the disk.
+        """
         os.makedirs(self.directory, exist_ok=True)
         path = self._path(interp.cycle)
         with TRACER.span(
             "checkpoint.save", cat="checkpoint", args={"cycle": interp.cycle}
         ):
-            save_checkpoint(snapshot(interp), path)
+            crc = save_checkpoint(snapshot(interp), path)
         REGISTRY.counter(
             "gem_checkpoint_writes_total", help="checkpoint files written"
         ).inc()
         REGISTRY.counter(
             "gem_checkpoint_bytes_total", help="checkpoint bytes written"
         ).inc(os.path.getsize(path))
+        name = os.path.basename(path)
+        entries = [e for e in self.read_journal() if e.get("file") != name]
+        entries.append(
+            {
+                "file": name,
+                "cycle": interp.cycle,
+                "size": os.path.getsize(path),
+                "crc32": crc,
+                "batch": interp.batch,
+                "program_digest": interp.program.digest(),
+            }
+        )
+        entries.sort(key=lambda e: int(e.get("cycle", 0)))
+        pruned = entries[-self.keep :]
         for stale in self.paths()[: -self.keep]:
-            os.remove(stale)
+            try:
+                os.remove(stale)
+            except OSError:  # pragma: no cover - raced cleanup
+                pass
+        self._write_journal(pruned)
         return path
 
     def maybe_save(self, interp: GemInterpreter) -> str | None:
@@ -424,26 +552,114 @@ class CheckpointManager:
             return self.save(interp)
         return None
 
-    def latest(self) -> Checkpoint | None:
-        """Newest loadable checkpoint, or ``None`` if there is none."""
-        for path in reversed(self.paths()):
-            try:
-                ckpt = load_checkpoint(path)
-            except CheckpointError as exc:
-                logger.warning("skipping unusable checkpoint %s: %s", path, exc)
-                REGISTRY.counter(
-                    "gem_checkpoint_skipped_total",
-                    help="corrupted/unreadable checkpoints skipped by latest()",
-                ).inc()
-                if TRACER.enabled:
-                    TRACER.instant(
-                        "checkpoint.skip_corrupt",
-                        cat="checkpoint",
-                        args={"path": os.path.basename(path)},
-                    )
+    # -- recovery -------------------------------------------------------------
+
+    def _verify_entry(self, entry: dict) -> tuple[Checkpoint | None, str]:
+        """Validate one journal entry; returns ``(ckpt, reason)``."""
+        name = entry.get("file")
+        if not isinstance(name, str) or os.path.basename(name) != name:
+            return None, "malformed journal entry"
+        path = os.path.join(self.directory, name)
+        if not os.path.exists(path):
+            return None, "file missing"
+        size = os.path.getsize(path)
+        if size != entry.get("size"):
+            return None, f"size {size} != journal {entry.get('size')} (torn write)"
+        with open(path, "rb") as f:
+            data = f.read()
+        if (zlib.crc32(data) & 0xFFFFFFFF) != entry.get("crc32"):
+            return None, "file image CRC mismatch (corrupted)"
+        try:
+            return checkpoint_from_words(np.frombuffer(data, dtype="<u4")), ""
+        except CheckpointError as exc:
+            return None, str(exc)
+
+    def _skip(self, path: str, reason: str) -> None:
+        logger.warning("skipping unusable checkpoint %s: %s", path, reason)
+        REGISTRY.counter(
+            "gem_checkpoint_skipped_total",
+            help="corrupted/unreadable checkpoints skipped during recovery",
+        ).inc()
+        if TRACER.enabled:
+            TRACER.instant(
+                "checkpoint.skip_corrupt",
+                cat="checkpoint",
+                args={"path": os.path.basename(path)},
+            )
+
+    def recover(self) -> RecoveredCheckpoint | None:
+        """Newest verifiable checkpoint with provenance, or ``None``.
+
+        Walks the journal newest first (entry → size → image CRC → full
+        parse), then any on-disk files the journal does not cover (a
+        lost or stale journal), newest first.  Every rejected candidate
+        is recorded in :attr:`RecoveredCheckpoint.skipped` and counted
+        in the metrics registry.
+        """
+        self.sweep_stale_tmp()
+        skipped: list[tuple[str, str]] = []
+        journaled: set[str] = set()
+        for entry in reversed(self.read_journal()):
+            name = entry.get("file")
+            if isinstance(name, str):
+                journaled.add(name)
+            path = os.path.join(self.directory, str(name))
+            ckpt, reason = self._verify_entry(entry)
+            if ckpt is None:
+                self._skip(path, reason)
+                skipped.append((path, reason))
                 continue
             REGISTRY.counter(
                 "gem_checkpoint_loads_total", help="checkpoints loaded"
             ).inc()
-            return ckpt
+            return RecoveredCheckpoint(checkpoint=ckpt, path=path, skipped=skipped)
+        for path in reversed(self.paths()):
+            if os.path.basename(path) in journaled:
+                continue  # already rejected above
+            try:
+                ckpt = load_checkpoint(path)
+            except CheckpointError as exc:
+                self._skip(path, str(exc))
+                skipped.append((path, str(exc)))
+                continue
+            REGISTRY.counter(
+                "gem_checkpoint_loads_total", help="checkpoints loaded"
+            ).inc()
+            return RecoveredCheckpoint(checkpoint=ckpt, path=path, skipped=skipped)
         return None
+
+    def latest(self) -> Checkpoint | None:
+        """Newest loadable checkpoint, or ``None`` if there is none."""
+        recovered = self.recover()
+        return recovered.checkpoint if recovered is not None else None
+
+
+def resolve_resume(
+    target: str | bool, checkpoint_dir: str | None = None
+) -> RecoveredCheckpoint:
+    """Resolve a ``--resume`` target to a verified checkpoint.
+
+    ``target`` is ``True``/``"latest"`` (newest valid snapshot in
+    ``checkpoint_dir``), a checkpoint *directory* (newest valid snapshot
+    there, journal-guided), or an exact ``.gemk`` *file*.  Raises
+    :class:`CheckpointError` when nothing valid can be resolved — the
+    CLI maps that to its corrupt-resume exit code instead of silently
+    restarting from cycle 0.
+    """
+    if target is True or target == "latest":
+        if not checkpoint_dir:
+            raise CheckpointError("--resume latest requires a checkpoint directory")
+        directory = checkpoint_dir
+    elif isinstance(target, str) and os.path.isdir(target):
+        directory = target
+    elif isinstance(target, str):
+        ckpt = load_checkpoint(target)  # raises CheckpointError on corruption
+        return RecoveredCheckpoint(checkpoint=ckpt, path=target, skipped=[])
+    else:
+        raise CheckpointError(f"unusable resume target {target!r}")
+    recovered = CheckpointManager(directory).recover()
+    if recovered is None:
+        raise CheckpointError(
+            f"no valid checkpoint to resume from in {directory!r}"
+        )
+    return recovered

@@ -45,6 +45,10 @@ class FaultRecord:
     detected: bool = False
     recovered: bool = False
     detail: str = ""
+    #: per-lane outcome class for runtime faults: "recovered" (replayed
+    #: to golden), "quarantined" (lane masked out), "degraded" (run fell
+    #: back to simref), or "missed" (undetected/unrecovered)
+    outcome: str = ""
 
 
 class FaultInjector:
@@ -169,10 +173,21 @@ class CampaignReport:
     def passed(self) -> bool:
         return self.all_bitstream_detected and self.all_runtime_recovered
 
+    def outcome_counts(self, kind: str | None = None) -> dict[str, int]:
+        """Per-lane outcome class tallies over the runtime-fault records."""
+        counts: dict[str, int] = {}
+        for r in self.records:
+            if r.kind == "bitstream" or not r.outcome:
+                continue
+            if kind is not None and r.kind != kind:
+                continue
+            counts[r.outcome] = counts.get(r.outcome, 0) + 1
+        return counts
+
     def summary(self) -> str:
         lines = [
             f"fault campaign: {self.design}, {self.cycles} cycles/trial, seed {self.seed}",
-            f"  {'class':10s} {'injected':>8s} {'detected':>8s} {'recovered':>9s}",
+            f"  {'class':10s} {'injected':>8s} {'detected':>8s} {'recovered':>9s}  outcomes",
         ]
         for kind in FAULT_KINDS:
             injected = self.count(kind)
@@ -182,7 +197,15 @@ class CampaignReport:
             recovered = (
                 "-" if kind == "bitstream" else str(self.count(kind, recovered=True))
             )
-            lines.append(f"  {kind:10s} {injected:8d} {detected:8d} {recovered:>9s}")
+            counts = self.outcome_counts(kind)
+            outcomes = " ".join(
+                f"{klass}={counts[klass]}"
+                for klass in ("recovered", "quarantined", "degraded", "missed")
+                if counts.get(klass)
+            )
+            lines.append(
+                f"  {kind:10s} {injected:8d} {detected:8d} {recovered:>9s}  {outcomes}"
+            )
         lines.append(f"  verdict: {'PASS' if self.passed else 'FAIL'}")
         for r in self.records:
             if not r.detected or (r.kind != "bitstream" and not r.recovered):
@@ -272,7 +295,10 @@ def run_campaign(
             record.recovered = (
                 not result.degraded and result.outputs == golden
             )
-            if not record.recovered:
+            if record.recovered:
+                record.outcome = "recovered"
+            else:
+                record.outcome = "degraded" if result.degraded else "missed"
                 record.detail = (
                     "degraded" if result.degraded else "outputs differ from golden"
                 )
@@ -365,7 +391,14 @@ def _run_batched_trials(
             else:
                 stream = result.outputs
             record.recovered = not result.degraded and stream == golden
-            if not record.recovered:
+            lane_class = (result.lane_outcomes or {}).get(lane, "")
+            if record.recovered:
+                record.outcome = "recovered"
+            elif lane_class in ("quarantined", "degraded"):
+                record.outcome = lane_class
+                record.detail = lane_class
+            else:
+                record.outcome = "missed"
                 record.detail = (
                     "degraded"
                     if result.degraded

@@ -1,9 +1,10 @@
 """Self-healing supervised execution (the resilience tentpole).
 
 Long GPU campaigns fail in ways a bare ``run()`` loop cannot survive: a
-soft error flips a bit of resident state, a checkpoint file is torn by a
-crash, the bitstream image itself rots.  :class:`Supervisor` wraps the
-interpreter with the full degradation ladder:
+soft error flips a bit of resident state, a run hangs and burns its
+reservation, a checkpoint file is torn by a crash, the bitstream image
+itself rots.  :class:`Supervisor` wraps the interpreter with the full
+degradation ladder:
 
 1. **detect** — periodic *scrubbing* compares the interpreter against a
    shadow engine stepped in lockstep.  Two shadow modes:
@@ -16,18 +17,41 @@ interpreter with the full degradation ladder:
      with the exact comparison rule of the cosim loop
      (:func:`repro.harness.cosim.output_mismatches`).
 
-2. **retry** — on a detected fault the supervisor restores the last good
-   checkpoint (periodic, CRC-verified, rotating — see
-   :mod:`repro.runtime.checkpoint`), rewinds the shadow, truncates the
-   output log and replays, with exponential backoff between attempts.
+   A cooperative :class:`~repro.runtime.watchdog.Deadline` (wall clock
+   and/or executed-cycle budget) is checked at every cycle boundary, so
+   a hang surfaces as :class:`~repro.errors.GemTimeoutError` — a fault
+   class like any other.
 
-3. **degrade** — when faults persist past ``max_retries`` consecutive
-   failed attempts (no forward progress), the run falls back to the
-   ``simref`` gate-level reference engine and replays the stimuli there,
-   so results keep flowing; the result is flagged ``degraded``.
+2. **localize & quarantine** — in redundant-shadow lane-batched runs a
+   divergence is narrowed to the specific lanes whose per-lane digests
+   disagree (:func:`state_digest_lanes`).  A lane that keeps diverging
+   across consecutive recovery attempts (``quarantine_after``) is
+   *quarantined*: its bits are zeroed identically in primary and shadow
+   (see :meth:`GemInterpreter.quarantine_lanes`) and excluded from all
+   further scrubs, so the healthy lanes continue at full speed and stay
+   bit-identical to an undisturbed run — lanes are architecturally
+   independent (each has its own bit plane and RAM rows), so zeroing one
+   cannot perturb another.
+
+3. **retry** — on a detected fault the supervisor restores the last good
+   checkpoint (periodic, CRC-verified, journaled, rotating — see
+   :mod:`repro.runtime.checkpoint`), rewinds the shadow, re-applies any
+   standing quarantine, truncates the output log and replays, with
+   exponential backoff between attempts (injectable ``sleep_fn``).  A
+   timeout retries under a *tightened* budget
+   (:meth:`Deadline.extend`).
+
+4. **degrade** — when faults persist past ``max_retries`` consecutive
+   failed attempts (no forward progress), the deadline grace is
+   exhausted, or quarantine has consumed every lane, the run falls back
+   to the ``simref`` gate-level reference engine and replays the stimuli
+   there, so results keep flowing; the result is flagged ``degraded``.
 
 The supervisor is deterministic apart from backoff sleeps: a recovered
-run produces bit-identical outputs to an undisturbed one.
+run produces bit-identical outputs to an undisturbed one, and a run
+that quarantined lane L produces bit-identical outputs *on the healthy
+lanes*.  Per-lane outcomes land on :attr:`SupervisedRun.lane_outcomes`
+(``ok`` / ``recovered`` / ``quarantined`` / ``degraded``).
 """
 
 from __future__ import annotations
@@ -43,11 +67,18 @@ import numpy as np
 
 from repro.core.compiler import CompiledDesign
 from repro.core.interpreter import GemInterpreter
-from repro.errors import CheckpointError, GemError, StateCorruptionError
+from repro.errors import (
+    CheckpointError,
+    GemError,
+    GemTimeoutError,
+    LaneDivergenceError,
+    StateCorruptionError,
+)
 from repro.harness.cosim import Steppable, output_mismatches
 from repro.obs.metrics import REGISTRY
 from repro.obs.trace import TRACER
 from repro.runtime.checkpoint import Checkpoint, CheckpointManager, restore, snapshot
+from repro.runtime.watchdog import Deadline
 
 logger = logging.getLogger(__name__)
 
@@ -64,6 +95,34 @@ def state_digest(interp: GemInterpreter) -> int:
     for arr in interp.ram_arrays:
         h = zlib.crc32(np.ascontiguousarray(arr, dtype="<u4").tobytes(), h)
     return h & 0xFFFFFFFF
+
+
+def state_digest_lanes(interp: GemInterpreter) -> list[int]:
+    """Per-lane CRC32 digests — the localization primitive.
+
+    Lane ``l``'s digest covers its bit plane of the global state plus
+    its RAM rows, so comparing two interpreters lane-by-lane pinpoints
+    exactly which stimulus lanes diverged.  Cost is ``O(batch × state)``
+    — paid only when a whole-state digest already mismatched, or while
+    lanes are quarantined (the whole-word digest is then unusable).
+    """
+    batch = interp.batch
+    shifts = np.arange(batch, dtype=np.uint64)
+    planes = (
+        (interp.global_state[:, None] >> shifts[None, :]) & np.uint64(1)
+    ).astype(np.uint8)
+    digests = []
+    for lane in range(batch):
+        h = zlib.crc32(np.packbits(planes[:, lane], bitorder="little").tobytes())
+        for arr in interp.ram_arrays:
+            row = arr[lane] if arr.ndim == 2 else arr
+            h = zlib.crc32(np.ascontiguousarray(row, dtype="<u4").tobytes(), h)
+        digests.append(h & 0xFFFFFFFF)
+    return digests
+
+
+#: per-lane outcome classes, in increasing order of damage
+LANE_OUTCOMES = ("ok", "recovered", "quarantined", "degraded")
 
 
 @dataclass
@@ -86,6 +145,12 @@ class SupervisedRun:
     #: per-cycle, per-lane outputs when the run is lane-batched
     #: (``outputs`` then carries lane 0's stream for compatibility)
     lane_outputs: list[list[dict[str, int]]] | None = None
+    #: deadline expiries recovered from or degraded on
+    timeouts: int = 0
+    #: lanes masked out of the batch by the quarantine policy
+    quarantined_lanes: list[int] = field(default_factory=list)
+    #: lane -> one of :data:`LANE_OUTCOMES` (empty for pre-lane callers)
+    lane_outcomes: dict[int, str] = field(default_factory=dict)
 
     @property
     def healthy(self) -> bool:
@@ -96,8 +161,11 @@ class SupervisedRun:
         lines = [
             f"supervised run: {self.cycles} cycles on {self.engine} [{status}]",
             f"  faults detected: {self.faults_detected}  retries: {self.retries}  "
-            f"checkpoints: {self.checkpoints_written}",
+            f"timeouts: {self.timeouts}  checkpoints: {self.checkpoints_written}",
         ]
+        if self.quarantined_lanes:
+            lanes = ", ".join(str(lane) for lane in self.quarantined_lanes)
+            lines.append(f"  quarantined lanes: {lanes} (of {self.lanes})")
         lines.extend(f"  {event}" for event in self.events)
         return "\n".join(lines)
 
@@ -138,6 +206,21 @@ class Supervisor:
         Exponential backoff between retries, in seconds
         (``backoff_base * 2**(attempt-1)``, clamped to ``backoff_cap``).
         The default base of 0 keeps tests and campaigns fast.
+    sleep_fn:
+        How backoff waits are performed (default :func:`time.sleep`);
+        injectable so tests pin the backoff schedule without sleeping.
+    quarantine_after:
+        Consecutive recovery attempts in which the *same* lane diverges
+        before that lane is quarantined (redundant shadow, ``batch > 1``
+        only).  The default of 2 keeps one-shot transient faults on the
+        cheap rollback/retry path and reserves quarantine for persistent
+        lane-local faults.  Streaks reset on forward progress.
+    deadline:
+        A :class:`~repro.runtime.watchdog.Deadline` bounding the run in
+        wall seconds and/or executed cycles, checked cooperatively at
+        every cycle boundary.  Expiry is recovered like any other fault
+        (rollback + retry under exponentially tightened grace), then
+        degrades.  Deadlines are single-use: supply a fresh one per run.
     batch:
         Stimulus lanes packed per state word (docs/ENGINE.md).  With
         ``batch > 1`` the same stimuli drive every lane, the redundant
@@ -181,10 +264,15 @@ class Supervisor:
         max_retries: int = 3,
         backoff_base: float = 0.0,
         backoff_cap: float = 2.0,
+        sleep_fn: Callable[[float], None] = time.sleep,
+        quarantine_after: int = 2,
+        deadline: Deadline | None = None,
         fault_hook: Callable[[GemInterpreter, int], None] | None = None,
         fallback_factory: Callable[[], Steppable] | None = None,
         signals: Sequence[str] | None = None,
     ) -> None:
+        if quarantine_after < 1:
+            raise ValueError("quarantine_after must be >= 1")
         self.design = design
         self.checkpoint_every = checkpoint_every
         self.scrub_every = scrub_every
@@ -195,6 +283,9 @@ class Supervisor:
         self.max_retries = max_retries
         self.backoff_base = backoff_base
         self.backoff_cap = backoff_cap
+        self.sleep_fn = sleep_fn
+        self.quarantine_after = quarantine_after
+        self.deadline = deadline
         self.fault_hook = fault_hook
         self.fallback_factory = fallback_factory
         self.signals = signals
@@ -248,12 +339,20 @@ class Supervisor:
         if shadow is None:
             return
         if self.shadow_mode == "redundant":
-            a, b = state_digest(primary), state_digest(shadow)  # type: ignore[arg-type]
-            if a != b:
-                raise StateCorruptionError(
-                    f"state digest mismatch at cycle {cycle}: "
-                    f"{a:#010x} != shadow {b:#010x}"
-                )
+            quarantined = primary.quarantined_lanes
+            if quarantined:
+                # The whole-word digest would keep tripping on a lane we
+                # have already written off; scrub the active lanes only.
+                self._scrub_lanes(primary, shadow, cycle, exclude=set(quarantined))
+            else:
+                a, b = state_digest(primary), state_digest(shadow)  # type: ignore[arg-type]
+                if a != b:
+                    if self.batch > 1:
+                        self._scrub_lanes(primary, shadow, cycle, exclude=set())
+                    raise StateCorruptionError(
+                        f"state digest mismatch at cycle {cycle}: "
+                        f"{a:#010x} != shadow {b:#010x}"
+                    )
         if shadow_out is not None:
             mismatches = output_mismatches(shadow_out, out, self.signals)
             if mismatches:
@@ -264,6 +363,29 @@ class Supervisor:
                         for name, (ref, dut) in sorted(mismatches.items())
                     )
                 )
+
+    def _scrub_lanes(
+        self,
+        primary: GemInterpreter,
+        shadow: Steppable,
+        cycle: int,
+        exclude: set[int],
+    ) -> None:
+        """Per-lane digest comparison; raises :class:`LaneDivergenceError`
+        naming the diverged lanes (``exclude`` lanes are written off)."""
+        pl = state_digest_lanes(primary)
+        sl = state_digest_lanes(shadow)  # type: ignore[arg-type]
+        bad = [
+            lane
+            for lane in range(self.batch)
+            if lane not in exclude and pl[lane] != sl[lane]
+        ]
+        if bad:
+            raise LaneDivergenceError(
+                f"lane state diverged at cycle {cycle}: "
+                f"lane(s) {', '.join(map(str, bad))}",
+                lanes=bad,
+            )
 
     # -- main loop ------------------------------------------------------------
 
@@ -315,8 +437,54 @@ class Supervisor:
         retries = 0
         consecutive = 0
         faults = 0
+        timeouts = 0
         checkpoints_written = 0
         high_water = start
+        #: lane -> consecutive recovery attempts it diverged in
+        lane_streaks: dict[int, int] = {}
+        quarantined: set[int] = set()
+        recovered_lanes: set[int] = set()
+
+        def rollback(reason: str) -> None:
+            nonlocal shadow, i
+            restore(primary, recovery.ckpt)
+            shadow = self._restore_shadow(shadow, recovery.shadow_state)
+            if quarantined:
+                # The snapshot predates (some of) the quarantine; re-zero
+                # the masked lanes in both engines so they stay lockstep.
+                primary.quarantine_lanes(sorted(quarantined))
+                if redundant and shadow is not None:
+                    shadow.quarantine_lanes(sorted(quarantined))  # type: ignore[attr-defined]
+            del outputs[recovery.outputs_len :]
+            if lane_outputs is not None:
+                del lane_outputs[recovery.outputs_len :]
+            i = recovery.ckpt.cycle
+            events.append(reason)
+            REGISTRY.counter(
+                "gem_supervisor_rollbacks_total",
+                help="rollbacks to the last good recovery point",
+            ).inc()
+            if TRACER.enabled:
+                TRACER.instant(
+                    "supervisor.rollback", cat="supervisor", args={"cycle": i}
+                )
+
+        def degrade() -> SupervisedRun:
+            return self._degrade(
+                stimuli,
+                start,
+                events,
+                retries,
+                faults,
+                checkpoints_written,
+                phase_times=self._collect_phase_times(primary),
+                timeouts=timeouts,
+                quarantined=quarantined,
+            )
+
+        if self.deadline is not None:
+            self.deadline.start()
+            events.append(f"deadline armed: {self.deadline.describe()}")
 
         while i < len(stimuli):
             try:
@@ -336,8 +504,12 @@ class Supervisor:
                     shadow_out = shadow.step(vec) if shadow is not None else None
                 outputs.append(out)
                 i += 1
+                if self.deadline is not None:
+                    self.deadline.note_cycles()
                 if self.fault_hook is not None:
                     self.fault_hook(primary, i)
+                if self.deadline is not None:
+                    self.deadline.check()
                 if self.scrub_every and i % self.scrub_every == 0:
                     REGISTRY.counter(
                         "gem_supervisor_scrubs_total",
@@ -351,6 +523,7 @@ class Supervisor:
                 if i > high_water:
                     high_water = i
                     consecutive = 0
+                    lane_streaks.clear()
                 if self.checkpoint_every and i % self.checkpoint_every == 0:
                     recovery = _RecoveryPoint(
                         ckpt=snapshot(primary),
@@ -358,7 +531,22 @@ class Supervisor:
                         outputs_len=len(outputs),
                     )
                     if self.manager is not None:
-                        self.manager.save(primary)
+                        try:
+                            self.manager.save(primary)
+                        except OSError as exc:
+                            # Losing one on-disk snapshot must not kill the
+                            # run: the in-memory recovery point still stands
+                            # and the journal still names the previous file.
+                            events.append(
+                                f"checkpoint save failed at cycle {i}: {exc}"
+                            )
+                            logger.warning(
+                                "checkpoint save failed at cycle %d: %s", i, exc
+                            )
+                            REGISTRY.counter(
+                                "gem_checkpoint_save_failures_total",
+                                help="on-disk checkpoint writes that failed",
+                            ).inc()
                     checkpoints_written += 1
                     REGISTRY.counter(
                         "gem_supervisor_recovery_points_total",
@@ -372,17 +560,11 @@ class Supervisor:
                         )
             except GemError as exc:
                 faults += 1
-                retries += 1
-                consecutive += 1
                 events.append(f"cycle {i}: {type(exc).__name__}: {exc}")
                 logger.warning("supervised run fault at cycle %d: %s", i, exc)
                 REGISTRY.counter(
                     "gem_supervisor_faults_detected_total",
                     help="faults caught by scrubbing or engine errors",
-                ).inc()
-                REGISTRY.counter(
-                    "gem_supervisor_retries_total",
-                    help="recovery attempts (rollback + replay)",
                 ).inc()
                 if TRACER.enabled:
                     TRACER.instant(
@@ -390,45 +572,95 @@ class Supervisor:
                         cat="supervisor",
                         args={"cycle": i, "error": type(exc).__name__},
                     )
-                if consecutive > self.max_retries:
+
+                if isinstance(exc, GemTimeoutError):
+                    timeouts += 1
+                    REGISTRY.counter(
+                        "gem_supervisor_timeouts_total",
+                        help="watchdog deadline expiries hit by supervised runs",
+                    ).inc()
+                    if self.deadline is None or not self.deadline.extend():
+                        events.append(
+                            "deadline grace exhausted; "
+                            "degrading to simref gate-level engine"
+                        )
+                        return degrade()
+                    retries += 1
+                    REGISTRY.counter(
+                        "gem_supervisor_retries_total",
+                        help="recovery attempts (rollback + replay)",
+                    ).inc()
+                    rollback(
+                        f"rolled back to checkpoint at cycle {recovery.ckpt.cycle} "
+                        f"under tightened deadline (extension "
+                        f"{self.deadline.extensions}/{self.deadline.max_extensions})"
+                    )
+                    continue
+
+                retries += 1
+                consecutive += 1
+                REGISTRY.counter(
+                    "gem_supervisor_retries_total",
+                    help="recovery attempts (rollback + replay)",
+                ).inc()
+
+                newly_quarantined: list[int] = []
+                if (
+                    isinstance(exc, LaneDivergenceError)
+                    and exc.lanes
+                    and redundant
+                    and self.batch > 1
+                ):
+                    for lane in exc.lanes:
+                        lane_streaks[lane] = lane_streaks.get(lane, 0) + 1
+                        recovered_lanes.add(lane)
+                    newly_quarantined = sorted(
+                        lane
+                        for lane in exc.lanes
+                        if lane_streaks[lane] >= self.quarantine_after
+                        and lane not in quarantined
+                    )
+                if newly_quarantined:
+                    quarantined.update(newly_quarantined)
+                    recovered_lanes.difference_update(newly_quarantined)
+                    consecutive = 0  # containment is forward progress
+                    REGISTRY.counter(
+                        "gem_supervisor_quarantined_lanes_total",
+                        help="stimulus lanes quarantined for persistent divergence",
+                    ).inc(len(newly_quarantined))
+                    events.append(
+                        "quarantined lane(s) "
+                        + ", ".join(map(str, newly_quarantined))
+                        + f" after {self.quarantine_after} consecutive divergences"
+                    )
+                    if TRACER.enabled:
+                        TRACER.instant(
+                            "supervisor.quarantine",
+                            cat="supervisor",
+                            args={"lanes": newly_quarantined, "cycle": i},
+                        )
+                    if len(quarantined) >= self.batch:
+                        events.append(
+                            "every lane quarantined; "
+                            "degrading to simref gate-level engine"
+                        )
+                        return degrade()
+                elif consecutive > self.max_retries:
                     events.append(
                         f"no forward progress after {self.max_retries} retries; "
                         "degrading to simref gate-level engine"
                     )
-                    return self._degrade(
-                        stimuli,
-                        start,
-                        events,
-                        retries,
-                        faults,
-                        checkpoints_written,
-                        phase_times=self._collect_phase_times(primary),
-                    )
+                    return degrade()
+
                 delay = min(
-                    self.backoff_cap, self.backoff_base * (2 ** (consecutive - 1))
+                    self.backoff_cap, self.backoff_base * (2 ** (max(consecutive, 1) - 1))
                 )
                 if delay > 0:
-                    time.sleep(delay)
-                restore(primary, recovery.ckpt)
-                shadow = self._restore_shadow(shadow, recovery.shadow_state)
-                del outputs[recovery.outputs_len :]
-                if lane_outputs is not None:
-                    del lane_outputs[recovery.outputs_len :]
-                i = recovery.ckpt.cycle
-                events.append(
-                    f"rolled back to checkpoint at cycle {i} "
+                    self.sleep_fn(delay)
+                rollback(
+                    f"rolled back to checkpoint at cycle {recovery.ckpt.cycle} "
                     f"(attempt {consecutive}/{self.max_retries}, backoff {delay:.2f}s)"
                 )
-                REGISTRY.counter(
-                    "gem_supervisor_rollbacks_total",
-                    help="rollbacks to the last good recovery point",
-                ).inc()
-                if TRACER.enabled:
-                    TRACER.instant(
-                        "supervisor.rollback",
-                        cat="supervisor",
-                        args={"cycle": i, "attempt": consecutive},
-                    )
 
         return SupervisedRun(
             outputs=outputs,
@@ -442,7 +674,27 @@ class Supervisor:
             phase_times=self._collect_phase_times(primary),
             lanes=self.batch,
             lane_outputs=lane_outputs,
+            timeouts=timeouts,
+            quarantined_lanes=sorted(quarantined),
+            lane_outcomes=self._lane_outcomes(
+                degraded=False, quarantined=quarantined, recovered=recovered_lanes
+            ),
         )
+
+    def _lane_outcomes(
+        self, degraded: bool, quarantined: set[int], recovered: set[int] = frozenset()
+    ) -> dict[int, str]:
+        outcomes: dict[int, str] = {}
+        for lane in range(self.batch):
+            if lane in quarantined:
+                outcomes[lane] = "quarantined"
+            elif degraded:
+                outcomes[lane] = "degraded"
+            elif lane in recovered:
+                outcomes[lane] = "recovered"
+            else:
+                outcomes[lane] = "ok"
+        return outcomes
 
     def _collect_phase_times(self, primary: GemInterpreter) -> dict[str, float]:
         """Primary engine's phase timers, aggregated across every attempt
@@ -462,8 +714,11 @@ class Supervisor:
         faults: int,
         checkpoints_written: int,
         phase_times: dict[str, float] | None = None,
+        timeouts: int = 0,
+        quarantined: set[int] | None = None,
     ) -> SupervisedRun:
         """Replay on the gate-level reference so results keep flowing."""
+        quarantined = quarantined or set()
         REGISTRY.counter(
             "gem_supervisor_degraded_total",
             help="runs degraded to the gate-level fallback",
@@ -499,4 +754,7 @@ class Supervisor:
             phase_times=dict(phase_times or {}),
             lanes=self.batch,
             lane_outputs=lane_outputs,
+            timeouts=timeouts,
+            quarantined_lanes=sorted(quarantined),
+            lane_outcomes=self._lane_outcomes(degraded=True, quarantined=quarantined),
         )

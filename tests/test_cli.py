@@ -137,3 +137,79 @@ class TestDispatcher:
     def test_main_rejects_unknown(self):
         with pytest.raises(SystemExit):
             cli.main(["frobnicate"])
+
+
+class TestResilienceExitCodes:
+    """Satellite: distinct nonzero exit codes for the distinct failure
+    classes (fault-exhausted vs timeout vs corrupt-resume)."""
+
+    def test_exit_codes_distinct(self):
+        codes = [
+            cli.EXIT_OK,
+            cli.EXIT_MISMATCH,
+            cli.EXIT_USAGE,
+            cli.EXIT_DEGRADED,
+            cli.EXIT_TIMEOUT,
+            cli.EXIT_CORRUPT_RESUME,
+        ]
+        assert codes == [0, 1, 2, 3, 4, 5]
+        assert len(set(codes)) == len(codes)
+
+    def test_resume_from_empty_dir_exits_corrupt(self, capsys, tmp_path):
+        rc = cli.main_run([
+            "openpiton1", "ldst_quad2", "--max-cycles", "20",
+            "--checkpoint-dir", str(tmp_path / "nothing"), "--resume",
+        ])
+        assert rc == cli.EXIT_CORRUPT_RESUME
+        assert "cannot resume" in capsys.readouterr().out
+
+    def test_resume_from_corrupt_file_exits_corrupt(self, capsys, tmp_path):
+        bad = tmp_path / "bad.gemk"
+        bad.write_bytes(b"\x00" * 64)
+        rc = cli.main_run([
+            "openpiton1", "ldst_quad2", "--max-cycles", "20",
+            "--resume", str(bad),
+        ])
+        assert rc == cli.EXIT_CORRUPT_RESUME
+        assert "cannot resume" in capsys.readouterr().out
+
+    def test_exhausted_cycle_budget_exits_timeout(self, capsys):
+        """A one-cycle budget cannot finish or extend (half a cycle of
+        grace rounds to zero), so the run degrades with a timeout."""
+        rc = cli.main_run([
+            "openpiton1", "ldst_quad2", "--max-cycles", "20",
+            "--cycle-budget", "1",
+        ])
+        out = capsys.readouterr().out
+        assert rc == cli.EXIT_TIMEOUT
+        assert "DEGRADED" in out
+        assert "timeouts: 1" in out
+
+    def test_resume_directory_target_picks_newest(self, capsys, tmp_path):
+        """--resume DIR (explicit argument, not the bare flag) selects the
+        newest valid checkpoint in that directory via its journal."""
+        ckpt_dir = str(tmp_path / "ckpts")
+        assert cli.main_run([
+            "openpiton1", "ldst_quad2", "--max-cycles", "25",
+            "--checkpoint-every", "10", "--checkpoint-dir", ckpt_dir,
+        ]) == 0
+        capsys.readouterr()
+        assert cli.main_run([
+            "openpiton1", "ldst_quad2", "--max-cycles", "60",
+            "--checkpoint-every", "10", "--checkpoint-dir", ckpt_dir,
+            "--resume", ckpt_dir,
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "resumed from checkpoint at cycle 20" in out
+        import os
+
+        assert "journal.json" in os.listdir(ckpt_dir)
+
+    def test_deadline_flag_reports_clean_run(self, capsys):
+        rc = cli.main_run([
+            "openpiton1", "ldst_quad2", "--max-cycles", "30",
+            "--deadline", "300",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "timeouts: 0" in out

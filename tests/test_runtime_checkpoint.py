@@ -1,21 +1,31 @@
 """Checkpoint/restore (repro.runtime.checkpoint): bit-identical resume,
 binary round trips, corruption rejection, and the rotating manager."""
 
+import json
 import os
+import zlib
 
 import numpy as np
 import pytest
 
 from repro.core.boomerang import BoomerangConfig
 from repro.core.compiler import GemCompiler, GemConfig
+from repro.core.integrity import seal, unseal
 from repro.core.partition import PartitionConfig
 from repro.errors import CheckpointError
 from repro.harness.runner import compile_design, design_workloads
 from repro.runtime.checkpoint import (
+    CKPT_MAGIC,
+    CKPT_VERSION_V1,
+    JOURNAL_VERSION,
     CheckpointManager,
+    _COUNTER_FIELDS,
+    _pack_bits,
+    _u64_pair,
     checkpoint_from_words,
     checkpoint_to_words,
     load_checkpoint,
+    resolve_resume,
     restore,
     save_checkpoint,
     snapshot,
@@ -178,3 +188,286 @@ class TestRegistryDesignResume:
         tail = resumed.run(stimuli[cut:])
         assert tail == golden[cut:]
         assert os.path.getsize(path) > 0
+
+
+# -- crash consistency: journal, corruption matrix, resume resolution --------
+
+
+def _v1_words(ckpt) -> np.ndarray:
+    """Serialize a ``batch=1`` snapshot in the legacy v1 (bit-packed,
+    single-instance) container, as the pre-lane code wrote it."""
+    assert ckpt.batch == 1
+    header = np.array(
+        [
+            CKPT_MAGIC,
+            CKPT_VERSION_V1,
+            *_u64_pair(ckpt.cycle),
+            ckpt.program_digest & 0xFFFFFFFF,
+            ckpt.global_state.size,
+            len(ckpt.ram_arrays),
+            0,  # no deferred writes at a cycle boundary
+        ],
+        dtype=np.uint32,
+    )
+    counter_words: list[int] = []
+    for name in _COUNTER_FIELDS:
+        counter_words.extend(_u64_pair(getattr(ckpt.counters, name)))
+    ram_words: list[np.ndarray] = []
+    for arr in ckpt.ram_arrays:
+        row = arr[0] if arr.ndim == 2 else arr
+        ram_words.append(np.array([row.size], dtype=np.uint32))
+        ram_words.append(row.astype(np.uint32))
+    ram_sec = np.concatenate(ram_words) if ram_words else np.zeros(0, dtype=np.uint32)
+    return seal(
+        [
+            header,
+            np.array(counter_words, dtype=np.uint32),
+            _pack_bits(ckpt.global_state.astype(bool)),
+            ram_sec,
+            np.zeros(0, dtype=np.uint32),
+        ]
+    )
+
+
+@pytest.fixture(scope="module")
+def ckpt_design():
+    circuit, design = _compile(41, with_memory=True)
+    stimuli = random_vectors(circuit, 7, 30)
+    golden = design.simulator().run(stimuli)
+    return circuit, design, stimuli, golden
+
+
+def _mid_run_words(design, stimuli, cut=17):
+    sim = design.simulator()
+    for vec in stimuli[:cut]:
+        sim.step(vec)
+    return checkpoint_to_words(snapshot(sim))
+
+
+class TestCorruptionMatrix:
+    """Every torn/corrupt variant of both on-disk formats must be
+    *rejected* (CheckpointError) — never silently mis-restored."""
+
+    @pytest.fixture(scope="class")
+    def images(self, ckpt_design):
+        circuit, design, stimuli, _ = ckpt_design
+        v2 = _mid_run_words(design, stimuli)
+        v1 = _v1_words(checkpoint_from_words(v2))
+        return {"v1": v1, "v2": v2}
+
+    @pytest.mark.parametrize("fmt", ["v1", "v2"])
+    def test_intact_image_loads(self, images, fmt, ckpt_design):
+        circuit, design, stimuli, golden = ckpt_design
+        ckpt = checkpoint_from_words(images[fmt])
+        assert ckpt.cycle == 17
+        assert ckpt.batch == 1
+        resumed = restore(design.simulator(), ckpt)
+        assert resumed.run(stimuli[17:]) == golden[17:]
+
+    @pytest.mark.parametrize("fmt", ["v1", "v2"])
+    def test_truncation_at_every_section_boundary(self, images, fmt, tmp_path):
+        words = images[fmt]
+        sizes = [sec.size for sec in unseal(words, error=CheckpointError)]
+        boundaries = [0]
+        for size in sizes:
+            boundaries.append(boundaries[-1] + size)
+        assert len(boundaries) == 6  # 5 sections
+        path = str(tmp_path / f"torn-{fmt}.gemk")
+        for cut in boundaries:
+            words[:cut].tofile(path)
+            with pytest.raises(CheckpointError):
+                load_checkpoint(path)
+
+    @pytest.mark.parametrize("fmt", ["v1", "v2"])
+    def test_truncated_footer(self, images, fmt, tmp_path):
+        path = str(tmp_path / f"footless-{fmt}.gemk")
+        images[fmt][:-1].tofile(path)
+        with pytest.raises(CheckpointError):
+            load_checkpoint(path)
+
+    @pytest.mark.parametrize("fmt", ["v1", "v2"])
+    def test_flipped_section_crc(self, images, fmt, tmp_path):
+        words = images[fmt].copy()
+        words[-3] ^= np.uint32(1)  # last section's stored CRC
+        path = str(tmp_path / f"badcrc-{fmt}.gemk")
+        words.tofile(path)
+        with pytest.raises(CheckpointError):
+            load_checkpoint(path)
+
+    @pytest.mark.parametrize("fmt", ["v1", "v2"])
+    def test_flipped_body_word(self, images, fmt, tmp_path):
+        words = images[fmt].copy()
+        words[words.size // 2] ^= np.uint32(1)
+        path = str(tmp_path / f"flip-{fmt}.gemk")
+        words.tofile(path)
+        with pytest.raises(CheckpointError):
+            load_checkpoint(path)
+
+    def test_zero_length_file(self, tmp_path):
+        path = str(tmp_path / "empty.gemk")
+        open(path, "wb").close()
+        with pytest.raises(CheckpointError):
+            load_checkpoint(path)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(CheckpointError, match="cannot read"):
+            load_checkpoint(str(tmp_path / "nope.gemk"))
+
+    def test_bad_magic(self, images, tmp_path):
+        words = images["v2"].copy()
+        # Re-seal so only the magic is wrong, not the CRC.
+        sections = unseal(words, error=CheckpointError)
+        sections[0] = sections[0].copy()
+        sections[0][0] = 0xDEADBEEF
+        path = str(tmp_path / "magic.gemk")
+        seal(sections).tofile(path)
+        with pytest.raises(CheckpointError, match="bad magic"):
+            load_checkpoint(path)
+
+
+class TestJournal:
+    def _populated(self, tmp_path, ckpt_design, keep=3):
+        circuit, design, stimuli, _ = ckpt_design
+        manager = CheckpointManager(str(tmp_path), every=6, keep=keep)
+        sim = design.simulator()
+        for vec in stimuli:
+            sim.step(vec)
+            manager.maybe_save(sim)
+        return manager
+
+    def test_journal_records_chain(self, tmp_path, ckpt_design):
+        manager = self._populated(tmp_path, ckpt_design)
+        entries = manager.read_journal()
+        assert [e["cycle"] for e in entries] == [18, 24, 30]
+        for entry in entries:
+            path = tmp_path / entry["file"]
+            assert path.exists()
+            data = path.read_bytes()
+            assert entry["size"] == len(data)
+            assert entry["crc32"] == zlib.crc32(data) & 0xFFFFFFFF
+            assert entry["batch"] == 1
+
+    def test_journal_picks_predecessor_past_corrupt_newest(
+        self, tmp_path, ckpt_design
+    ):
+        manager = self._populated(tmp_path, ckpt_design)
+        newest = manager.paths()[-1]
+        data = bytearray(open(newest, "rb").read())
+        data[40] ^= 0xFF  # same size, wrong image CRC
+        open(newest, "wb").write(bytes(data))
+        recovered = manager.recover()
+        assert recovered is not None
+        assert recovered.checkpoint.cycle == 24
+        assert recovered.path.endswith(f"ckpt-{24:012d}.gemk")
+        assert len(recovered.skipped) == 1
+        assert "CRC mismatch" in recovered.skipped[0][1]
+
+    def test_journal_detects_torn_write_by_size(self, tmp_path, ckpt_design):
+        manager = self._populated(tmp_path, ckpt_design)
+        newest = manager.paths()[-1]
+        data = open(newest, "rb").read()
+        open(newest, "wb").write(data[: len(data) // 2])
+        recovered = manager.recover()
+        assert recovered.checkpoint.cycle == 24
+        assert "torn write" in recovered.skipped[0][1]
+
+    def test_journal_skips_missing_file(self, tmp_path, ckpt_design):
+        manager = self._populated(tmp_path, ckpt_design)
+        os.remove(manager.paths()[-1])
+        recovered = manager.recover()
+        assert recovered.checkpoint.cycle == 24
+        assert "file missing" in recovered.skipped[0][1]
+
+    def test_lost_journal_falls_back_to_scan(self, tmp_path, ckpt_design):
+        manager = self._populated(tmp_path, ckpt_design)
+        os.remove(manager.journal_path)
+        assert manager.read_journal() == []
+        recovered = manager.recover()
+        assert recovered is not None
+        assert recovered.checkpoint.cycle == 30
+
+    def test_unknown_journal_version_ignored(self, tmp_path, ckpt_design):
+        manager = self._populated(tmp_path, ckpt_design)
+        doc = {"version": JOURNAL_VERSION + 1, "entries": [{"file": "x"}]}
+        open(manager.journal_path, "w").write(json.dumps(doc))
+        assert manager.read_journal() == []
+        assert manager.recover().checkpoint.cycle == 30  # scan fallback
+
+    def test_garbage_journal_ignored(self, tmp_path, ckpt_design):
+        manager = self._populated(tmp_path, ckpt_design)
+        open(manager.journal_path, "w").write("{not json")
+        assert manager.read_journal() == []
+        assert manager.recover().checkpoint.cycle == 30
+
+    def test_stale_tmp_swept_on_recovery(self, tmp_path, ckpt_design):
+        manager = self._populated(tmp_path, ckpt_design)
+        stale = tmp_path / "ckpt-000000000099.gemk.tmp"
+        stale.write_bytes(b"torn write leftovers")
+        recovered = manager.recover()
+        assert recovered.checkpoint.cycle == 30
+        assert not stale.exists()
+
+    def test_all_checkpoints_corrupt_returns_none(self, tmp_path, ckpt_design):
+        manager = self._populated(tmp_path, ckpt_design)
+        for path in manager.paths():
+            open(path, "wb").write(b"\x00" * 16)
+        assert manager.recover() is None
+        assert manager.latest() is None
+
+    def test_journal_survives_entry_for_foreign_path(self, tmp_path, ckpt_design):
+        """A malicious/corrupt entry naming a path outside the directory is
+        rejected as malformed, not followed."""
+        manager = self._populated(tmp_path, ckpt_design)
+        entries = manager.read_journal()
+        entries.append({"file": "../../etc/passwd", "cycle": 99, "size": 1, "crc32": 0})
+        doc = {"version": JOURNAL_VERSION, "entries": entries}
+        open(manager.journal_path, "w").write(json.dumps(doc))
+        recovered = manager.recover()
+        assert recovered.checkpoint.cycle == 30
+        assert any("malformed" in reason for _, reason in recovered.skipped)
+
+
+class TestResolveResume:
+    def test_latest_in_directory(self, tmp_path, ckpt_design):
+        circuit, design, stimuli, golden = ckpt_design
+        manager = CheckpointManager(str(tmp_path), every=6)
+        sim = design.simulator()
+        for vec in stimuli:
+            sim.step(vec)
+            manager.maybe_save(sim)
+        for target in (True, "latest"):
+            recovered = resolve_resume(target, str(tmp_path))
+            assert recovered.checkpoint.cycle == 30
+        # A directory passed as the target itself works the same way.
+        assert resolve_resume(str(tmp_path)).checkpoint.cycle == 30
+
+    def test_exact_file(self, tmp_path, ckpt_design):
+        circuit, design, stimuli, golden = ckpt_design
+        sim = design.simulator()
+        for vec in stimuli[:11]:
+            sim.step(vec)
+        path = str(tmp_path / "exact.gemk")
+        save_checkpoint(snapshot(sim), path)
+        recovered = resolve_resume(path)
+        assert recovered.checkpoint.cycle == 11
+        assert recovered.path == path
+        resumed = restore(design.simulator(), recovered.checkpoint)
+        assert resumed.run(stimuli[11:]) == golden[11:]
+
+    def test_corrupt_exact_file_raises(self, tmp_path):
+        path = str(tmp_path / "bad.gemk")
+        open(path, "wb").write(b"\x01\x02\x03\x04" * 8)
+        with pytest.raises(CheckpointError):
+            resolve_resume(path)
+
+    def test_empty_directory_raises(self, tmp_path):
+        with pytest.raises(CheckpointError, match="no valid checkpoint"):
+            resolve_resume(str(tmp_path))
+
+    def test_latest_without_directory_raises(self):
+        with pytest.raises(CheckpointError, match="requires a checkpoint directory"):
+            resolve_resume("latest", None)
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(CheckpointError):
+            resolve_resume(str(tmp_path / "ghost.gemk"))

@@ -1,0 +1,228 @@
+"""Watchdog deadlines (repro.runtime.watchdog) and their integration
+with the supervisor's recovery ladder.
+
+All timing runs on a fake clock — no real sleeping, fully deterministic.
+"""
+
+import pytest
+
+from repro.core.boomerang import BoomerangConfig
+from repro.core.compiler import GemCompiler, GemConfig
+from repro.core.partition import PartitionConfig
+from repro.errors import GemTimeoutError
+from repro.obs.metrics import REGISTRY
+from repro.runtime.chaos import FakeClock
+from repro.runtime.supervisor import Supervisor
+from repro.runtime.watchdog import Deadline
+from tests.helpers import random_circuit, random_vectors
+
+
+@pytest.fixture(scope="module")
+def compiled():
+    circuit = random_circuit(601, n_ops=50, n_regs=3)
+    design = GemCompiler(
+        GemConfig(
+            partition=PartitionConfig(gates_per_partition=400),
+            boomerang=BoomerangConfig(width_log2=10),
+        )
+    ).compile(circuit)
+    stimuli = random_vectors(circuit, 4, 30)
+    golden = design.simulator().run(stimuli)
+    return design, stimuli, golden
+
+
+class TestDeadlineUnit:
+    def test_unbounded_never_expires(self):
+        d = Deadline()
+        d.start()
+        d.note_cycles(10**6)
+        assert d.expired() is None
+        d.check()  # no raise
+        assert d.describe() == "unbounded"
+
+    def test_wall_expiry(self):
+        clock = FakeClock()
+        d = Deadline(wall_s=10.0, clock=clock)
+        d.start()
+        clock.advance(9.0)
+        assert d.expired() is None
+        clock.advance(2.0)
+        assert d.expired() == "wall"
+        with pytest.raises(GemTimeoutError) as exc:
+            d.check()
+        assert exc.value.reason == "wall"
+
+    def test_cycle_expiry(self):
+        d = Deadline(max_cycles=5)
+        d.start()
+        d.note_cycles(5)
+        assert d.expired() is None  # budget is inclusive
+        d.note_cycles(1)
+        assert d.expired() == "cycles"
+        with pytest.raises(GemTimeoutError) as exc:
+            d.check()
+        assert exc.value.reason == "cycles"
+
+    def test_timer_starts_at_start_not_construction(self):
+        clock = FakeClock()
+        d = Deadline(wall_s=5.0, clock=clock)
+        clock.advance(100.0)  # pre-start time must not count
+        d.start()
+        assert d.expired() is None
+        assert d.elapsed() == 0.0
+        clock.advance(6.0)
+        assert d.expired() == "wall"
+
+    def test_start_is_idempotent(self):
+        clock = FakeClock()
+        d = Deadline(wall_s=5.0, clock=clock)
+        d.start()
+        clock.advance(3.0)
+        d.start()  # must not rearm
+        clock.advance(3.0)
+        assert d.expired() == "wall"
+
+    def test_extend_grants_shrinking_wall_grace(self):
+        clock = FakeClock()
+        d = Deadline(wall_s=8.0, clock=clock, grace_factor=0.5, max_extensions=3)
+        d.start()
+        clock.advance(9.0)
+        assert d.expired() == "wall"
+        # Grants shrink: 4s, then 2s, then 1s of grace from "now".
+        for grace in (4.0, 2.0, 1.0):
+            assert d.extend() is True
+            assert d.expired() is None
+            clock.advance(grace - 0.5)
+            assert d.expired() is None
+            clock.advance(1.0)
+            assert d.expired() == "wall"
+        assert d.extend() is False  # grace exhausted
+
+    def test_extend_grants_shrinking_cycle_grace(self):
+        d = Deadline(max_cycles=8, grace_factor=0.5, max_extensions=3)
+        d.start()
+        d.note_cycles(9)
+        assert d.expired() == "cycles"
+        assert d.extend() is True  # +4 cycles from here
+        d.note_cycles(4)
+        assert d.expired() is None
+        d.note_cycles(1)
+        assert d.expired() == "cycles"
+        assert d.extend() is True  # +2
+        d.note_cycles(3)
+        assert d.expired() == "cycles"
+
+    def test_extend_refuses_sub_cycle_grace(self):
+        d = Deadline(max_cycles=1, grace_factor=0.5)
+        d.start()
+        d.note_cycles(2)
+        assert d.expired() == "cycles"
+        assert d.extend() is False  # int(1 * 0.5) == 0 cycles of grace
+
+    def test_remaining_wall(self):
+        clock = FakeClock()
+        d = Deadline(wall_s=10.0, clock=clock)
+        assert d.remaining_wall() is None  # not armed yet
+        d.start()
+        clock.advance(4.0)
+        assert d.remaining_wall() == pytest.approx(6.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Deadline(wall_s=0)
+        with pytest.raises(ValueError):
+            Deadline(max_cycles=0)
+        with pytest.raises(ValueError):
+            Deadline(wall_s=1.0, grace_factor=1.5)
+
+    def test_describe(self):
+        assert Deadline(wall_s=2.5).describe() == "wall 2.5s"
+        assert Deadline(max_cycles=100).describe() == "100 cycles"
+        assert "wall" in Deadline(wall_s=1, max_cycles=5).describe()
+
+
+class TestSupervisorDeadline:
+    def test_clean_run_within_deadline(self, compiled):
+        design, stimuli, golden = compiled
+        clock = FakeClock()
+        result = Supervisor(
+            design,
+            checkpoint_every=8,
+            deadline=Deadline(wall_s=100.0, clock=clock),
+        ).run(stimuli)
+        assert result.outputs == golden
+        assert result.timeouts == 0
+        assert not result.degraded
+        assert any("deadline armed" in e for e in result.events)
+
+    def test_transient_hang_recovered_under_tightened_budget(self, compiled):
+        """One slow stretch trips the deadline; the retry (without the
+        hang) completes inside the tightened grace, bit-identically."""
+        design, stimuli, golden = compiled
+        clock = FakeClock()
+        fired = []
+
+        def hook(interp, cycle):
+            if cycle == 20 and not fired:
+                fired.append(cycle)
+                clock.advance(100.0)  # simulated hang, one time only
+
+        result = Supervisor(
+            design,
+            checkpoint_every=8,
+            fault_hook=hook,
+            deadline=Deadline(wall_s=50.0, clock=clock),
+        ).run(stimuli)
+        assert result.timeouts == 1
+        assert not result.degraded
+        assert result.outputs == golden
+        assert any("tightened deadline" in e for e in result.events)
+
+    def test_persistent_hang_degrades_with_timeout_counted(self, compiled):
+        design, stimuli, golden = compiled
+        clock = FakeClock()
+
+        def hook(interp, cycle):
+            if cycle >= 15:
+                clock.advance(100.0)  # hangs forever from cycle 15 on
+
+        before = REGISTRY.counter(
+            "gem_supervisor_timeouts_total",
+            help="watchdog deadline expiries hit by supervised runs",
+        ).value
+        result = Supervisor(
+            design,
+            checkpoint_every=8,
+            fault_hook=hook,
+            deadline=Deadline(wall_s=50.0, clock=clock, max_extensions=2),
+        ).run(stimuli)
+        assert result.degraded
+        assert result.engine == "simref"
+        assert result.timeouts == 3  # initial expiry + 2 exhausted extensions
+        assert result.outputs == golden  # fallback still delivers the stream
+        assert any("grace exhausted" in e for e in result.events)
+        after = REGISTRY.counter(
+            "gem_supervisor_timeouts_total",
+            help="watchdog deadline expiries hit by supervised runs",
+        ).value
+        assert after - before == 3
+
+    def test_cycle_budget_bounds_rollback_loops(self, compiled):
+        """A cycle budget trips even when wall time never advances —
+        replayed cycles count, so a rollback loop cannot spin forever."""
+        design, stimuli, golden = compiled
+
+        def hook(interp, cycle):
+            if cycle >= 10:
+                interp.global_state[0] ^= 1  # persistent corruption
+
+        result = Supervisor(
+            design,
+            checkpoint_every=8,
+            max_retries=10**6,  # retries alone would take a long time
+            deadline=Deadline(max_cycles=100),
+            fault_hook=hook,
+        ).run(stimuli)
+        assert result.degraded
+        assert result.timeouts >= 1
+        assert result.outputs == golden
