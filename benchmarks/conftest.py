@@ -39,7 +39,11 @@ def write_run_reports(experiment_id: str, rows: list[dict]) -> list[str]:
     os.makedirs(REPORTS_DIR, exist_ok=True)
     paths: list[str] = []
     for row in rows:
-        extras = {k: v for k, v in row.items() if k not in _REPORT_FIELDS}
+        extras = {
+            k: v
+            for k, v in row.items()
+            if k not in _REPORT_FIELDS and k not in ("backend", "lane_words")
+        }
         extras["experiment"] = experiment_id
         report = build_run_report(
             design=row["design"],
@@ -48,12 +52,16 @@ def write_run_reports(experiment_id: str, rows: list[dict]) -> list[str]:
             engine_mode=row.get("engine_mode", "fused"),
             cycles=int(row["cycles"]),
             elapsed_s=float(row["elapsed_s"]),
+            backend=row.get("backend"),
+            lane_words=row.get("lane_words"),
             extras=extras,
             kind=f"benchmark/{experiment_id}",
         )
+        backend_tag = row.get("backend")
+        suffix = f"_{backend_tag}" if backend_tag and backend_tag != "numpy" else ""
         name = (
             f"{experiment_id}_{report.design}_{report.engine_mode}"
-            f"_b{report.batch}.json"
+            f"_b{report.batch}{suffix}.json"
         )
         path = os.path.join(REPORTS_DIR, name)
         write_report(report, path)

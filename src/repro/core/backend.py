@@ -1,0 +1,483 @@
+"""Pluggable execution backends for the stage-fused hot loop.
+
+:class:`repro.core.fused.FusedProgram` was designed as "the kernel
+schedule a CuPy/Numba backend would consume" — fixed index arrays and
+constant vectors, no per-element Python control flow.  This module is
+the seam that cashes that check: an :class:`ArrayBackend` protocol over
+the primitives the executor needs (buffer allocation, gather / xor /
+and / scatter, the boomerang fold) plus a whole-stage compilation hook,
+with three implementations:
+
+* :class:`NumpyBackend` — the default; the executor keeps its
+  hand-tuned bound-method ``take`` loop (extracted alongside this
+  protocol from the historical ``FusedExecutor`` hot path), so numpy
+  runs are byte-identical to the pre-backend engine.
+* :class:`NumbaBackend` — JIT-compiles each stage's wave schedule into
+  **one fused native kernel per stage**: the read gather, every wave's
+  gather+flip+AND, and all terminal scatters run as a single nopython
+  loop nest with no per-wave NumPy dispatch and no intermediate
+  temporaries.  One generic kernel is compiled once per process (numba
+  caches it on disk) and parameterized by each stage's index tables.
+* :class:`CupyBackend` — a GPU drop-in stub: the same stage schedule
+  executed with CuPy ufuncs, staging state to and from the device per
+  stage.  It exists to pin the protocol shape for a real GPU port; the
+  per-stage transfers make it a correctness backend, not a fast one.
+
+Backends whose runtime dependency is missing (no numba; no cupy or no
+visible GPU) resolve to numpy with a single warning per process —
+mirroring the ``FusionError`` → legacy fallback pattern — so
+``--backend numba`` never hard-fails a run on a machine without it.
+
+Lane planes: every kernel here is written against the 2-D ``(n, K)``
+plane layout of :mod:`repro.core.engine`.  Single-word batches
+(``K == 1``) pass zero-copy ``(n, 1)`` reshape views, so one kernel
+serves every batch size.
+"""
+
+from __future__ import annotations
+
+import logging
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import BackendUnavailableError
+
+logger = logging.getLogger(__name__)
+
+#: selectable backend names, in preference order
+BACKEND_NAMES = ("numpy", "numba", "cupy")
+
+
+@dataclass
+class StagePlan:
+    """One fused stage's schedule, flattened for kernel consumption.
+
+    The per-wave tables of :class:`repro.core.fused._FusedStage` are
+    concatenated into flat arrays with per-wave ``(count, out, start)``
+    descriptors so a single compiled kernel can run any stage.  Elided
+    constants (``None`` inversion vectors) are materialized as zeros —
+    a compiled kernel XORs them for free, unlike a NumPy dispatch.
+    """
+
+    trace_size: int
+    read_gidx: np.ndarray  # int64 (nread,)
+    wave_count: np.ndarray  # int64 (nwaves,) nodes per wave
+    wave_out: np.ndarray  # int64 (nwaves,) trace offset of the outputs
+    wave_start: np.ndarray  # int64 (nwaves,) offset into gather/flips
+    gather: np.ndarray  # int64, all waves' operand positions (A then B)
+    flips: np.ndarray  # uint64, matching edge-flip words
+    gwn_gidx: np.ndarray  # int64, immediate GWRITE targets (dyn + const)
+    gwn_src: np.ndarray  # int64, trace positions of the dynamic prefix
+    gwn_inv: np.ndarray  # uint64 (ndyn,)
+    gwn_const: np.ndarray  # uint64, the constant tail's words
+    ram_slots: np.ndarray  # int64, dynamic RAM-port arena slots
+    ram_src: np.ndarray  # int64
+    ram_inv: np.ndarray  # uint64
+    def_src: np.ndarray  # int64, deferred-GWRITE trace positions
+    def_inv: np.ndarray  # uint64
+
+
+def stage_plan(stage) -> StagePlan:
+    """Flatten one ``_FusedStage`` into a :class:`StagePlan`."""
+    counts, outs, starts, gathers, flips = [], [], [], [], []
+    off = 0
+    for wave in stage.waves:
+        counts.append(wave.count)
+        outs.append(wave.out_offset)
+        starts.append(off)
+        gathers.append(wave.gather.astype(np.int64))
+        flips.append(
+            wave.flips
+            if wave.flips is not None
+            else np.zeros(2 * wave.count, dtype=np.uint64)
+        )
+        off += 2 * wave.count
+
+    def _zeros_like(inv, n):
+        return inv if inv is not None else np.zeros(n, dtype=np.uint64)
+
+    return StagePlan(
+        trace_size=stage.trace_size,
+        read_gidx=stage.read_gidx.astype(np.int64),
+        wave_count=np.array(counts, dtype=np.int64),
+        wave_out=np.array(outs, dtype=np.int64),
+        wave_start=np.array(starts, dtype=np.int64),
+        gather=(
+            np.concatenate(gathers) if gathers else np.zeros(0, dtype=np.int64)
+        ),
+        flips=(
+            np.concatenate(flips) if flips else np.zeros(0, dtype=np.uint64)
+        ),
+        gwn_gidx=stage.gwn_gidx.astype(np.int64),
+        gwn_src=stage.gwn_src.astype(np.int64),
+        gwn_inv=_zeros_like(stage.gwn_inv, stage.gwn_src.size),
+        gwn_const=stage.gwn_const,
+        ram_slots=stage.ram_slots.astype(np.int64),
+        ram_src=stage.ram_src.astype(np.int64),
+        ram_inv=_zeros_like(stage.ram_inv, stage.ram_src.size),
+        def_src=stage.def_src.astype(np.int64),
+        def_inv=_zeros_like(stage.def_inv, stage.def_src.size),
+    )
+
+
+class ArrayBackend:
+    """Protocol for the executor's array primitives (numpy semantics).
+
+    The base class *is* the numpy implementation of the individual
+    primitives; subclasses override :meth:`compile_stage` to replace the
+    per-stage schedule with a fused kernel (and may override the
+    primitives for device-resident arrays).  All stage-level arrays are
+    2-D ``(n, K)`` lane planes — ``K == 1`` callers pass reshape views.
+    """
+
+    name = "numpy"
+
+    # -- buffer allocation ----------------------------------------------------
+
+    def zeros(self, shape) -> np.ndarray:
+        """A zeroed uint64 buffer the backend's kernels can target."""
+        return np.zeros(shape, dtype=np.uint64)
+
+    # -- primitives (one fused-schedule step each) ----------------------------
+
+    def gather(self, src: np.ndarray, idx: np.ndarray, out: np.ndarray) -> None:
+        """``out[:] = src[idx]`` along axis 0 (clip mode, preallocated)."""
+        src.take(idx, 0, out, "clip")
+
+    def scatter(self, dst: np.ndarray, idx: np.ndarray, values: np.ndarray) -> None:
+        """``dst[idx] = values`` along axis 0."""
+        dst[idx] = values
+
+    def xor(self, a: np.ndarray, b: np.ndarray, out: np.ndarray) -> None:
+        np.bitwise_xor(a, b, out=out)
+
+    def and_(self, a: np.ndarray, b: np.ndarray, out: np.ndarray) -> None:
+        np.bitwise_and(a, b, out=out)
+
+    def fold(self, vec, xor_a, xor_b, or_b) -> np.ndarray:
+        """One boomerang fold step over packed lane words."""
+        return (vec[0::2] ^ xor_a) & ((vec[1::2] ^ xor_b) | or_b)
+
+    # -- whole-stage compilation ----------------------------------------------
+
+    def compile_stage(self, plan: StagePlan):
+        """Compile one stage schedule; returns
+        ``run(gstate, trace, arena, def_buf) -> None`` over ``(n, K)``
+        planes.  The returned callable performs the stage's read gather,
+        every wave, and the gwn/ram/deferred terminal stores
+        (``def_buf`` receives the deferred values; the caller commits
+        them at the cycle boundary)."""
+        ndyn = plan.gwn_src.size
+        gwn_const = plan.gwn_const[:, None]
+        gwn_inv = plan.gwn_inv[:, None]
+        ram_inv = plan.ram_inv[:, None]
+        def_inv = plan.def_inv[:, None]
+        flips = plan.flips[:, None]
+        waves = [
+            (
+                plan.gather[s : s + 2 * n],
+                flips[s : s + 2 * n],
+                n,
+                out,
+            )
+            for n, out, s in zip(
+                plan.wave_count.tolist(),
+                plan.wave_out.tolist(),
+                plan.wave_start.tolist(),
+            )
+        ]
+
+        def run(gstate, trace, arena, def_buf):
+            if plan.read_gidx.size:
+                trace[: plan.read_gidx.size] = gstate[plan.read_gidx]
+            for gather, wflips, n, out in waves:
+                ab = trace[gather] ^ wflips
+                np.bitwise_and(ab[:n], ab[n:], out=trace[out : out + n])
+            if plan.gwn_gidx.size:
+                if ndyn:
+                    gstate[plan.gwn_gidx[:ndyn]] = trace[plan.gwn_src] ^ gwn_inv
+                if plan.gwn_const.size:
+                    gstate[plan.gwn_gidx[ndyn:]] = gwn_const
+            if plan.ram_slots.size:
+                arena[plan.ram_slots] = trace[plan.ram_src] ^ ram_inv
+            if plan.def_src.size:
+                np.bitwise_xor(trace[plan.def_src], def_inv, out=def_buf)
+
+        return run
+
+
+class NumpyBackend(ArrayBackend):
+    """The default backend: plain NumPy ufuncs on host memory.
+
+    ``FusedExecutor`` special-cases this backend to keep its historical
+    presliced bound-method hot loop (see the executor docstring), so a
+    numpy run is byte-identical to the pre-backend engine; the
+    :meth:`ArrayBackend.compile_stage` path above is the generic
+    reference implementation the other backends mirror.
+    """
+
+    name = "numpy"
+
+
+def _build_numba_kernel(numba):
+    """The one generic stage kernel, compiled lazily per process.
+
+    Everything a stage does — read gather, each wave's gather + flip +
+    AND, terminal gwn/ram/deferred stores — runs inside a single
+    ``nopython`` loop nest over the ``(n, K)`` lane planes: no per-wave
+    dispatch, no intermediate ``ab`` buffer, no constant-elision
+    branches (zero XORs are free in native code).  Within a wave every
+    operand position is strictly below the wave's output offset, so the
+    sequential in-place trace update is safe.
+    """
+
+    @numba.njit(cache=True, fastmath=False)
+    def stage_kernel(
+        gstate,
+        trace,
+        arena,
+        def_buf,
+        read_gidx,
+        wave_count,
+        wave_out,
+        wave_start,
+        gather,
+        flips,
+        gwn_gidx,
+        gwn_src,
+        gwn_inv,
+        gwn_const,
+        ram_slots,
+        ram_src,
+        ram_inv,
+        def_src,
+        def_inv,
+    ):  # pragma: no cover - requires numba
+        K = gstate.shape[1]
+        for i in range(read_gidx.size):
+            g = read_gidx[i]
+            for k in range(K):
+                trace[i, k] = gstate[g, k]
+        for w in range(wave_count.size):
+            n = wave_count[w]
+            out = wave_out[w]
+            s = wave_start[w]
+            for p in range(n):
+                ia = gather[s + p]
+                ib = gather[s + n + p]
+                fa = flips[s + p]
+                fb = flips[s + n + p]
+                for k in range(K):
+                    trace[out + p, k] = (trace[ia, k] ^ fa) & (trace[ib, k] ^ fb)
+        ndyn = gwn_src.size
+        for i in range(gwn_gidx.size):
+            g = gwn_gidx[i]
+            if i < ndyn:
+                src = gwn_src[i]
+                inv = gwn_inv[i]
+                for k in range(K):
+                    gstate[g, k] = trace[src, k] ^ inv
+            else:
+                c = gwn_const[i - ndyn]
+                for k in range(K):
+                    gstate[g, k] = c
+        for i in range(ram_slots.size):
+            src = ram_src[i]
+            inv = ram_inv[i]
+            slot = ram_slots[i]
+            for k in range(K):
+                arena[slot, k] = trace[src, k] ^ inv
+        for i in range(def_src.size):
+            src = def_src[i]
+            inv = def_inv[i]
+            for k in range(K):
+                def_buf[i, k] = trace[src, k] ^ inv
+
+    return stage_kernel
+
+
+class NumbaBackend(ArrayBackend):
+    """Stage schedules JIT-compiled to one native kernel per stage."""
+
+    name = "numba"
+
+    def __init__(self) -> None:
+        try:
+            import numba
+        except ImportError as exc:
+            raise BackendUnavailableError(
+                "numba is not installed (pip install repro[numba])"
+            ) from exc
+        self._kernel = _build_numba_kernel(numba)
+
+    def compile_stage(self, plan: StagePlan):
+        kernel = self._kernel
+
+        def run(gstate, trace, arena, def_buf):  # pragma: no cover - needs numba
+            kernel(
+                gstate,
+                trace,
+                arena,
+                def_buf,
+                plan.read_gidx,
+                plan.wave_count,
+                plan.wave_out,
+                plan.wave_start,
+                plan.gather,
+                plan.flips,
+                plan.gwn_gidx,
+                plan.gwn_src,
+                plan.gwn_inv,
+                plan.gwn_const,
+                plan.ram_slots,
+                plan.ram_src,
+                plan.ram_inv,
+                plan.def_src,
+                plan.def_inv,
+            )
+
+        return run
+
+
+class CupyBackend(ArrayBackend):
+    """GPU stage execution via CuPy — correctness stub.
+
+    Uploads the stage's inputs, runs the generic schedule with CuPy
+    ufuncs, and downloads the results, once per stage.  A real port
+    would keep ``gstate``/``trace``/``arena`` device-resident across the
+    whole run (the protocol's ``zeros`` hook is where that starts); the
+    stub keeps state on the host so checkpoints, scrubbing, and fault
+    injection work unchanged.
+    """
+
+    name = "cupy"
+
+    def __init__(self) -> None:
+        try:
+            import cupy
+        except ImportError as exc:
+            raise BackendUnavailableError(
+                "cupy is not installed (pip install cupy-cuda12x)"
+            ) from exc
+        try:
+            if cupy.cuda.runtime.getDeviceCount() < 1:
+                raise BackendUnavailableError("cupy found no CUDA device")
+        except BackendUnavailableError:
+            raise
+        except Exception as exc:
+            raise BackendUnavailableError(f"CUDA unavailable ({exc})") from exc
+        self._cp = cupy
+
+    def compile_stage(self, plan: StagePlan):  # pragma: no cover - needs a GPU
+        cp = self._cp
+        ndyn = plan.gwn_src.size
+        d = {
+            name: cp.asarray(getattr(plan, name))
+            for name in (
+                "read_gidx",
+                "gather",
+                "flips",
+                "gwn_gidx",
+                "gwn_src",
+                "gwn_inv",
+                "gwn_const",
+                "ram_slots",
+                "ram_src",
+                "ram_inv",
+                "def_src",
+                "def_inv",
+            )
+        }
+        waves = list(
+            zip(
+                plan.wave_count.tolist(),
+                plan.wave_out.tolist(),
+                plan.wave_start.tolist(),
+            )
+        )
+
+        def run(gstate, trace, arena, def_buf):
+            d_trace = cp.zeros(trace.shape, dtype=cp.uint64)
+            d_gstate = cp.asarray(gstate)
+            if plan.read_gidx.size:
+                d_trace[: plan.read_gidx.size] = d_gstate[d["read_gidx"]]
+            for n, out, s in waves:
+                ab = d_trace[d["gather"][s : s + 2 * n]] ^ d["flips"][s : s + 2 * n, None]
+                d_trace[out : out + n] = ab[:n] & ab[n:]
+            if plan.gwn_gidx.size:
+                if ndyn:
+                    d_gstate[d["gwn_gidx"][:ndyn]] = (
+                        d_trace[d["gwn_src"]] ^ d["gwn_inv"][:, None]
+                    )
+                if plan.gwn_const.size:
+                    d_gstate[d["gwn_gidx"][ndyn:]] = d["gwn_const"][:, None]
+                gstate[plan.gwn_gidx] = cp.asnumpy(d_gstate[d["gwn_gidx"]])
+            if plan.ram_slots.size:
+                arena[plan.ram_slots] = cp.asnumpy(
+                    d_trace[d["ram_src"]] ^ d["ram_inv"][:, None]
+                )
+            if plan.def_src.size:
+                def_buf[:] = cp.asnumpy(d_trace[d["def_src"]] ^ d["def_inv"][:, None])
+            trace[:] = cp.asnumpy(d_trace)
+
+        return run
+
+
+# -- resolution ---------------------------------------------------------------
+
+_CLASSES = {"numpy": NumpyBackend, "numba": NumbaBackend, "cupy": CupyBackend}
+_INSTANCES: dict[str, ArrayBackend] = {}
+_FALLBACK_WARNED: set[str] = set()
+
+
+def resolve_backend(name=None, *, strict: bool = False) -> ArrayBackend:
+    """Resolve a backend name (or instance) to a live backend.
+
+    ``None`` means numpy.  A backend whose dependency is missing falls
+    back to numpy with one warning per process (``strict=True`` raises
+    :class:`BackendUnavailableError` instead) — the same shape as the
+    ``FusionError`` → legacy fallback.
+    """
+    if name is None:
+        name = "numpy"
+    if isinstance(name, ArrayBackend):
+        return name
+    if name not in _CLASSES:
+        raise BackendUnavailableError(
+            f"unknown backend {name!r}; choose from {BACKEND_NAMES}"
+        )
+    inst = _INSTANCES.get(name)
+    if inst is not None:
+        return inst
+    try:
+        inst = _CLASSES[name]()
+    except BackendUnavailableError as exc:
+        if strict:
+            raise
+        if name not in _FALLBACK_WARNED:
+            _FALLBACK_WARNED.add(name)
+            logger.warning(
+                "%s backend unavailable (%s); falling back to numpy", name, exc
+            )
+        return resolve_backend("numpy")
+    _INSTANCES[name] = inst
+    return inst
+
+
+def available_backends() -> tuple[str, ...]:
+    """Backends whose dependencies resolve on this machine."""
+    out = []
+    for name in BACKEND_NAMES:
+        try:
+            resolve_backend(name, strict=True)
+        except BackendUnavailableError:
+            continue
+        out.append(name)
+    return tuple(out)
+
+
+def reset_backend_state() -> None:
+    """Drop cached instances and the warn-once set (tests)."""
+    _INSTANCES.clear()
+    _FALLBACK_WARNED.clear()

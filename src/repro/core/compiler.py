@@ -94,15 +94,24 @@ class CompiledDesign:
     report: CompileReport
 
     def simulator(
-        self, batch: int = 1, mode: str = "fused", profile: bool = False
+        self,
+        batch: int = 1,
+        mode: str = "fused",
+        profile: bool = False,
+        backend: str | None = None,
     ) -> "GemSimulator":
         """An execution engine for this design; ``batch`` packs that many
         independent stimulus lanes into every state word (docs/ENGINE.md).
+        Batches beyond 64 must be a whole number of 64-lane words.
 
         ``mode`` selects the stage-fused executor (default) or the legacy
-        per-partition interpreter; ``profile`` enables per-phase timers.
+        per-partition interpreter; ``profile`` enables per-phase timers;
+        ``backend`` picks the fused path's array backend
+        (``numpy``/``numba``/``cupy``, with warn-once numpy fallback).
         """
-        return GemSimulator(self.program, batch=batch, mode=mode, profile=profile)
+        return GemSimulator(
+            self.program, batch=batch, mode=mode, profile=profile, backend=backend
+        )
 
 
 class GemSimulator(GemInterpreter):

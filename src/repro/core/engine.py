@@ -1,4 +1,4 @@
-"""Packed-word lane engine: ``B ≤ 64`` stimulus streams per bitwise op.
+"""Packed-word lane engine: ``batch`` stimulus streams per bitwise op.
 
 The paper's Observation 3 is that every boolean vector operation of the
 interpreter stands in for one 32-bit bitwise GPU instruction per thread.
@@ -11,16 +11,28 @@ and every fold operand is a ``uint64`` word whose bit ``l`` carries lane
 ``l``'s value, so one XOR/AND/OR evaluates up to 64 independent stimulus
 streams at once.
 
+Batches beyond 64 lanes use **K-word lane planes**: state elements
+become shape ``(..., K)`` rows of ``K = batch // 64`` words, lane ``l``
+living in word ``l // 64`` at bit ``l % 64`` (word-major).  Such batches
+must be a whole number of words (``batch = K×64`` exactly), which keeps
+every word fully populated — the active-lane mask stays the scalar
+all-ones word and decoded constant tables stay one word per element,
+broadcasting across the plane via a trailing ``(n, 1)`` axis.
+
 Layout invariants the rest of the runtime relies on:
 
-* lane ``l`` of element ``i`` is ``(state[i] >> l) & 1``;
-* lanes ``>= batch`` (the inactive lanes) are identically zero — fold
-  constants are masked to :attr:`ExecutionEngine.lane_mask`, so garbage
-  can never propagate into them and whole-word comparisons (state
-  digests, pruning source caches, checkpoints) stay deterministic;
+* lane ``l`` of element ``i`` is ``(state[i] >> l) & 1`` for ``K == 1``
+  and ``(state[i, l // 64] >> (l % 64)) & 1`` for ``K > 1``;
+* lanes ``>= batch`` (the inactive lanes, ``K == 1`` only) are
+  identically zero — fold constants are masked to
+  :attr:`ExecutionEngine.lane_mask`, so garbage can never propagate into
+  them and whole-word comparisons (state digests, pruning source caches,
+  checkpoints) stay deterministic;
 * at ``batch == 1`` every word is ``0`` or ``1`` and the engine is
   bit-for-bit the old boolean interpreter (the compatibility the
-  single-instance ``step(dict) -> dict`` API keeps verbatim).
+  single-instance ``step(dict) -> dict`` API keeps verbatim);
+* at ``batch <= 64`` arrays keep their historical 1-D shape, so the
+  single-word path is byte-identical to the pre-plane engine.
 
 The conversion helpers use ``int.to_bytes``/``np.unpackbits`` rather than
 per-bit Python loops, so primary-input injection and output extraction
@@ -33,12 +45,45 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.errors import LaneConfigError
+
 #: lanes carried by one packed word (the GPU register width GEM targets)
 WORD_LANES = 64
+
+#: most words per lane plane — bounds batch at 64 × 64 = 4096 lanes, the
+#: point past which (batch, depth) RAM images stop fitting comfortably
+MAX_LANE_WORDS = 64
 
 _ONE = np.uint64(1)
 _ZERO = np.uint64(0)
 _ALL = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+
+def validate_batch(batch: int) -> int:
+    """Check a batch size and return its lane-plane word count ``K``.
+
+    ``batch <= 64`` packs into one word (``K == 1``, possibly partially
+    populated); larger batches must be a whole number of 64-lane words
+    so every word of the plane stays fully active.
+    """
+    if batch < 1:
+        # the historical message, kept verbatim for batch<=64 callers
+        raise LaneConfigError(f"batch must be in [1, {WORD_LANES}], got {batch}")
+    if batch <= WORD_LANES:
+        return 1
+    words, rem = divmod(batch, WORD_LANES)
+    if rem:
+        raise LaneConfigError(
+            f"batch {batch} is not a whole number of {WORD_LANES}-lane words: "
+            f"batches beyond {WORD_LANES} must be K*{WORD_LANES} "
+            f"with K <= {MAX_LANE_WORDS}"
+        )
+    if words > MAX_LANE_WORDS:
+        raise LaneConfigError(
+            f"batch {batch} exceeds the {MAX_LANE_WORDS}-word lane-plane limit "
+            f"({MAX_LANE_WORDS * WORD_LANES} lanes)"
+        )
+    return words
 
 
 def int_to_bits(value: int, nbits: int) -> np.ndarray:
@@ -63,28 +108,52 @@ class ExecutionEngine:
     lanes, how per-lane integers (primary inputs, RAM addresses and data)
     convert to and from bit-plane words, and the fold step itself.  The
     interpreter holds the decoded program and drives these primitives.
+
+    ``batch <= 64`` keeps the historical single-word layout: 1-D
+    ``(n,)`` arrays, a partial :attr:`lane_mask`, scalar quarantine
+    word.  ``batch > 64`` switches to K-word planes: ``(n, K)`` arrays,
+    all-ones :attr:`lane_mask` (every word fully active), and a ``(K,)``
+    quarantine plane.
     """
 
     def __init__(self, batch: int = 1) -> None:
-        if not 1 <= batch <= WORD_LANES:
-            raise ValueError(f"batch must be in [1, {WORD_LANES}], got {batch}")
+        #: lane-plane width: state elements are ``(n,)`` words for
+        #: ``words == 1`` and ``(n, words)`` rows beyond that
+        self.words = validate_batch(batch)
         self.batch = batch
-        #: active-lane mask: bit ``l`` set for every lane ``l < batch``
-        self.lane_mask = _ALL if batch == WORD_LANES else np.uint64((1 << batch) - 1)
-        #: bit ``l`` set for every lane the runtime has masked out of the
-        #: batch (fault containment — see :meth:`quarantine_lanes`)
-        self.quarantined = _ZERO
-        self.lane_shifts = np.arange(batch, dtype=np.uint64)
+        if self.words == 1:
+            #: active-lane mask: bit ``l`` set for every lane ``l < batch``
+            self.lane_mask = (
+                _ALL if batch == WORD_LANES else np.uint64((1 << batch) - 1)
+            )
+            #: bit ``l`` set for every lane the runtime has masked out of
+            #: the batch (fault containment — see :meth:`quarantine_lanes`)
+            self.quarantined = _ZERO
+            self.lane_shifts = np.arange(batch, dtype=np.uint64)
+        else:
+            # multi-word planes are always fully populated, so the mask
+            # stays a scalar word and broadcasts across the plane
+            self.lane_mask = _ALL
+            self.quarantined = np.zeros(self.words, dtype=np.uint64)
+            self.lane_shifts = np.arange(WORD_LANES, dtype=np.uint64)
         self.lane_index = np.arange(batch)
 
     # -- lane quarantine ------------------------------------------------------
 
     @property
-    def active_mask(self) -> np.uint64:
-        """Lanes still in service: :attr:`lane_mask` minus quarantined."""
+    def active_mask(self):
+        """Lanes still in service: :attr:`lane_mask` minus quarantined.
+
+        A scalar word for single-word batches, a ``(K,)`` plane beyond.
+        """
         return self.lane_mask & ~self.quarantined
 
-    def quarantine_lanes(self, lanes: Sequence[int]) -> np.uint64:
+    @staticmethod
+    def lane_coords(lane: int) -> tuple[int, int]:
+        """``(word, bit)`` coordinates of a lane in a K-word plane."""
+        return divmod(lane, WORD_LANES)
+
+    def quarantine_lanes(self, lanes: Sequence[int]):
         """Mask ``lanes`` out of the batch; returns the *keep* mask.
 
         Quarantined lanes stay physically present in every packed word
@@ -100,13 +169,26 @@ class ExecutionEngine:
                 raise ValueError(
                     f"lane {lane} out of range for batch {self.batch}"
                 )
-            self.quarantined |= _ONE << np.uint64(lane)
+            if self.words == 1:
+                self.quarantined |= _ONE << np.uint64(lane)
+            else:
+                word, bit = self.lane_coords(lane)
+                self.quarantined[word] |= _ONE << np.uint64(bit)
         return ~self.quarantined
+
+    def clear_quarantine(self) -> None:
+        """Return every quarantined lane to service (fresh reset)."""
+        if self.words == 1:
+            self.quarantined = _ZERO
+        else:
+            self.quarantined = np.zeros(self.words, dtype=np.uint64)
 
     # -- state allocation -----------------------------------------------------
 
     def zeros(self, n: int) -> np.ndarray:
-        return np.zeros(n, dtype=np.uint64)
+        if self.words == 1:
+            return np.zeros(n, dtype=np.uint64)
+        return np.zeros((n, self.words), dtype=np.uint64)
 
     def const_mask(self, flags: np.ndarray) -> np.ndarray:
         """Per-element lane mask for decoded boolean constants.
@@ -114,8 +196,11 @@ class ExecutionEngine:
         A fold/XOR/OR constant of 1 applies to *every* lane (the same
         program serves all stimulus streams), but only to the active
         ones — masking here is what keeps inactive lanes identically 0.
+        For K-word planes the constants come back as an ``(n, 1)``
+        column so they broadcast across the plane axis.
         """
-        return np.where(np.asarray(flags, dtype=bool), self.lane_mask, _ZERO)
+        masked = np.where(np.asarray(flags, dtype=bool), self.lane_mask, _ZERO)
+        return masked if self.words == 1 else masked[:, None]
 
     def scalar_mask(self, flag: bool) -> np.uint64:
         return self.lane_mask if flag else _ZERO
@@ -133,15 +218,17 @@ class ExecutionEngine:
 
     def broadcast_int(self, value: int, nbits: int) -> np.ndarray:
         """``value``'s bits replicated across every active lane."""
-        return np.where(int_to_bits(value, nbits), self.lane_mask, _ZERO)
+        bits = np.where(int_to_bits(value, nbits), self.lane_mask, _ZERO)
+        return bits if self.words == 1 else bits[:, None]
 
     def pack_lanes(self, values: Sequence[int], nbits: int) -> np.ndarray:
-        """Per-lane integers to ``(nbits,)`` packed words (arbitrary width).
+        """Per-lane integers to packed words (arbitrary width).
 
         Vectorized: all lanes' values become one ``(batch, nbytes)`` byte
         matrix, one ``np.unpackbits`` yields the ``(batch, nbits)`` bit
         plane, and a single shift-reduce packs each bit column into its
-        word — no per-lane Python loop.
+        word — no per-lane Python loop.  Returns ``(nbits,)`` words for
+        single-word batches, ``(nbits, K)`` planes beyond.
         """
         if self.batch == 1:
             return int_to_bits(values[0], nbits).astype(np.uint64)
@@ -150,16 +237,28 @@ class ExecutionEngine:
         raw = b"".join((v & vmask).to_bytes(nbytes, "little") for v in values)
         mat = np.frombuffer(raw, dtype=np.uint8).reshape(len(values), nbytes)
         bits = np.unpackbits(mat, axis=1, bitorder="little")[:, :nbits]
-        shifted = bits.astype(np.uint64) << self.lane_shifts[: len(values), None]
-        return np.bitwise_or.reduce(shifted, axis=0)
+        if self.words == 1:
+            shifted = bits.astype(np.uint64) << self.lane_shifts[: len(values), None]
+            return np.bitwise_or.reduce(shifted, axis=0)
+        planes = bits.astype(np.uint64).reshape(self.words, WORD_LANES, nbits)
+        shifted = planes << self.lane_shifts[None, :, None]
+        return np.bitwise_or.reduce(shifted, axis=1).T.copy()
 
     def lane_int(self, words: np.ndarray, lane: int) -> int:
         """One lane's integer value from packed bit-plane words."""
-        return bits_to_int((words >> np.uint64(lane)) & _ONE)
+        if self.words == 1:
+            return bits_to_int((words >> np.uint64(lane)) & _ONE)
+        word, bit = self.lane_coords(lane)
+        return bits_to_int((words[:, word] >> np.uint64(bit)) & _ONE)
 
-    def lane_bits(self, word: np.uint64) -> np.ndarray:
-        """One packed word split into its per-lane bits, shape ``(batch,)``."""
-        return ((word >> self.lane_shifts) & _ONE).astype(np.uint8)
+    def lane_bits(self, word) -> np.ndarray:
+        """One packed word (or ``(K,)`` plane row) split into per-lane
+        bits, shape ``(batch,)``."""
+        if self.words == 1:
+            return ((word >> self.lane_shifts) & _ONE).astype(np.uint8)
+        row = np.asarray(word, dtype=np.uint64)
+        bits = (row[:, None] >> self.lane_shifts[None, :]) & _ONE
+        return bits.reshape(self.batch).astype(np.uint8)
 
     def lane_values(self, words: np.ndarray, weights: np.ndarray) -> np.ndarray:
         """Per-lane small integers (RAM addresses/data) from bit planes.
@@ -168,21 +267,40 @@ class ExecutionEngine:
         ``2**i`` as ``uint64``.  Returns shape ``(batch,)``.  This is the
         vectorized replacement for the per-bit ``bits_value`` helper.
         """
-        lane_bits = (words[:, None] >> self.lane_shifts[None, :]) & _ONE
+        if self.words == 1:
+            lane_bits = (words[:, None] >> self.lane_shifts[None, :]) & _ONE
+        else:
+            lane_bits = (
+                (words[:, :, None] >> self.lane_shifts[None, None, :]) & _ONE
+            ).reshape(words.shape[0], self.batch)
         return (lane_bits * weights[:, None]).sum(axis=0, dtype=np.uint64)
 
     def pack_lane_values(self, values: np.ndarray, nbits: int) -> np.ndarray:
-        """Per-lane small integers back into ``(nbits,)`` bit-plane words."""
+        """Per-lane small integers back into bit-plane words
+        (``(nbits,)`` single-word, ``(nbits, K)`` planes)."""
         bits = (values[None, :] >> np.arange(nbits, dtype=np.uint64)[:, None]) & _ONE
-        return (bits << self.lane_shifts[None, :]).sum(axis=1, dtype=np.uint64)
+        if self.words == 1:
+            return (bits << self.lane_shifts[None, :]).sum(axis=1, dtype=np.uint64)
+        planes = bits.reshape(nbits, self.words, WORD_LANES)
+        return (planes << self.lane_shifts[None, None, :]).sum(axis=2, dtype=np.uint64)
+
+    def bit_planes(self, arr: np.ndarray) -> np.ndarray:
+        """Per-lane bit matrix of a packed state array, shape
+        ``(n, batch)`` uint8 — the per-lane digest / scrub view."""
+        if self.words == 1:
+            bits = (arr[:, None] >> self.lane_shifts[None, :]) & _ONE
+            return bits.astype(np.uint8)
+        bits = (arr[:, :, None] >> self.lane_shifts[None, None, :]) & _ONE
+        return bits.reshape(arr.shape[0], self.batch).astype(np.uint8)
 
     # -- deferred-write commit ------------------------------------------------
 
     @staticmethod
     def merge(dst: np.ndarray, gidx: np.ndarray, values: np.ndarray, mask) -> None:
-        """Commit a deferred scatter; ``mask`` (a packed lane word or
-        ``None``) restricts the merge to the lanes whose write enable was
-        set — the per-lane generalization of 'no deferred write at all'."""
+        """Commit a deferred scatter; ``mask`` (a packed lane word, a
+        ``(K,)`` plane row, or ``None``) restricts the merge to the lanes
+        whose write enable was set — the per-lane generalization of 'no
+        deferred write at all'."""
         if mask is None:
             dst[gidx] = values
         else:

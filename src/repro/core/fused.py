@@ -331,7 +331,7 @@ def fuse(partitions: list, stage_indices: list[list[int]], engine) -> FusedProgr
             local = [0] * part.state_slots
             if part.read_gidx.size:
                 raw_reads.append(part.read_gidx)
-                rinv = part.read_inv.tolist()
+                rinv = np.ravel(part.read_inv).tolist()
                 for j, (g, s) in enumerate(
                     zip(part.read_gidx.tolist(), part.read_slots.tolist())
                 ):
@@ -345,9 +345,11 @@ def fuse(partitions: list, stage_indices: list[list[int]], engine) -> FusedProgr
             for layer in part.layers:
                 vec = [local[i] for i in layer.gather.tolist()]
                 for step in range(layer.eff_width_log2):
-                    xa = layer.xor_a[step].tolist()
-                    xb = layer.xor_b[step].tolist()
-                    ob = layer.or_b[step].tolist()
+                    # ravel: K-word planes decode constants as (n, 1)
+                    # columns; the symbolic walk only needs 0/mask words
+                    xa = np.ravel(layer.xor_a[step]).tolist()
+                    xb = np.ravel(layer.xor_b[step]).tolist()
+                    ob = np.ravel(layer.or_b[step]).tolist()
                     half = len(vec) // 2
                     out = [0] * half
                     for p in range(half):
@@ -383,11 +385,13 @@ def fuse(partitions: list, stage_indices: list[list[int]], engine) -> FusedProgr
             if gidx_.size:
                 raw_writes.append(gidx_)
                 for s, iv, g in zip(
-                    slots_.tolist(), inv_.tolist(), gidx_.tolist()
+                    slots_.tolist(), np.ravel(inv_).tolist(), gidx_.tolist()
                 ):
                     gw_entries.append((g, local[s], iv))
             slots_, inv_, gidx_ = part.gw_deferred
-            for s, iv, g in zip(slots_.tolist(), inv_.tolist(), gidx_.tolist()):
+            for s, iv, g in zip(
+                slots_.tolist(), np.ravel(inv_).tolist(), gidx_.tolist()
+            ):
                 stage_def.append((g, local[s], iv))
             base = arena_base[idx]
             for op in part.ramops:
@@ -617,18 +621,57 @@ class FusedExecutor:
         self.fused = fused
         self.interp = interp
         eng = interp.engine
+        backend = interp.backend
+        #: multi-word lane plane? buffers then carry a trailing (K,) axis
+        #: and per-element constants broadcast as (n, 1) columns
+        self._plane = eng.words > 1
+
+        def col(arr):
+            """Constant vectors broadcastable across the lane plane."""
+            if arr is None or not self._plane:
+                return arr
+            return arr[:, None]
+
         self.arena = eng.zeros(fused.arena_size)
         if fused.preset_slots.size:
-            self.arena[fused.preset_slots] = fused.preset_vals
+            self.arena[fused.preset_slots] = col(fused.preset_vals)
         self.trace = eng.zeros(fused.max_trace)
-        self._wave_buf = eng.zeros(fused.max_wave)
         self._views = [
             self.arena[base : base + span]
             for base, span in zip(fused.arena_base, fused.arena_span)
         ]
+        self._def_const = (
+            (fused.def_const_gidx, col(fused.def_const_vals), None)
+            if fused.def_const_gidx.size
+            else None
+        )
+        self._compiled: list | None = None
+        if backend.name != "numpy":
+            # Whole-stage kernels compiled by the backend from the
+            # flattened schedule; the numpy buffers below are unused.
+            from repro.core.backend import stage_plan
+
+            self._compiled = [
+                backend.compile_stage(stage_plan(stage)) for stage in fused.stages
+            ]
+            self._def_bufs2d = [
+                np.zeros((stage.def_gidx.size, eng.words), dtype=np.uint64)
+                for stage in fused.stages
+            ]
+            # merge() needs 1-D values when the state itself is 1-D
+            self._def_flat = [
+                buf if self._plane else buf.reshape(-1)
+                for buf in self._def_bufs2d
+            ]
+            return
+        self._wave_buf = eng.zeros(fused.max_wave)
         self._gwn_bufs: list[np.ndarray] = []
         self._ram_bufs: list[np.ndarray] = []
         self._def_bufs: list[np.ndarray] = []
+        #: per-stage constant vectors, plane-broadcastable
+        self._gwn_invs: list[np.ndarray | None] = []
+        self._ram_invs: list[np.ndarray | None] = []
+        self._def_invs: list[np.ndarray | None] = []
         # Per-wave execution tuples with the buffer views presliced: the
         # hot loop then touches no Python-level slicing or the np.take
         # wrapper (the bound ndarray.take skips ~2.5us of dispatch per
@@ -637,10 +680,13 @@ class FusedExecutor:
         self._wave_exec: list[list[tuple]] = []
         for stage in fused.stages:
             buf = eng.zeros(stage.gwn_gidx.size)
-            buf[stage.gwn_src.size :] = stage.gwn_const
+            buf[stage.gwn_src.size :] = col(stage.gwn_const)
             self._gwn_bufs.append(buf)
             self._ram_bufs.append(eng.zeros(stage.ram_slots.size))
             self._def_bufs.append(eng.zeros(stage.def_gidx.size))
+            self._gwn_invs.append(col(stage.gwn_inv))
+            self._ram_invs.append(col(stage.ram_inv))
+            self._def_invs.append(col(stage.def_inv))
             self._read_views.append(self.trace[: stage.read_gidx.size])
             waves = []
             for wave in stage.waves:
@@ -649,7 +695,7 @@ class FusedExecutor:
                 waves.append(
                     (
                         wave.gather,
-                        wave.flips,
+                        col(wave.flips),
                         ab,
                         ab[:n],
                         ab[n:],
@@ -658,7 +704,47 @@ class FusedExecutor:
                 )
             self._wave_exec.append(waves)
 
+    def _run_cycle_compiled(self):
+        """One cycle through the backend's per-stage kernels.
+
+        The kernels see 2-D ``(n, K)`` planes; single-word batches pass
+        zero-copy reshape views.  Phase attribution is coarser than the
+        numpy path — a fused native stage has no gather/fold boundary —
+        so kernel time lands in ``fold``.
+        """
+        fused = self.fused
+        interp = self.interp
+        profile = interp.profile
+        times = interp.phase_times
+        gstate = interp.global_state
+        if self._plane:
+            g2, t2, a2 = gstate, self.trace, self.arena
+        else:
+            g2 = gstate.reshape(-1, 1)
+            t2 = self.trace.reshape(-1, 1)
+            a2 = self.arena.reshape(-1, 1)
+        deferred: list[tuple[np.ndarray, np.ndarray, np.uint64 | None]] = []
+        for sidx, stage in enumerate(fused.stages):
+            if profile:
+                t0 = time.perf_counter()
+            self._compiled[sidx](g2, t2, a2, self._def_bufs2d[sidx])
+            if profile:
+                t1 = time.perf_counter()
+                times["fold"] += t1 - t0
+                t0 = t1
+            if stage.def_gidx.size:
+                deferred.append((stage.def_gidx, self._def_flat[sidx], None))
+            for pidx, op in stage.ramops:
+                deferred.extend(interp._run_ramop(op, self._views[pidx]))
+            if profile:
+                times["commit"] += time.perf_counter() - t0
+        if self._def_const is not None:
+            deferred.append(self._def_const)
+        return deferred
+
     def run_cycle(self) -> list[tuple[np.ndarray, np.ndarray, np.uint64 | None]]:
+        if self._compiled is not None:
+            return self._run_cycle_compiled()
         fused = self.fused
         trace = self.trace
         arena = self.arena
@@ -690,25 +776,28 @@ class FusedExecutor:
                 nd = stage.gwn_src.size
                 if nd:
                     trace.take(stage.gwn_src, 0, buf[:nd], "clip")
-                    if stage.gwn_inv is not None:
-                        np.bitwise_xor(buf[:nd], stage.gwn_inv, out=buf[:nd])
+                    inv = self._gwn_invs[sidx]
+                    if inv is not None:
+                        np.bitwise_xor(buf[:nd], inv, out=buf[:nd])
                 gstate[stage.gwn_gidx] = buf
             if stage.ram_slots.size:
                 buf = self._ram_bufs[sidx]
                 trace.take(stage.ram_src, 0, buf, "clip")
-                if stage.ram_inv is not None:
-                    np.bitwise_xor(buf, stage.ram_inv, out=buf)
+                inv = self._ram_invs[sidx]
+                if inv is not None:
+                    np.bitwise_xor(buf, inv, out=buf)
                 arena[stage.ram_slots] = buf
             if stage.def_gidx.size:
                 buf = self._def_bufs[sidx]
                 trace.take(stage.def_src, 0, buf, "clip")
-                if stage.def_inv is not None:
-                    np.bitwise_xor(buf, stage.def_inv, out=buf)
+                inv = self._def_invs[sidx]
+                if inv is not None:
+                    np.bitwise_xor(buf, inv, out=buf)
                 deferred.append((stage.def_gidx, buf, None))
             for pidx, op in stage.ramops:
                 deferred.extend(interp._run_ramop(op, self._views[pidx]))
             if profile:
                 times["commit"] += time.perf_counter() - t0
-        if fused.def_const_gidx.size:
-            deferred.append((fused.def_const_gidx, fused.def_const_vals, None))
+        if self._def_const is not None:
+            deferred.append(self._def_const)
         return deferred

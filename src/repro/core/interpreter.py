@@ -57,6 +57,7 @@ from typing import Iterable, Mapping, Sequence
 import numpy as np
 
 from repro.core import isa
+from repro.core.backend import resolve_backend
 from repro.core.bitstream import MAGIC, VERSION, GemProgram, verify_integrity
 from repro.core.engine import ExecutionEngine, bits_to_int, weights
 from repro.core.fused import (
@@ -210,6 +211,13 @@ class GemInterpreter:
     in outputs, global state, and work counters.  ``profile=True`` keeps
     lightweight wall-clock timers per phase in :attr:`phase_times`
     (``inject`` / ``gather`` / ``fold`` / ``commit``).
+
+    ``backend`` selects the array backend of the fused path
+    (:mod:`repro.core.backend`): ``"numpy"`` (default), ``"numba"``
+    (per-stage JIT kernels), or ``"cupy"``; a name whose dependency is
+    missing falls back to numpy with one warning per process.  The
+    legacy path is numpy-only — a non-numpy backend downgrades with a
+    log line when fusion is unavailable.
     """
 
     def __init__(
@@ -218,6 +226,7 @@ class GemInterpreter:
         batch: int = 1,
         mode: str = "fused",
         profile: bool = False,
+        backend: str | None = None,
     ) -> None:
         if mode not in ("fused", "legacy"):
             raise ValueError(f"mode must be 'fused' or 'legacy', got {mode!r}")
@@ -227,6 +236,7 @@ class GemInterpreter:
         self.batch = batch
         self.mode = mode
         self.profile = profile
+        self.backend = resolve_backend(backend)
         self.phase_times = {"inject": 0.0, "gather": 0.0, "fold": 0.0, "commit": 0.0}
         words = program.words
         if words.size < 8 or int(words[0]) != MAGIC:
@@ -333,6 +343,13 @@ class GemInterpreter:
                     "stage fusion unavailable (%s); running legacy path", exc
                 )
             self.mode = "legacy"
+        if self.mode == "legacy" and self.backend.name != "numpy":
+            logger.info(
+                "%s backend only accelerates the fused path; "
+                "legacy mode runs on numpy",
+                self.backend.name,
+            )
+            self.backend = resolve_backend("numpy")
         if self.mode == "fused":
             self._executor = FusedExecutor(self._fused, self)
             self._locals: list[np.ndarray] = []
@@ -358,7 +375,7 @@ class GemInterpreter:
         state is touched, so a reset interpreter replays a stimulus
         stream bit-identically to a freshly constructed one.
         """
-        self.engine.quarantined = np.uint64(0)
+        self.engine.clear_quarantine()
         self.global_state[:] = 0
         self.global_state[self._reset_ones] = self.engine.lane_mask
         for arr, init in zip(self.ram_arrays, self._ram_init):
@@ -388,8 +405,8 @@ class GemInterpreter:
     @property
     def quarantined_lanes(self) -> list[int]:
         """Lane indices currently masked out by :meth:`quarantine_lanes`."""
-        mask = int(self.engine.quarantined)
-        return [lane for lane in range(self.batch) if mask >> lane & 1]
+        bits = self.engine.lane_bits(self.engine.quarantined)
+        return np.nonzero(bits)[0].tolist()
 
     def reset_phase_times(self) -> None:
         """Zero the per-phase wall-clock timers (kept across ``step``
@@ -444,11 +461,13 @@ class GemInterpreter:
         port's write lands, lane by lane.
         """
         eng = self.engine
+        # scalar words for K == 1, (K,) plane rows beyond — np.any gates
+        # both without the ambiguous array truthiness
         ren = (local[op.ren_slot] ^ op.ren_inv) & eng.lane_mask
         wen = (local[op.wen_slot] ^ op.wen_inv) & eng.lane_mask
         array = self.ram_arrays[op.spec.ram_index]
         deferred: list[tuple[np.ndarray, np.ndarray, np.uint64 | None]] = []
-        if ren:
+        if bool(np.any(ren)):
             raddr = eng.lane_values(local[op.raddr_slots] ^ op.raddr_inv, op.addr_weights)
             lanes = np.nonzero(eng.lane_bits(ren))[0]
             sampled = np.zeros(eng.batch, dtype=np.uint64)
@@ -456,7 +475,7 @@ class GemInterpreter:
             values = eng.pack_lane_values(sampled, op.spec.data_bits)
             deferred.append((op.rd_gidx, values, ren))
             self.counters.global_writes += op.spec.data_bits
-        if wen:
+        if bool(np.any(wen)):
             waddr = eng.lane_values(local[op.waddr_slots] ^ op.waddr_inv, op.addr_weights)
             wdata = eng.lane_values(local[op.wdata_slots] ^ op.wdata_inv, op.data_weights)
             lanes = np.nonzero(eng.lane_bits(wen))[0]
@@ -586,6 +605,11 @@ class GemInterpreter:
     def outputs(self) -> dict[str, int]:
         """Lane 0's primary output words (vectorized gather)."""
         gstate = self.global_state
+        if self.engine.words > 1:
+            return {
+                name: bits_to_int(gstate[idx, 0] & _ONE)
+                for name, idx in self._po_tables.items()
+            }
         return {
             name: bits_to_int(gstate[idx] & _ONE)
             for name, idx in self._po_tables.items()

@@ -180,11 +180,15 @@ def gem_lane_throughput(
     at once), so lane throughput scales linearly with ``batch`` up to
     the word width — the packed-word multiplier GATSPI/Parendi-style
     batching buys on top of the single-instance :func:`gem_speed`.
+    Multi-word lane planes (``batch`` a whole number of 64-lane words,
+    up to 4096 lanes) scale the word compute by K but amortize the
+    fetch, which this first-order model folds into the same linear
+    estimate.  Rejects unsupported geometries with
+    :class:`~repro.errors.LaneConfigError` (a ``ValueError``).
     """
-    from repro.core.engine import WORD_LANES
+    from repro.core.engine import validate_batch
 
-    if not 1 <= batch <= WORD_LANES:
-        raise ValueError(f"batch must be in [1, {WORD_LANES}], got {batch}")
+    validate_batch(batch)
     return batch * gem_speed(design_or_metrics, gpu)
 
 

@@ -10,6 +10,8 @@ The hierarchy::
 
     GemError
     ├── BitstreamError        malformed / corrupted bitstream container
+    ├── LaneConfigError       unsupported batch / lane-plane geometry
+    ├── BackendUnavailableError  requested execution backend cannot load
     ├── StateCorruptionError  runtime state failed an integrity check
     │   └── LaneDivergenceError   ...localized to specific stimulus lanes
     ├── CheckpointError       unusable checkpoint (corrupt, version skew,
@@ -18,9 +20,10 @@ The hierarchy::
     │                         budget) expired before the run finished
     └── UnmappableError       partition state demand exceeds core width
 
-:class:`BitstreamError` additionally subclasses :class:`ValueError`
-because the bitstream decode path historically raised bare
-``ValueError``; existing ``except ValueError`` callers keep working.
+:class:`BitstreamError` and :class:`LaneConfigError` additionally
+subclass :class:`ValueError` because those paths historically raised
+bare ``ValueError``; existing ``except ValueError`` callers keep
+working.
 """
 
 from __future__ import annotations
@@ -35,6 +38,27 @@ class BitstreamError(GemError, ValueError):
 
     Raised at load time: bad magic/version, a failing per-section CRC32,
     an invalid opcode in the instruction stream, or a truncated section.
+    """
+
+
+class LaneConfigError(GemError, ValueError):
+    """The requested batch / lane-plane geometry is unsupported.
+
+    Raised by :class:`repro.core.engine.ExecutionEngine` for a
+    non-positive batch, a batch beyond 64 that is not a whole number of
+    64-lane words, or a lane-plane word count past the engine limit.
+    Subclasses :class:`ValueError` because engine construction
+    historically raised bare ``ValueError`` for out-of-range batches.
+    """
+
+
+class BackendUnavailableError(GemError):
+    """The requested execution backend cannot be loaded.
+
+    Raised by :func:`repro.core.backend.resolve_backend` when a
+    backend's runtime dependency (numba, cupy + a visible GPU) is
+    missing.  Callers that pass ``strict=False`` get the warn-once
+    numpy fallback instead of this error.
     """
 
 

@@ -240,6 +240,7 @@ def run_fuzz(
     profiles: list[str] | None = None,
     cycles: int = 24,
     batches: tuple[int, ...] = (1, 16),
+    backends: tuple[str, ...] = ("numpy",),
     inject: dict | None = None,
     shrink_failures: bool = True,
     shrink_budget: int = 120,
@@ -292,6 +293,7 @@ def run_fuzz(
         stimuli = random_stimuli(spec, design_seed, cycles)
         config = OracleConfig(
             batches=batches,
+            backends=backends,
             compile_profile=PROFILES[profile].compile_profile,
             inject=inject,
         )

@@ -15,9 +15,12 @@ repository, and they disagree only when one of them is wrong:
 under a named compile profile, runs all requested engines in lockstep at
 batch 1, then re-runs the two GEM paths at the requested lane batches
 (each lane seeing a rotated stimulus stream) and cross-checks them
-per-lane, with lane 0 additionally pinned to the batch-1 reference.  The
-first disagreement is reported as a :class:`FuzzDivergence` (cycle,
-signal, engine pair, lane).
+per-lane, with lane 0 additionally pinned to the batch-1 reference.
+Non-default execution backends (``OracleConfig.backends``) enroll as
+additional fused-path engines at those same rotated batches — a numba
+disagreement is a kernel bug, caught by the same lockstep.  The first
+disagreement is reported as a :class:`FuzzDivergence` (cycle, signal,
+engine pair, lane).
 
 An ``inject`` descriptor swaps in a deliberately mutated bitstream
 (:func:`repro.core.bitstream.mutate_fold_constant`) so the fuzzer's own
@@ -31,12 +34,14 @@ import logging
 from dataclasses import dataclass, field
 from typing import Mapping
 
+from repro.core.backend import resolve_backend
 from repro.core.bitstream import GemProgram, mutate_fold_constant
 from repro.core.boomerang import BoomerangConfig
 from repro.core.compiler import CompiledDesign, GemCompiler, GemConfig, GemSimulator
 from repro.core.partition import PartitionConfig
 from repro.core.ram_mapping import RamMappingConfig
 from repro.core.synthesis import SynthesisConfig
+from repro.errors import BackendUnavailableError
 from repro.fuzz.designgen import DesignSpec
 from repro.harness.cosim import output_mismatches
 from repro.rtl.netlist import Netlist, WordSim
@@ -102,6 +107,10 @@ class OracleConfig:
     engines: tuple[str, ...] = ENGINES
     #: lane batches beyond 1 run fused-vs-legacy per-lane lockstep
     batches: tuple[int, ...] = (1, 16, 64)
+    #: execution backends enrolled as extra fused-path engines at the
+    #: lane batches ("numpy" is the baseline; unavailable ones skip
+    #: with a coverage marker rather than fall back silently)
+    backends: tuple[str, ...] = ("numpy",)
     compile_profile: str = "small"
     #: fault descriptor, e.g. ``{"kind": "fold", "index": 0, "bit": 3}``
     inject: dict | None = None
@@ -110,6 +119,7 @@ class OracleConfig:
         return {
             "engines": list(self.engines),
             "batches": list(self.batches),
+            "backends": list(self.backends),
             "compile_profile": self.compile_profile,
             "inject": self.inject,
         }
@@ -119,6 +129,7 @@ class OracleConfig:
         return cls(
             engines=tuple(raw.get("engines", ENGINES)),
             batches=tuple(int(b) for b in raw.get("batches", (1, 16, 64))),
+            backends=tuple(raw.get("backends", ("numpy",))),
             compile_profile=str(raw.get("compile_profile", "small")),
             inject=raw.get("inject"),
         )
@@ -256,17 +267,32 @@ def run_oracle(
         "partitions": compiled.report.partitions,
     }
 
-    def make_engine(name: str, batch: int = 1):
+    def make_engine(name: str, batch: int = 1, backend: str | None = None):
         if name == "word":
             return WordSim(Netlist(circuit))
         if name == "simref":
             return GateLevelSim(compiled.synth)
         if name in ("fused", "legacy"):
-            sim = GemSimulator(program, batch=batch, mode=name)
+            sim = GemSimulator(program, batch=batch, mode=name, backend=backend)
             if name == "fused" and sim.mode != "fused":
                 coverage.add("fallback:legacy")
             return sim
         raise ValueError(f"unknown engine {name!r}; have {ENGINES}")
+
+    # Backends are extra fused-path DUTs; an unavailable one is skipped
+    # loudly (coverage marker) — a silent numpy fallback would just
+    # cross-check numpy against itself.
+    extra_backends: list[str] = []
+    for bk in dict.fromkeys(config.backends):
+        if bk == "numpy":
+            continue
+        try:
+            resolve_backend(bk, strict=True)
+        except BackendUnavailableError as exc:
+            coverage.add(f"backend-skip:{bk}")
+            logger.debug("oracle: skipping %s backend (%s)", bk, exc)
+            continue
+        extra_backends.append(bk)
 
     engines = [e for e in ENGINES if e in config.engines]
     if not engines:
@@ -313,6 +339,13 @@ def run_oracle(
             coverage.add(f"batch:{batch}")
             sim_a = make_engine(primary, batch=batch)
             sim_b = make_engine(secondary, batch=batch) if secondary else None
+            backend_sims = [
+                (bk, make_engine("fused", batch=batch, backend=bk))
+                for bk in extra_backends
+                if "fused" in gem_modes
+            ]
+            for bk, _ in backend_sims:
+                coverage.add(f"backend:{bk}")
             lane_streams = [_rotated(stimuli, lane) for lane in range(batch)]
             for cycle in range(len(stimuli)):
                 vecs = [lane_streams[lane][cycle] for lane in range(batch)]
@@ -329,6 +362,21 @@ def run_oracle(
                             lane=0,
                         )
                     )
+                for bk, sim_bk in backend_sims:
+                    outs_bk = sim_bk.step_lanes(vecs)
+                    for lane in range(batch):
+                        mism = output_mismatches(outs_a[lane], outs_bk[lane])
+                        if mism:
+                            return finish(
+                                FuzzDivergence(
+                                    cycle=cycle,
+                                    engine=f"fused[{bk}]",
+                                    reference=primary,
+                                    signals=mism,
+                                    batch=batch,
+                                    lane=lane,
+                                )
+                            )
                 if sim_b is None:
                     continue
                 outs_b = sim_b.step_lanes(vecs)

@@ -98,14 +98,20 @@ def main_run(argv: list[str] | None = None) -> int:
     parser.add_argument("--max-cycles", type=int, default=None)
     parser.add_argument(
         "--batch", type=int, default=1, metavar="N",
-        help="pack N stimulus lanes (1..64) into every packed state word; "
-        "all lanes see the workload stimuli, outputs report lane 0 "
-        "(docs/ENGINE.md)",
+        help="pack N stimulus lanes into the state's lane planes (1..64, "
+        "or a whole number of 64-lane words up to 4096); all lanes see "
+        "the workload stimuli, outputs report lane 0 (docs/ENGINE.md)",
     )
     parser.add_argument(
         "--engine-mode", choices=["fused", "legacy"], default="fused",
         help="fused: stage-fused array executor (default); legacy: "
         "per-partition interpreter loop (differential reference)",
+    )
+    parser.add_argument(
+        "--backend", choices=["numpy", "numba", "cupy"], default=None,
+        help="array backend for the fused path: numpy (default), numba "
+        "(JIT-compiled stage kernels), cupy (GPU). An unavailable "
+        "backend warns once and falls back to numpy",
     )
     parser.add_argument(
         "--profile", action="store_true",
@@ -198,8 +204,12 @@ def main_run(argv: list[str] | None = None) -> int:
 
 def _write_run_report(args, wl, **kwargs) -> None:
     """Assemble and write the ``--report-out`` RunReport for a run."""
+    from repro.core.backend import resolve_backend
+    from repro.core.engine import validate_batch
     from repro.obs.report import build_run_report, write_report
 
+    kwargs.setdefault("backend", resolve_backend(getattr(args, "backend", None)).name)
+    kwargs.setdefault("lane_words", validate_batch(args.batch))
     extras = kwargs.pop("extras", {})
     if args.trace_out:
         extras["trace_out"] = args.trace_out
@@ -223,7 +233,12 @@ def _run_plain(args, wl) -> int:
     from repro.obs.metrics import REGISTRY
 
     design = compile_design(args.design)
-    sim = design.simulator(batch=args.batch, mode=args.engine_mode, profile=args.profile)
+    sim = design.simulator(
+        batch=args.batch,
+        mode=args.engine_mode,
+        backend=args.backend,
+        profile=args.profile,
+    )
     stimuli = wl.stimuli[: args.max_cycles] if args.max_cycles else wl.stimuli
     t0 = time.time()
     observed = []
@@ -284,6 +299,7 @@ def _run_supervised(args, wl) -> int:
             resume=args.resume if args.resume is not None else False,
             batch=args.batch,
             engine_mode=args.engine_mode,
+            backend=args.backend,
             profile=args.profile,
             deadline_s=args.deadline,
             cycle_budget=args.cycle_budget,
@@ -552,7 +568,14 @@ def main_fuzz(argv: list[str] | None = None) -> int:
     p_run.add_argument("--cycles", type=int, default=24, help="stimulus cycles per design")
     p_run.add_argument(
         "--batches", default="1,16", metavar="B1,B2",
-        help="lane batches to cross-check (default 1,16; add 64 for full width)",
+        help="lane batches to cross-check (default 1,16; add 64 for full "
+        "width, 128+ for multi-word lane planes)",
+    )
+    p_run.add_argument(
+        "--backends", default="numpy", metavar="B1,B2",
+        help="execution backends enrolled as extra fused-path oracle "
+        "engines (default numpy; unavailable ones are skipped with a "
+        "backend-skip coverage marker)",
     )
     p_run.add_argument(
         "--failure-dir", default="fuzz-failures",
@@ -625,6 +648,7 @@ def main_fuzz(argv: list[str] | None = None) -> int:
         profiles=args.profiles.split(",") if args.profiles else None,
         cycles=args.cycles,
         batches=tuple(int(b) for b in args.batches.split(",")),
+        backends=tuple(b.strip() for b in args.backends.split(",") if b.strip()),
         inject=inject,
         shrink_failures=not args.no_shrink,
         shrink_budget=args.shrink_budget,

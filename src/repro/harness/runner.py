@@ -250,6 +250,7 @@ def run_resilient(
     resume: bool | str = False,
     batch: int = 1,
     engine_mode: str = "fused",
+    backend: str | None = None,
     profile: bool = False,
     deadline_s: float | None = None,
     cycle_budget: int | None = None,
@@ -298,6 +299,7 @@ def run_resilient(
         backoff_base=backoff_base,
         batch=batch,
         engine_mode=engine_mode,
+        backend=backend,
         profile=profile,
         deadline=deadline,
         quarantine_after=quarantine_after,
@@ -312,6 +314,7 @@ def measure_batch_throughput(
     batch: int = 1,
     max_cycles: int | None = None,
     engine_mode: str = "fused",
+    backend: str | None = None,
 ) -> dict:
     """Wall-clock lane throughput of the packed-lane engine on a workload.
 
@@ -329,7 +332,7 @@ def measure_batch_throughput(
     workloads = design_workloads(name)
     wl = workloads[workload or next(iter(workloads))]
     stimuli = wl.stimuli[:max_cycles] if max_cycles else wl.stimuli
-    sim = design.simulator(batch=batch, mode=engine_mode)
+    sim = design.simulator(batch=batch, mode=engine_mode, backend=backend)
     t0 = time.perf_counter()
     for vec in stimuli:
         sim.step(vec)
@@ -341,6 +344,8 @@ def measure_batch_throughput(
         "workload": wl.name,
         "batch": batch,
         "engine_mode": sim.mode,
+        "backend": sim.backend.name,
+        "lane_words": sim.engine.words,
         "cycles": cycles,
         "elapsed_s": elapsed,
         "cycles_per_s": cycles / elapsed,

@@ -90,9 +90,28 @@ def build_run_report(
     registry: MetricsRegistry | None = REGISTRY,
     extras: Mapping[str, object] | None = None,
     kind: str = "gem-run",
+    backend: str | None = None,
+    lane_words: int | None = None,
 ) -> RunReport:
-    """Assemble a report from raw measurements plus the live registry."""
+    """Assemble a report from raw measurements plus the live registry.
+
+    ``backend``/``lane_words`` record the execution backend and the
+    lane-plane word count K in ``environment`` (and as the
+    ``gem_backend_info`` metric) so ``gem-perf diff``/``compare`` can
+    tell a numba run from a numpy run of the same design.
+    """
     elapsed = max(elapsed_s, 1e-9)
+    environment = environment_info()
+    if backend is not None:
+        environment["backend"] = backend
+    if lane_words is not None:
+        environment["lane_words"] = int(lane_words)
+    if backend is not None and registry is not None:
+        registry.gauge(
+            "gem_backend_info",
+            help="active execution backend (value is lane-plane words K)",
+            labels={"backend": backend},
+        ).set(float(lane_words if lane_words is not None else 1))
     return RunReport(
         design=design,
         workload=workload,
@@ -105,6 +124,7 @@ def build_run_report(
         counters=dict(counters or {}),
         phase_times=dict(phase_times or {}),
         metrics=registry.snapshot() if registry is not None else {},
+        environment=environment,
         extras=dict(extras or {}),
         kind=kind,
         created_unix=time.time(),
@@ -164,6 +184,11 @@ def format_report(report: RunReport) -> str:
             f"  environment     python {env.get('python', '?')}, "
             f"numpy {env.get('numpy', '?')}, {env.get('platform', '?')}"
         )
+        if "backend" in env:
+            lines.append(
+                f"  backend         {env['backend']} "
+                f"(lane words {env.get('lane_words', 1)})"
+            )
     for key, value in sorted(report.extras.items()):
         lines.append(f"  {key:15s} {value}")
     return "\n".join(lines)
@@ -252,23 +277,32 @@ def compare_to_bench(
 ) -> tuple[list[BenchComparison], list[str]]:
     """Match ``report`` against the benchmark-history rows.
 
-    Rows are matched on (design, engine_mode, batch); each throughput
-    field present on both sides becomes one :class:`BenchComparison`.
+    Rows are matched on (design, engine_mode, batch) — and on the
+    execution backend when both the report environment and the row carry
+    one, so numba rows never gate a numpy run.  Each throughput field
+    present on both sides becomes one :class:`BenchComparison`.
     Returns ``(comparisons, notes)`` — notes explain silent non-matches
     so a gate never passes just because nothing lined up.
     """
+    backend = report.environment.get("backend") if report.environment else None
     matches = [
         row
         for row in _bench_rows(bench)
         if row.get("design") == report.design
         and row.get("engine_mode", report.engine_mode) == report.engine_mode
         and int(row.get("batch", report.batch)) == report.batch
+        and (
+            backend is None
+            or row.get("backend") is None
+            or row.get("backend") == backend
+        )
     ]
     notes: list[str] = []
     if not matches:
+        label = f"/{backend}" if backend else ""
         notes.append(
             f"{source}: no baseline row for {report.design}/"
-            f"{report.engine_mode}/batch={report.batch}"
+            f"{report.engine_mode}/batch={report.batch}{label}"
         )
         return [], notes
     comparisons: list[BenchComparison] = []

@@ -19,22 +19,30 @@ restoring against a different program raises
 layouts.  They are also bound to the batch size: a lane-batched snapshot
 only restores into an interpreter with the same number of lanes.
 
-On-disk format **v2** (``uint32`` words, sealed by the same per-section
+On-disk format **v3** (``uint32`` words, sealed by the same per-section
 CRC32 footer as the bitstream — see :mod:`repro.core.integrity`)::
 
     section 0  header: magic 'GEMK', format version, cycle (lo, hi),
-               program digest, global bits, #rams, #deferred writes, batch
+               program digest, global bits, #rams, #deferred writes,
+               batch, lane-plane words K
     section 1  counters: fixed-order fields as (lo, hi) u64 pairs
                (``_COUNTER_FIELDS``; older files carry a shorter prefix)
-    section 2  global state: one packed uint64 per bit as (lo, hi) pairs
+    section 2  global state: K packed uint64 words per bit as (lo, hi)
+               pairs, plane-major (bit 0's K words, then bit 1's, ...)
     section 3  RAM images: per block, depth then batch×depth words
                (lane-major)
     section 4  deferred writes: per entry, count, indices, lane-mask flag
-               plus mask (lo, hi), packed values as (lo, hi) pairs
+               plus K mask words as (lo, hi) pairs, then count×K packed
+               values as (lo, hi) pairs
 
-Format **v1** files (single-instance boolean engine, bit-packed state)
-are still read and hydrate as ``batch=1`` checkpoints; new files are
-always written as v2.
+Format **v2** files (single-word batches, ``batch <= 64``) have no K in
+the header and load as ``K=1``; format **v1** files (single-instance
+boolean engine, bit-packed state) still hydrate as ``batch=1``.  New
+files are always written as v3.
+
+Checkpoints carry no execution-backend identity: the state layout is
+backend-independent, so a file saved under the numpy backend resumes
+bit-identically under numba (and vice versa).
 
 :class:`CheckpointManager` adds the operational layer: periodic rotating
 snapshots with *crash-consistent* writes (temp file + ``fsync`` + atomic
@@ -57,6 +65,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core.engine import MAX_LANE_WORDS, WORD_LANES
 from repro.core.integrity import seal, unseal
 from repro.core.interpreter import CycleCounters, GemInterpreter
 from repro.errors import CheckpointError
@@ -66,7 +75,9 @@ from repro.obs.trace import TRACER
 logger = logging.getLogger(__name__)
 
 CKPT_MAGIC = 0x47454D4B  # "GEMK"
-CKPT_VERSION = 2
+CKPT_VERSION = 3
+#: the single-word (batch <= 64) format, still readable
+CKPT_VERSION_V2 = 2
 #: the pre-lane single-instance format, still readable
 CKPT_VERSION_V1 = 1
 
@@ -94,13 +105,16 @@ class Checkpoint:
 
     cycle: int
     program_digest: int
-    #: packed lane words, shape (global_bits,), dtype uint64
+    #: packed lane words, shape (global_bits,) — or (global_bits, K) for
+    #: multi-word lane planes — dtype uint64
     global_state: np.ndarray
     #: per block, shape (batch, depth), dtype uint32
     ram_arrays: list[np.ndarray]
     counters: CycleCounters
-    #: stimulus lanes captured per state word
+    #: stimulus lanes captured per state element
     batch: int = 1
+    #: lane-plane words per state element (batch = K×64 when K > 1)
+    words: int = 1
     #: (global indices, packed values, lane mask or None) scatters not yet
     #: committed — empty for boundary snapshots
     deferred: list[tuple[np.ndarray, np.ndarray, np.uint64 | None]] = field(
@@ -121,6 +135,7 @@ def snapshot(interp: GemInterpreter) -> Checkpoint:
         ram_arrays=[arr.copy() for arr in interp.ram_arrays],
         counters=counters,
         batch=interp.batch,
+        words=interp.engine.words,
     )
 
 
@@ -194,17 +209,22 @@ def _unpack_bits(words: np.ndarray, count: int) -> np.ndarray:
 
 
 def checkpoint_to_words(ckpt: Checkpoint) -> np.ndarray:
-    """Serialize to a sealed v2 ``uint32`` container (see module docstring)."""
+    """Serialize to a sealed v3 ``uint32`` container (see module docstring)."""
+    words_k = int(ckpt.words)
+    global_bits = (
+        ckpt.global_state.shape[0] if ckpt.global_state.ndim == 2 else ckpt.global_state.size
+    )
     header = np.array(
         [
             CKPT_MAGIC,
             CKPT_VERSION,
             *_u64_pair(ckpt.cycle),
             ckpt.program_digest & 0xFFFFFFFF,
-            ckpt.global_state.size,
+            global_bits,
             len(ckpt.ram_arrays),
             len(ckpt.deferred),
             ckpt.batch,
+            words_k,
         ],
         dtype=np.uint32,
     )
@@ -221,13 +241,24 @@ def checkpoint_to_words(ckpt: Checkpoint) -> np.ndarray:
     )
     deferred_words: list[np.ndarray] = []
     for gidx, values, mask in ckpt.deferred:
-        deferred_words.append(np.array([gidx.size], dtype=np.uint32))
+        count = int(gidx.size)
+        deferred_words.append(np.array([count], dtype=np.uint32))
         deferred_words.append(gidx.astype(np.uint32))
-        mask_words = (
-            (0, 0, 0) if mask is None else (1, *_u64_pair(int(mask)))
-        )
-        deferred_words.append(np.array(mask_words, dtype=np.uint32))
-        deferred_words.append(_words_to_u32(np.asarray(values, dtype=np.uint64)))
+        # flag word, then the K-word mask (zeros when unconditional) —
+        # for K == 1 this is the historical (flag, lo, hi) triple
+        if mask is None:
+            mask_plane = np.zeros(words_k, dtype=np.uint64)
+            flag = 0
+        else:
+            mask_plane = np.broadcast_to(
+                np.asarray(mask, dtype=np.uint64), (words_k,)
+            )
+            flag = 1
+        deferred_words.append(np.array([flag], dtype=np.uint32))
+        deferred_words.append(_words_to_u32(mask_plane))
+        shape = (count, words_k) if words_k > 1 else (count,)
+        vals = np.broadcast_to(np.asarray(values, dtype=np.uint64), shape)
+        deferred_words.append(_words_to_u32(vals.reshape(-1)))
     deferred_section = (
         np.concatenate(deferred_words) if deferred_words else np.zeros(0, dtype=np.uint32)
     )
@@ -235,7 +266,7 @@ def checkpoint_to_words(ckpt: Checkpoint) -> np.ndarray:
         [
             header,
             np.array(counter_words, dtype=np.uint32),
-            _words_to_u32(ckpt.global_state),
+            _words_to_u32(ckpt.global_state.reshape(-1)),
             ram_section,
             deferred_section,
         ]
@@ -288,7 +319,7 @@ def _parse_v1(
 
 
 def checkpoint_from_words(words: np.ndarray) -> Checkpoint:
-    """Parse and CRC-verify a serialized checkpoint (v2, or legacy v1)."""
+    """Parse and CRC-verify a serialized checkpoint (v3, v2, or v1)."""
     sections = unseal(words, error=CheckpointError, what="checkpoint")
     if len(sections) != 5:
         raise CheckpointError(f"checkpoint: expected 5 sections, found {len(sections)}")
@@ -296,10 +327,10 @@ def checkpoint_from_words(words: np.ndarray) -> Checkpoint:
     if header.size < 8 or int(header[0]) != CKPT_MAGIC:
         raise CheckpointError("not a GEM checkpoint (bad magic)")
     version = int(header[1])
-    if version not in (CKPT_VERSION, CKPT_VERSION_V1):
+    if version not in (CKPT_VERSION, CKPT_VERSION_V2, CKPT_VERSION_V1):
         raise CheckpointError(
             f"unsupported checkpoint format version {version} "
-            f"(supported: {CKPT_VERSION_V1}, {CKPT_VERSION})"
+            f"(supported: {CKPT_VERSION_V1}, {CKPT_VERSION_V2}, {CKPT_VERSION})"
         )
     if counter_sec.size % 2 or counter_sec.size > 2 * len(_COUNTER_FIELDS):
         raise CheckpointError("checkpoint: counter section has wrong size")
@@ -317,12 +348,24 @@ def checkpoint_from_words(words: np.ndarray) -> Checkpoint:
     num_rams = int(header[6])
     num_deferred = int(header[7])
     batch = int(header[8])
-    if not 1 <= batch <= 64:
-        raise CheckpointError(f"checkpoint: invalid lane count {batch}")
+    if version >= CKPT_VERSION:
+        if header.size < 10:
+            raise CheckpointError("checkpoint: v3 header truncated")
+        words_k = int(header[9])
+    else:
+        words_k = 1  # v2 never carried multi-word planes
+    if words_k == 1:
+        if not 1 <= batch <= 64:
+            raise CheckpointError(f"checkpoint: invalid lane count {batch}")
+    elif words_k < 1 or words_k > MAX_LANE_WORDS or batch != words_k * WORD_LANES:
+        raise CheckpointError(
+            f"checkpoint: invalid lane geometry (batch {batch}, {words_k} words)"
+        )
     counters.lanes = batch
-    if state_sec.size < 2 * global_bits:
+    if state_sec.size < 2 * global_bits * words_k:
         raise CheckpointError("checkpoint: global state section truncated")
-    global_state = _u32_to_words(state_sec, global_bits)
+    flat = _u32_to_words(state_sec, global_bits * words_k)
+    global_state = flat if words_k == 1 else flat.reshape(global_bits, words_k)
     ram_arrays: list[np.ndarray] = []
     pos = 0
     for _ in range(num_rams):
@@ -341,16 +384,21 @@ def checkpoint_from_words(words: np.ndarray) -> Checkpoint:
         count = int(deferred_sec[pos])
         gidx = deferred_sec[pos + 1 : pos + 1 + count].astype(np.int64)
         pos += 1 + count
-        has_mask, mask_lo, mask_hi = (
-            int(deferred_sec[pos]),
-            deferred_sec[pos + 1],
-            deferred_sec[pos + 2],
-        )
-        mask = np.uint64(_from_pair(mask_lo, mask_hi)) if has_mask else None
-        pos += 3
-        values = _u32_to_words(deferred_sec[pos : pos + 2 * count], count)
+        has_mask = int(deferred_sec[pos])
+        pos += 1
+        mask_plane = _u32_to_words(deferred_sec[pos : pos + 2 * words_k], words_k)
+        pos += 2 * words_k
+        mask: np.uint64 | np.ndarray | None
+        if not has_mask:
+            mask = None
+        elif words_k == 1:
+            mask = np.uint64(mask_plane[0])
+        else:
+            mask = mask_plane
+        flat_vals = _u32_to_words(deferred_sec[pos : pos + 2 * count * words_k], count * words_k)
+        values = flat_vals if words_k == 1 else flat_vals.reshape(count, words_k)
         deferred.append((gidx, values, mask))
-        pos += 2 * count
+        pos += 2 * count * words_k
     return Checkpoint(
         cycle=cycle,
         program_digest=digest,
@@ -358,6 +406,7 @@ def checkpoint_from_words(words: np.ndarray) -> Checkpoint:
         ram_arrays=ram_arrays,
         counters=counters,
         batch=batch,
+        words=words_k,
         deferred=deferred,
     )
 
@@ -533,6 +582,7 @@ class CheckpointManager:
                 "size": os.path.getsize(path),
                 "crc32": crc,
                 "batch": interp.batch,
+                "words": interp.engine.words,
                 "program_digest": interp.program.digest(),
             }
         )

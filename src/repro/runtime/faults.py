@@ -98,12 +98,18 @@ class FaultInjector:
         upset (default: a random active lane), modelling an SEU that hits
         one simulated instance of a batched run.
         """
-        index = self.rng.randrange(interp.global_state.size)
+        index = self.rng.randrange(interp.global_state.shape[0])
         if lane is None:
             lane = self.rng.randrange(interp.batch) if interp.batch > 1 else 0
-        interp.global_state[index] = np.uint64(
-            int(interp.global_state[index]) ^ (1 << lane)
-        )
+        word, bit = interp.engine.lane_coords(lane)
+        if interp.global_state.ndim == 2:
+            interp.global_state[index, word] = np.uint64(
+                int(interp.global_state[index, word]) ^ (1 << bit)
+            )
+        else:
+            interp.global_state[index] = np.uint64(
+                int(interp.global_state[index]) ^ (1 << bit)
+            )
         return self._register(
             FaultRecord(
                 kind="state", location=f"global bit {index} lane {lane}", cycle=cycle

@@ -107,10 +107,7 @@ def state_digest_lanes(interp: GemInterpreter) -> list[int]:
     lanes are quarantined (the whole-word digest is then unusable).
     """
     batch = interp.batch
-    shifts = np.arange(batch, dtype=np.uint64)
-    planes = (
-        (interp.global_state[:, None] >> shifts[None, :]) & np.uint64(1)
-    ).astype(np.uint8)
+    planes = interp.engine.bit_planes(interp.global_state)
     digests = []
     for lane in range(batch):
         h = zlib.crc32(np.packbits(planes[:, lane], bitorder="little").tobytes())
@@ -260,6 +257,7 @@ class Supervisor:
         shadow: str | Callable[[], Steppable] | None = "redundant",
         batch: int = 1,
         engine_mode: str = "fused",
+        backend: str | None = None,
         profile: bool = False,
         max_retries: int = 3,
         backoff_base: float = 0.0,
@@ -279,6 +277,7 @@ class Supervisor:
         self.shadow_mode = shadow
         self.batch = batch
         self.engine_mode = engine_mode
+        self.backend = backend
         self.profile = profile
         self.max_retries = max_retries
         self.backoff_base = backoff_base
@@ -301,7 +300,9 @@ class Supervisor:
         if self.shadow_mode is None:
             return None
         if self.shadow_mode == "redundant":
-            return self.design.simulator(batch=self.batch, mode=self.engine_mode)
+            return self.design.simulator(
+                batch=self.batch, mode=self.engine_mode, backend=self.backend
+            )
         return self.shadow_mode()
 
     def _make_fallback(self) -> Steppable:
@@ -403,7 +404,10 @@ class Supervisor:
         stimuli = [dict(vec) for vec in stimuli]
         events: list[str] = []
         primary = self.design.simulator(
-            batch=self.batch, mode=self.engine_mode, profile=self.profile
+            batch=self.batch,
+            mode=self.engine_mode,
+            backend=self.backend,
+            profile=self.profile,
         )
         shadow = self._make_shadow()
         start = 0

@@ -417,3 +417,110 @@ class TestBatchedCosim:
                 design.simulator(batch=2),
                 streams,
             )
+
+
+class TestLanePlanes:
+    """Multi-word lane planes: batch = K×64 (docs/ENGINE.md §7)."""
+
+    def test_validation_typing_and_messages(self):
+        from repro.core.engine import MAX_LANE_WORDS, validate_batch
+        from repro.errors import GemError, LaneConfigError
+
+        # non-positive: typed GemError, verbatim historical message
+        with pytest.raises(LaneConfigError, match=r"batch must be in \[1, 64\], got 0"):
+            ExecutionEngine(0)
+        with pytest.raises(GemError):
+            ExecutionEngine(-3)
+        # 65 is still rejected: not a whole number of 64-lane words
+        with pytest.raises(LaneConfigError, match="whole number"):
+            ExecutionEngine(WORD_LANES + 1)
+        with pytest.raises(LaneConfigError, match="lane-plane limit"):
+            validate_batch((MAX_LANE_WORDS + 1) * WORD_LANES)
+        assert validate_batch(64) == 1
+        assert validate_batch(256) == 4
+        assert validate_batch(4096) == 64
+
+    def test_engine_geometry(self):
+        eng = ExecutionEngine(256)
+        assert eng.words == 4
+        assert eng.zeros(5).shape == (5, 4)
+        assert eng.lane_coords(0) == (0, 0)
+        assert eng.lane_coords(70) == (1, 6)
+        assert int(eng.lane_mask) == 0xFFFFFFFFFFFFFFFF
+
+    def test_pack_unpack_roundtrip_multiword(self):
+        rng = np.random.default_rng(3)
+        eng = ExecutionEngine(192)
+        values = [int(v) for v in rng.integers(0, 1 << 20, 192)]
+        words = eng.pack_lanes(values, 20)
+        assert words.shape == (20, 3)
+        for lane, value in enumerate(values):
+            assert eng.lane_int(words, lane) == value
+
+    def test_quarantine_is_lane_exact(self):
+        eng = ExecutionEngine(256)
+        eng.quarantine_lanes([3, 70, 255])
+        bits = eng.lane_bits(eng.quarantined)
+        assert sorted(np.nonzero(bits)[0].tolist()) == [3, 70, 255]
+        eng.clear_quarantine()
+        assert not eng.lane_bits(eng.quarantined).any()
+
+    @pytest.mark.parametrize("mode", ["fused", "legacy"])
+    @pytest.mark.parametrize("batch", [128, 256])
+    def test_plane_batch_matches_stacked_batch64(self, memory_design, mode, batch):
+        """A K-word run is bit-identical to K independent batch-64 runs
+        over the same lane streams — the tentpole's acceptance check."""
+        circuit, design = memory_design
+        cycles = 10
+        streams = lane_vectors(circuit, batch, cycles, seed=17)
+        big = design.simulator(batch=batch, mode=mode)
+        big_rows = big.run_lanes([[s[c] for s in streams] for c in range(cycles)])
+        for word in range(batch // WORD_LANES):
+            lo = word * WORD_LANES
+            small = design.simulator(batch=WORD_LANES, mode=mode)
+            small_rows = small.run_lanes(
+                [[s[c] for s in streams[lo : lo + WORD_LANES]] for c in range(cycles)]
+            )
+            for cycle in range(cycles):
+                assert big_rows[cycle][lo : lo + WORD_LANES] == small_rows[cycle]
+
+    def test_batch_1024_spot_check_fused(self, memory_design):
+        """1024 lanes (K=16): lane k of word w matches the stacked run."""
+        circuit, design = memory_design
+        cycles = 6
+        batch = 1024
+        streams = lane_vectors(circuit, batch, cycles, seed=23)
+        big = design.simulator(batch=batch)
+        big_rows = big.run_lanes([[s[c] for s in streams] for c in range(cycles)])
+        for word in (0, 7, 15):  # first, middle, last plane word
+            lo = word * WORD_LANES
+            small = design.simulator(batch=WORD_LANES)
+            small_rows = small.run_lanes(
+                [[s[c] for s in streams[lo : lo + WORD_LANES]] for c in range(cycles)]
+            )
+            for cycle in range(cycles):
+                assert big_rows[cycle][lo : lo + WORD_LANES] == small_rows[cycle]
+
+    def test_quarantined_plane_run_stays_lane_exact(self, memory_design):
+        """Quarantining lanes across plane words leaves every healthy
+        lane bit-identical to a clean run, and two identically
+        quarantined runs agree everywhere (the scrub-digest contract)."""
+        circuit, design = memory_design
+        cycles = 8
+        streams = lane_vectors(circuit, 128, cycles, seed=41)
+        vecs = [[s[c] for s in streams] for c in range(cycles)]
+        clean = design.simulator(batch=128)
+        clean_rows = clean.run_lanes(vecs)
+        dirty = design.simulator(batch=128)
+        dirty.quarantine_lanes([5, 100])
+        assert dirty.quarantined_lanes == [5, 100]
+        dirty_rows = dirty.run_lanes(vecs)
+        for cycle in range(cycles):
+            for lane in range(128):
+                if lane not in (5, 100):
+                    assert dirty_rows[cycle][lane] == clean_rows[cycle][lane]
+        shadow = design.simulator(batch=128, mode="legacy")
+        shadow.quarantine_lanes([5, 100])
+        shadow_rows = shadow.run_lanes(vecs)
+        assert np.array_equal(dirty.global_state, shadow.global_state)
+        assert shadow_rows == dirty_rows
