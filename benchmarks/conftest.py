@@ -59,6 +59,9 @@ def write_run_reports(experiment_id: str, rows: list[dict]) -> list[str]:
         )
         backend_tag = row.get("backend")
         suffix = f"_{backend_tag}" if backend_tag and backend_tag != "numpy" else ""
+        config_tag = row.get("config")
+        if config_tag and config_tag != "default":
+            suffix += f"_{config_tag}"
         name = (
             f"{experiment_id}_{report.design}_{report.engine_mode}"
             f"_b{report.batch}{suffix}.json"

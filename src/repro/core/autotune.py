@@ -1,0 +1,534 @@
+"""Compile-time autotuner: knob sweep + SA placement refinement (docs/TUNING.md).
+
+Simulation speed in GEM is decided at compile time — layers × stages ×
+partitions fix the per-cycle work — so this module closes the loop from
+:mod:`repro.core.perfmodel` back to the compile knobs:
+
+1. **Knob sweep** — a deterministic grid over :class:`KnobSpace` dimensions
+   (gates_per_partition, stage count, merge aggressiveness, depth-opt,
+   boomerang tree height, SA refinement budget) is compiled candidate by
+   candidate and scored with the cheap analytical
+   :func:`repro.core.perfmodel.tuning_score` filter.
+2. **Measured finalists** — the top-k analytical candidates (the default
+   config always rides along) get a short measured batch=1 fused
+   ``cycles_per_s`` run; the measured winner must beat the default by a
+   margin (``min_gain``) or the default is kept.  With
+   ``measure_cycles=0`` the sweep is model-only and fully deterministic.
+3. **Tuning cache** — the winning knobs are stored as JSON keyed by the
+   design's structural CRC + knob-space digest + autotune options, so the
+   search runs once per (design, space) and every later compile is a
+   cache hit (``gem_tune_cache_hits_total``).
+
+Everything is seeded (`AutotuneConfig.seed`) and wall-clock-free except the
+explicit measurement phase, so the *selection* is reproducible bit-for-bit
+across processes; see ``tests/test_regressions.py``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+import os
+import random
+import time
+from dataclasses import asdict, dataclass, field, replace
+from typing import Callable
+
+import numpy as np
+
+from repro.core.compiler import CompiledDesign, GemCompiler, GemConfig
+from repro.core.perfmodel import tuning_score
+from repro.core.synthesis import SynthesisResult
+from repro.errors import UnmappableError
+from repro.obs.metrics import REGISTRY
+from repro.obs.trace import TRACER
+
+__all__ = [
+    "AutotuneConfig",
+    "AutotuneResult",
+    "CandidateResult",
+    "KnobSpace",
+    "apply_knobs",
+    "autotune",
+    "design_crc",
+]
+
+CACHE_VERSION = 1
+DEFAULT_TUNE_DIR = ".gem_tune"
+
+
+def default_tune_dir() -> str:
+    """Tuning-cache directory (``GEM_TUNE_DIR`` env override)."""
+    return os.environ.get("GEM_TUNE_DIR", DEFAULT_TUNE_DIR)
+
+
+def design_crc(synth: SynthesisResult) -> str:
+    """Structural CRC of a synthesized design (the tuning-cache identity).
+
+    Hashes the E-AIG parallel arrays plus the word-level I/O binding, so two
+    structurally identical synthesis results share tuning state while any
+    netlist change invalidates it.  Independent of PYTHONHASHSEED.
+    """
+    eaig = synth.eaig
+    h = hashlib.sha256()
+    h.update(np.asarray([int(k) for k in eaig.kind], dtype=np.int64).tobytes())
+    h.update(np.asarray(eaig.fanin0, dtype=np.int64).tobytes())
+    h.update(np.asarray(eaig.fanin1, dtype=np.int64).tobytes())
+    h.update(np.asarray(eaig.aux, dtype=np.int64).tobytes())
+    h.update(repr(eaig.pis).encode())
+    h.update(repr(eaig.ffs).encode())
+    h.update(repr(eaig.outputs).encode())
+    for ram in eaig.rams:
+        h.update(repr(ram).encode())
+    h.update(repr(sorted(synth.input_bits.items())).encode())
+    h.update(repr(sorted(synth.output_bits.items())).encode())
+    return h.hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class KnobSpace:
+    """The swept GemConfig dimensions (each a tuple of values to try).
+
+    The cross product of all dimensions, in field order, is the candidate
+    grid; :class:`AutotuneConfig.budget` subsamples it deterministically.
+    The base config itself is always candidate 0 (knobs ``{}``).
+    """
+
+    gates_per_partition: tuple[int, ...] = (3072, 6144, 8192)
+    num_stages: tuple[int | None, ...] = (None, 1)
+    overpartition: tuple[float, ...] = (1.5,)
+    #: depth-opt on/off (only effective when the autotuner synthesizes per
+    #: candidate, i.e. a synth *provider* was given — see :func:`autotune`)
+    optimize: tuple[bool, ...] = (True,)
+    #: boomerang tree height (2^w leaf bits per layer)
+    width_log2: tuple[int, ...] = (13,)
+    #: Algorithm 1 merge-candidate cap (None = unlimited)
+    merge_limit: tuple[int | None, ...] = (None,)
+    #: simulated-annealing placement refinement budget per partition
+    sa_iterations: tuple[int, ...] = (0, 12)
+
+    def digest(self) -> str:
+        payload = json.dumps(asdict(self), sort_keys=True, default=repr)
+        return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+    def grid(self) -> list[dict]:
+        """Every knob combination, in deterministic field order."""
+        dims = list(asdict(self).items())
+        out = []
+        for combo in itertools.product(*(values for _, values in dims)):
+            out.append({k: v for (k, _), v in zip(dims, combo)})
+        return out
+
+
+def apply_knobs(base: GemConfig, knobs: dict) -> GemConfig:
+    """A fresh GemConfig: ``base`` with ``knobs`` overriding its dimensions."""
+    partition = replace(
+        base.partition,
+        gates_per_partition=knobs.get(
+            "gates_per_partition", base.partition.gates_per_partition
+        ),
+        num_stages=knobs.get("num_stages", base.partition.num_stages),
+        overpartition=knobs.get("overpartition", base.partition.overpartition),
+    )
+    boomerang = replace(
+        base.boomerang, width_log2=knobs.get("width_log2", base.boomerang.width_log2)
+    )
+    refine = replace(
+        base.refine, iterations=knobs.get("sa_iterations", base.refine.iterations)
+    )
+    return GemConfig(
+        synthesis=base.synthesis,
+        partition=partition,
+        boomerang=boomerang,
+        optimize=knobs.get("optimize", base.optimize),
+        max_partition_retries=base.max_partition_retries,
+        refine=refine,
+        merge_limit=knobs.get("merge_limit", base.merge_limit),
+    )
+
+
+@dataclass
+class AutotuneConfig:
+    """Search budget and scoring policy of one autotune run."""
+
+    #: max candidates compiled (grid is subsampled deterministically)
+    budget: int = 8
+    #: analytical finalists that get a measured run (default always rides)
+    top_k: int = 3
+    #: measured run length per finalist; 0 = model-only (fully deterministic)
+    measure_cycles: int = 24
+    #: best-of repeats per measured finalist (shields against host noise)
+    repeats: int = 3
+    seed: int = 0
+    #: measured/model winner must beat the default by this fraction
+    min_gain: float = 0.05
+    #: tuning-cache directory (None → GEM_TUNE_DIR / .gem_tune)
+    cache_dir: str | None = None
+
+    def key_dict(self) -> dict:
+        return {
+            "budget": self.budget,
+            "top_k": self.top_k,
+            "measure_cycles": self.measure_cycles,
+            "repeats": self.repeats,
+            "seed": self.seed,
+            "min_gain": self.min_gain,
+        }
+
+
+@dataclass
+class CandidateResult:
+    """One evaluated knob combination."""
+
+    knobs: dict
+    digest: str  # GemConfig.digest() of the applied candidate
+    status: str  # "ok" | "unmappable" | "error"
+    score: dict | None = None  # perfmodel.tuning_score breakdown
+    measured_cycles_per_s: float | None = None
+    compile_s: float = 0.0
+    error: str = ""
+
+    @property
+    def model_hz(self) -> float:
+        return float(self.score["model_hz"]) if self.score else 0.0
+
+
+@dataclass
+class AutotuneResult:
+    """The winning config plus the full audit trail of the search."""
+
+    design: str
+    crc: str
+    space_digest: str
+    base_digest: str
+    key: str
+    seed: int
+    winner_knobs: dict
+    winner_digest: str
+    winner_label: str  # "default" | "tuned"
+    cache_hit: bool
+    cache_path: str | None
+    candidates: list[CandidateResult] = field(default_factory=list)
+    default_measured: float | None = None
+    winner_measured: float | None = None
+
+    def winning_config(self, base: GemConfig | None = None) -> GemConfig:
+        return apply_knobs(base or GemConfig(), self.winner_knobs)
+
+    @property
+    def measured_gain(self) -> float | None:
+        if self.default_measured and self.winner_measured:
+            return self.winner_measured / self.default_measured
+        return None
+
+    def to_payload(self) -> dict:
+        return {
+            "version": CACHE_VERSION,
+            "design": self.design,
+            "crc": self.crc,
+            "space_digest": self.space_digest,
+            "base_digest": self.base_digest,
+            "key": self.key,
+            "seed": self.seed,
+            "winner_knobs": self.winner_knobs,
+            "winner_digest": self.winner_digest,
+            "winner_label": self.winner_label,
+            "default_measured": self.default_measured,
+            "winner_measured": self.winner_measured,
+            "candidates": [asdict(c) for c in self.candidates],
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict, cache_path: str) -> "AutotuneResult":
+        return cls(
+            design=payload["design"],
+            crc=payload["crc"],
+            space_digest=payload["space_digest"],
+            base_digest=payload["base_digest"],
+            key=payload["key"],
+            seed=payload["seed"],
+            winner_knobs=payload["winner_knobs"],
+            winner_digest=payload["winner_digest"],
+            winner_label=payload["winner_label"],
+            cache_hit=True,
+            cache_path=cache_path,
+            candidates=[CandidateResult(**c) for c in payload.get("candidates", ())],
+            default_measured=payload.get("default_measured"),
+            winner_measured=payload.get("winner_measured"),
+        )
+
+
+def _tune_key(crc: str, space: KnobSpace, base: GemConfig, opts: AutotuneConfig) -> str:
+    payload = json.dumps(
+        {
+            "crc": crc,
+            "space": space.digest(),
+            "base": base.digest(),
+            "opts": opts.key_dict(),
+            "version": CACHE_VERSION,
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+
+def _counter(name: str, help: str, **labels):
+    return REGISTRY.counter(name, help=help, labels=labels or None)
+
+
+def _load_cache(path: str, key: str) -> dict | None:
+    try:
+        with open(path) as f:
+            payload = json.load(f)
+    except (OSError, ValueError):
+        return None
+    if payload.get("version") != CACHE_VERSION or payload.get("key") != key:
+        return None
+    return payload
+
+
+def _knob_sort_key(knobs: dict) -> str:
+    return json.dumps(knobs, sort_keys=True, default=repr)
+
+
+def _choose_candidates(
+    space: KnobSpace, base: GemConfig, opts: AutotuneConfig
+) -> list[tuple[str, dict]]:
+    """``[(label, knobs)]``: the base first, then a budgeted grid sample."""
+    base_digest = base.digest()
+    chosen: list[tuple[str, dict]] = [("default", {})]
+    seen = {base_digest}
+    grid = []
+    for knobs in space.grid():
+        digest = apply_knobs(base, knobs).digest()
+        if digest in seen:
+            continue
+        seen.add(digest)
+        grid.append(knobs)
+    budget = max(0, opts.budget - 1)  # slot 0 is the default
+    if len(grid) > budget:
+        rng = random.Random(opts.seed * 2_654_435_761 + len(grid))
+        grid = sorted(rng.sample(grid, budget), key=_knob_sort_key)
+    chosen.extend((_knob_sort_key(k), k) for k in grid)
+    return chosen
+
+
+def _measure_once(design: CompiledDesign, vecs: list[dict]) -> float:
+    sim = design.simulator(batch=1, mode="fused")
+    for vec in vecs[:2]:  # first-touch decode/fusion outside the timer
+        sim.step(vec)
+    t0 = time.perf_counter()
+    for vec in vecs:
+        sim.step(vec)
+    elapsed = max(time.perf_counter() - t0, 1e-9)
+    return len(vecs) / elapsed
+
+
+def autotune(
+    design_input: SynthesisResult | Callable[[GemConfig], SynthesisResult],
+    stimuli: list[dict] | None = None,
+    *,
+    name: str | None = None,
+    base: GemConfig | None = None,
+    space: KnobSpace | None = None,
+    opts: AutotuneConfig | None = None,
+    compile_fn: Callable[[GemConfig], CompiledDesign] | None = None,
+) -> AutotuneResult:
+    """Find (or recall) the best GemConfig for one design.
+
+    ``design_input`` is either a ready :class:`SynthesisResult` (synthesis
+    knobs like ``optimize`` are then inert — every candidate reuses the same
+    netlist) or a provider called as ``provider(config)`` so candidates with
+    different synthesis knobs get their own netlist (the runner passes its
+    config-keyed ``design_synth``).  ``stimuli`` feeds the measured phase;
+    without it (or with ``measure_cycles=0``) selection is model-only.
+    ``compile_fn`` overrides how a candidate config becomes a
+    :class:`CompiledDesign` — the runner passes its disk-cached
+    ``compile_design`` so tuning also warms the compile cache.
+    """
+    base = base or GemConfig()
+    space = space or KnobSpace()
+    opts = opts or AutotuneConfig()
+    if callable(design_input):
+        provider = design_input
+    else:
+        synth_fixed = design_input
+
+        def provider(_config: GemConfig) -> SynthesisResult:
+            return synth_fixed
+
+    if compile_fn is None:
+
+        def compile_fn(config: GemConfig) -> CompiledDesign:
+            return GemCompiler(config).compile(provider(config))
+
+    base_synth = provider(base)
+    design = name or base_synth.eaig.name
+    crc = design_crc(base_synth)
+    key = _tune_key(crc, space, base, opts)
+    cache_dir = opts.cache_dir or default_tune_dir()
+    cache_path = os.path.join(cache_dir, f"{design}-{key[:12]}.json")
+
+    cached = _load_cache(cache_path, key)
+    if cached is not None:
+        _counter(
+            "gem_tune_cache_hits_total", "tuning-cache hits (no sweep re-run)"
+        ).inc()
+        return AutotuneResult.from_payload(cached, cache_path)
+    _counter("gem_tune_cache_misses_total", "tuning-cache misses (sweep runs)").inc()
+
+    chosen = _choose_candidates(space, base, opts)
+    records: list[CandidateResult] = []
+    compiled: dict[str, CompiledDesign] = {}
+
+    with TRACER.span(
+        f"tune:{design}",
+        cat="tune",
+        args={"crc": crc, "candidates": len(chosen), "seed": opts.seed},
+    ):
+        for label, knobs in chosen:
+            config = apply_knobs(base, knobs)
+            digest = config.digest()
+            _counter("gem_tune_candidates_total", "knob candidates evaluated").inc()
+            t0 = time.perf_counter()
+            try:
+                with TRACER.span(
+                    f"tune:compile:{design}",
+                    cat="tune",
+                    args={"digest": digest, "knobs": label},
+                ):
+                    candidate = compile_fn(config)
+            except UnmappableError as exc:
+                _counter(
+                    "gem_tune_unmappable_total", "candidates rejected as unmappable"
+                ).inc()
+                records.append(
+                    CandidateResult(
+                        knobs=knobs,
+                        digest=digest,
+                        status="unmappable",
+                        compile_s=time.perf_counter() - t0,
+                        error=str(exc),
+                    )
+                )
+                continue
+            except Exception as exc:
+                # A sweep probes corners of the knob space the rest of the
+                # flow has never seen (e.g. width_log2=14 currently dies in
+                # assembly) — record the crash against the candidate and
+                # keep sweeping rather than losing the whole search.
+                _counter(
+                    "gem_tune_errors_total", "candidates crashed during compile"
+                ).inc()
+                records.append(
+                    CandidateResult(
+                        knobs=knobs,
+                        digest=digest,
+                        status="error",
+                        compile_s=time.perf_counter() - t0,
+                        error=f"{type(exc).__name__}: {exc}",
+                    )
+                )
+                continue
+            compiled[digest] = candidate
+            records.append(
+                CandidateResult(
+                    knobs=knobs,
+                    digest=digest,
+                    status="ok",
+                    score=tuning_score(candidate),
+                    compile_s=time.perf_counter() - t0,
+                )
+            )
+
+        ok = [r for r in records if r.status == "ok"]
+        if not ok:
+            raise UnmappableError(
+                f"autotune({design}): no mappable candidate in the knob space"
+            )
+        default_record = records[0]  # slot 0 is always the base config
+        if default_record.status != "ok":
+            raise UnmappableError(
+                f"autotune({design}): the base config itself failed "
+                f"({default_record.status}: {default_record.error})"
+            )
+
+        measure = opts.measure_cycles > 0 and stimuli is not None
+        if measure:
+            ranked = sorted(
+                ok, key=lambda r: (-r.model_hz, _knob_sort_key(r.knobs))
+            )
+            finalists = ranked[: max(1, opts.top_k)]
+            if default_record not in finalists:
+                finalists.append(default_record)
+            vecs = stimuli[: opts.measure_cycles]
+            if not vecs:
+                raise ValueError(
+                    "measurement requested but the stimulus list is empty"
+                )
+            # Round-robin the repeats across finalists (best-of per
+            # finalist): measuring one candidate's repeats back-to-back
+            # lets host frequency drift masquerade as a config effect,
+            # while interleaving puts every finalist through the same
+            # thermal window.
+            best: dict[str, float] = {r.digest: 0.0 for r in finalists}
+            for _ in range(max(1, opts.repeats)):
+                for record in finalists:
+                    with TRACER.span(
+                        f"tune:measure:{design}",
+                        cat="tune",
+                        args={"digest": record.digest},
+                    ):
+                        hz = _measure_once(compiled[record.digest], vecs)
+                    best[record.digest] = max(best[record.digest], hz)
+                    _counter(
+                        "gem_tune_measurements_total", "measured finalist runs"
+                    ).inc()
+            for record in finalists:
+                record.measured_cycles_per_s = best[record.digest]
+            winner = max(
+                finalists,
+                key=lambda r: (r.measured_cycles_per_s, _knob_sort_key(r.knobs)),
+            )
+            default_value = default_record.measured_cycles_per_s or 0.0
+            if (
+                winner is not default_record
+                and winner.measured_cycles_per_s < default_value * (1 + opts.min_gain)
+            ):
+                winner = default_record
+        else:
+            winner = max(ok, key=lambda r: (r.model_hz, _knob_sort_key(r.knobs)))
+            if (
+                winner is not default_record
+                and winner.model_hz < default_record.model_hz * (1 + opts.min_gain)
+            ):
+                winner = default_record
+
+    result = AutotuneResult(
+        design=design,
+        crc=crc,
+        space_digest=space.digest(),
+        base_digest=base.digest(),
+        key=key,
+        seed=opts.seed,
+        winner_knobs=winner.knobs,
+        winner_digest=winner.digest,
+        winner_label="default" if winner is default_record else "tuned",
+        cache_hit=False,
+        cache_path=cache_path,
+        candidates=records,
+        default_measured=default_record.measured_cycles_per_s,
+        winner_measured=winner.measured_cycles_per_s,
+    )
+    gain = result.measured_gain
+    if gain is not None:
+        REGISTRY.gauge(
+            "gem_tune_best_gain", help="measured winner/default cycles_per_s ratio"
+        ).set(gain)
+    os.makedirs(cache_dir, exist_ok=True)
+    tmp = cache_path + ".tmp"
+    with open(tmp, "w") as f:
+        json.dump(result.to_payload(), f, indent=2, sort_keys=True)
+    os.replace(tmp, cache_path)
+    return result

@@ -83,6 +83,9 @@ class ProgramMeta:
     #: E-AIG node -> global bit index (PIs, FFs, RAM read bits, cut values)
     node_gidx: dict[int, int]
     stage_partition_counts: list[int]
+    #: GemConfig.digest() of the compile that produced this program ("" when
+    #: assembled outside the GemCompiler flow or loaded from an old cache)
+    config_digest: str = ""
 
 
 @dataclass
@@ -242,9 +245,12 @@ def assemble_partition(
     return code
 
 
-def assemble(eaig: EAIG, synth: SynthesisResult, merge: MergeResult) -> GemProgram:
+def assemble(
+    eaig: EAIG, synth: SynthesisResult, merge: MergeResult, config_digest: str = ""
+) -> GemProgram:
     """Assemble the complete program for a compiled design."""
     meta = allocate_global_state(eaig, merge, synth)
+    meta.config_digest = config_digest
     # Partition order is stage-major: all stage-0 blocks, then stage-1, ...
     if TRACER.enabled:
         codes = []

@@ -21,7 +21,9 @@ Typical use::
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field, replace
 
 from repro.core.bitstream import GemProgram, assemble
 from repro.core.boomerang import BoomerangConfig
@@ -29,6 +31,7 @@ from repro.core.depth_opt import optimize as depth_optimize
 from repro.core.interpreter import GemInterpreter
 from repro.core.merging import MergeResult, merge_partitions
 from repro.core.partition import PartitionConfig, PartitionPlan, partition_design
+from repro.core.placement import RefineConfig
 from repro.core.synthesis import SynthesisConfig, SynthesisResult, synthesize
 from repro.errors import UnmappableError
 from repro.obs.trace import TRACER
@@ -47,10 +50,28 @@ class GemConfig:
     #: halve gates_per_partition and retry when a base partition is
     #: unmappable (the paper's flow tunes partition granularity similarly)
     max_partition_retries: int = 3
+    #: simulated-annealing placement refinement (iterations=0 disables)
+    refine: RefineConfig = field(default_factory=RefineConfig)
+    #: Algorithm 1 aggressiveness: max merge candidates probed per base
+    #: partition (None = unlimited, 0 = no merging)
+    merge_limit: int | None = None
 
     def __post_init__(self) -> None:
         # The partitioner's width budget must match the processor's state.
         self.partition.width = self.boomerang.state_size
+
+    def knob_dict(self) -> dict:
+        """Canonical JSON-friendly dump of every effective knob.
+
+        This (not ``repr``) is the identity of a compile: cache keys and
+        bitstream metadata derive from it via :meth:`digest`.
+        """
+        return asdict(self)
+
+    def digest(self) -> str:
+        """Stable hex digest of the effective knobs (sorted-key JSON)."""
+        payload = json.dumps(self.knob_dict(), sort_keys=True, default=repr)
+        return hashlib.sha256(payload.encode()).hexdigest()[:16]
 
 
 @dataclass
@@ -70,6 +91,8 @@ class CompileReport:
     mean_utilization: float
     ram_blocks: int
     ffs: int
+    #: digest of the GemConfig that produced this bitstream ("" = unknown)
+    config_digest: str = ""
 
     def row(self) -> dict:
         return {
@@ -161,9 +184,18 @@ class GemCompiler:
                 with TRACER.span(
                     "placement",
                     cat="compile",
-                    args={"partitions": plan.num_partitions},
+                    args={
+                        "partitions": plan.num_partitions,
+                        "sa_iterations": config.refine.iterations,
+                    },
                 ):
-                    merge = merge_partitions(eaig, plan, config.boomerang)
+                    merge = merge_partitions(
+                        eaig,
+                        plan,
+                        config.boomerang,
+                        refine=config.refine,
+                        merge_limit=config.merge_limit,
+                    )
                 break
             except UnmappableError:
                 pconfig = replace(
@@ -175,10 +207,11 @@ class GemCompiler:
                 f"{pconfig.gates_per_partition} gates per partition"
             )
 
+        config_digest = config.digest()
         with TRACER.span(
             "bitstream", cat="compile", args={"partitions": merge.plan.num_partitions}
         ):
-            program = assemble(eaig, synth, merge)
+            program = assemble(eaig, synth, merge, config_digest=config_digest)
         report = CompileReport(
             name=eaig.name,
             gates=eaig.num_gates(),
@@ -191,6 +224,7 @@ class GemCompiler:
             mean_utilization=merge.mean_utilization(),
             ram_blocks=len(eaig.rams),
             ffs=len(eaig.ffs),
+            config_digest=config_digest,
         )
         return CompiledDesign(synth=synth, plan=plan, merge=merge, program=program, report=report)
 

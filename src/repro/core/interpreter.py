@@ -256,7 +256,17 @@ class GemInterpreter:
         num_rams = int(words[6])
         stage_counts = [int(words[8 + s]) for s in range(num_stages)]
         table_base = 8 + num_stages
-        cache_key = (program.digest(), int(words.size), batch)
+        # The 32-bit words CRC alone is a weak identity: two compiles of the
+        # same circuit under different GemConfig knobs can, in principle,
+        # collide.  Folding the config digest in keys tuned and default
+        # decodes of one design independently (getattr: old pickled caches
+        # predate the field).
+        cache_key = (
+            program.digest(),
+            getattr(program.meta, "config_digest", ""),
+            int(words.size),
+            batch,
+        )
         cached = _DECODE_CACHE.get(cache_key)
         if cached is not None:
             _DECODE_STATS["hits"] += 1

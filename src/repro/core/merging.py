@@ -25,7 +25,13 @@ from dataclasses import dataclass
 from repro.core.boomerang import BoomerangConfig
 from repro.core.eaig import EAIG
 from repro.core.partition import PartitionPlan, PartitionSpec, compute_sources
-from repro.core.placement import PlacedPartition, UnmappableError, place_partition
+from repro.core.placement import (
+    PlacedPartition,
+    RefineConfig,
+    UnmappableError,
+    place_partition,
+    placement_cost,
+)
 
 
 @dataclass
@@ -72,19 +78,37 @@ def merge_partitions(
     eaig: EAIG,
     plan: PartitionPlan,
     config: BoomerangConfig | None = None,
+    refine: RefineConfig | None = None,
+    merge_limit: int | None = None,
 ) -> MergeResult:
-    """Run Algorithm 1 on every stage of ``plan``."""
+    """Run Algorithm 1 on every stage of ``plan``.
+
+    ``merge_limit`` caps how many merge candidates each base partition may
+    probe (Algorithm 1 line 4) — the merge-aggressiveness knob: ``0``
+    disables merging, ``None`` probes every overlap candidate as before.
+
+    ``refine`` (iterations > 0) runs the simulated-annealing placement
+    refinement *after* merging settles, re-placing only the final surviving
+    partitions — the probe placements stay cheap and the SA budget is spent
+    exactly once per shipped partition.  A refined placement is only adopted
+    when it strictly improves :func:`repro.core.placement.placement_cost`.
+    """
     config = config or BoomerangConfig()
     before = plan.num_partitions
     new_stages: list[list[PartitionSpec]] = []
     placements: list[PlacedPartition] = []
 
     for stage_specs in plan.stages:
-        merged_stage, stage_placements = _merge_stage(eaig, stage_specs, config)
+        merged_stage, stage_placements = _merge_stage(
+            eaig, stage_specs, config, merge_limit
+        )
         for index, spec in enumerate(merged_stage):
             spec.index = index
         new_stages.append(merged_stage)
         placements.extend(stage_placements)
+
+    if refine is not None and refine.iterations > 0:
+        placements = [_refine_placement(eaig, p, config, refine) for p in placements]
 
     merged_plan = PartitionPlan(
         eaig=eaig,
@@ -103,8 +127,21 @@ def merge_partitions(
     )
 
 
+def _refine_placement(
+    eaig: EAIG,
+    placed: PlacedPartition,
+    config: BoomerangConfig,
+    refine: RefineConfig,
+) -> PlacedPartition:
+    refined = place_partition(eaig, placed.spec, config, refine=refine)
+    return refined if placement_cost(refined) < placement_cost(placed) else placed
+
+
 def _merge_stage(
-    eaig: EAIG, specs: list[PartitionSpec], config: BoomerangConfig
+    eaig: EAIG,
+    specs: list[PartitionSpec],
+    config: BoomerangConfig,
+    merge_limit: int | None = None,
 ) -> tuple[list[PartitionSpec], list[PlacedPartition]]:
     """Algorithm 1 within one stage."""
     alive: dict[int, PartitionSpec] = dict(enumerate(specs))
@@ -124,6 +161,8 @@ def _merge_stage(
             (j for j in alive if j not in visited),
             key=lambda j: -len(node_sets[i] & node_sets[j]),
         )
+        if merge_limit is not None:
+            candidates = candidates[:merge_limit]
         for j in candidates:
             if j not in alive:
                 continue

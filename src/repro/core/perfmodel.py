@@ -167,6 +167,31 @@ def gem_speed(design_or_metrics: CompiledDesign | GemMetrics, gpu: GpuProfile = 
     return 1.0 / gem_cycle_time(metrics, gpu)
 
 
+def tuning_score(
+    design_or_metrics: CompiledDesign | GemMetrics, gpu: GpuProfile = A100
+) -> dict:
+    """Analytical scorecard used by :mod:`repro.core.autotune`.
+
+    The autotuner's cheap filter: rank every knob candidate by modelled
+    :func:`gem_speed` before spending wall clock measuring finalists.  The
+    breakdown fields make tuning-cache records self-describing (why a
+    candidate scored the way it did) without re-compiling the design.
+    """
+    metrics = (
+        design_or_metrics
+        if isinstance(design_or_metrics, GemMetrics)
+        else gem_metrics(design_or_metrics)
+    )
+    return {
+        "model_hz": gem_speed(metrics, gpu),
+        "stages": len([p for p in metrics.stage_partitions if p]),
+        "partitions": sum(metrics.stage_partitions),
+        "inst_words": metrics.inst_words,
+        "work_bits": sum(metrics.stage_work_bits),
+        "global_traffic": metrics.global_traffic,
+    }
+
+
 def gem_lane_throughput(
     design_or_metrics: CompiledDesign | GemMetrics,
     batch: int = 1,

@@ -26,6 +26,8 @@ is exactly what Algorithm 1 (:mod:`repro.core.merging`) probes.
 
 from __future__ import annotations
 
+import math
+import random
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -35,7 +37,61 @@ from repro.core.eaig import EAIG, NodeKind, lit_neg, lit_node
 from repro.core.partition import PartitionSpec
 from repro.errors import UnmappableError
 
-__all__ = ["PlacedPartition", "UnmappableError", "place_partition"]
+__all__ = [
+    "PlacedPartition",
+    "RefineConfig",
+    "UnmappableError",
+    "place_partition",
+    "placement_cost",
+]
+
+
+@dataclass(frozen=True)
+class RefineConfig:
+    """Simulated-annealing refinement of boomerang placement.
+
+    ``iterations == 0`` (the default) disables refinement entirely and keeps
+    :func:`place_partition` byte-identical to the unrefined pass.  All entropy
+    comes from ``seed`` plus the partition's coordinates — no wall clock, no
+    ``hash()`` — so the same seed reproduces the same placement bit-for-bit
+    across processes.
+
+    Each SA move perturbs the placement *inputs* rather than the placement
+    itself: a per-node jitter added to the Algorithm 2 criticality key
+    reorders which nodes claim tree positions first, and a per-node level
+    promotion places a node one tree level deeper than its local logic level
+    (pre-empting the stretch phase).  The full placement pass re-runs under
+    the perturbation; candidates are accepted on a layer-count +
+    writeback-traffic cost (see :func:`placement_cost`).
+    """
+
+    iterations: int = 0
+    seed: int = 0
+    #: initial temperature in layer-count units (wb traffic is fractional)
+    initial_temp: float = 0.5
+    cooling: float = 0.9
+    #: magnitude of the uniform criticality jitter per perturbed node
+    jitter: float = 1.5
+    #: probability a move toggles a level promotion instead of jittering
+    promote_prob: float = 0.25
+    #: fraction of the partition's nodes perturbed per move
+    move_frac: float = 0.125
+
+
+def placement_cost(placed: PlacedPartition) -> tuple[int, int, int]:
+    """(layers, writebacks, slots) — lexicographic placement quality.
+
+    Layer count dominates (each layer is a device-wide sync per cycle,
+    paper §III-D); writeback traffic breaks ties (each writeback is a
+    state-store the fused executor must scatter); slot footprint last.
+    """
+    writebacks = sum(len(wb) for layer in placed.layers for wb in layer.writebacks)
+    return (len(placed.layers), writebacks, placed.num_slots)
+
+
+def _scalar_cost(cost: tuple[int, int, int], config: BoomerangConfig) -> float:
+    layers, writebacks, _slots = cost
+    return layers + writebacks / (4.0 * config.width)
 
 
 @dataclass
@@ -236,19 +292,21 @@ class _LayerBuilder:
         return layer
 
 
-def place_partition(
+def _place_once(
     eaig: EAIG,
     spec: PartitionSpec,
-    config: BoomerangConfig | None = None,
-    timing_driven: bool = True,
+    config: BoomerangConfig,
+    timing_driven: bool,
+    bias: dict[int, float] | None = None,
+    promote: dict[int, int] | None = None,
 ) -> PlacedPartition:
-    """Algorithm 2: iterative multi-boomerang-layer mapping of one partition.
+    """One full Algorithm 2 pass, optionally under an SA perturbation.
 
-    ``timing_driven=False`` disables the criticality ordering (nodes are
-    picked in index order instead) — the A1 ablation of DESIGN.md, which
-    quantifies how much Algorithm 2's lines 7–8 reduce the layer count.
+    ``bias`` jitters the criticality sort key per node; ``promote`` lifts a
+    node's placement level above its local logic level (capped at the tree
+    height).  With both empty/None the pass is byte-identical to the
+    unperturbed placement.
     """
-    config = config or BoomerangConfig()
     slot_of: dict[int, int] = {}
     next_slot = 1  # slot 0 is the constant-0 slot
     for s in spec.sources:
@@ -317,10 +375,18 @@ def place_partition(
                 total += need.get(f, 1) if f in remaining else 1
             need[n] = total
 
+        if bias:
+            for n, b in bias.items():
+                if n in crit:
+                    crit[n] = crit[n] + b
+
         builder = _LayerBuilder(config)
         by_level: dict[int, list[int]] = {}
         for n in remaining:
-            by_level.setdefault(local[n], []).append(n)
+            lvl = local[n]
+            if promote and lvl <= config.width_log2:
+                lvl = min(config.width_log2, lvl + promote.get(n, 0))
+            by_level.setdefault(lvl, []).append(n)
         max_consecutive_failures = 20
         for level in range(1, config.width_log2 + 1):
             exact = sorted(by_level.get(level, ()), key=lambda n: -crit[n])
@@ -378,6 +444,92 @@ def place_partition(
     return PlacedPartition(
         spec=spec, config=config, layers=layers, slot_of=slot_of, num_slots=next_slot
     )
+
+
+def _refine_rng(refine: RefineConfig, spec: PartitionSpec) -> random.Random:
+    # Integer seed mixed from partition coordinates: int hashing is
+    # PYTHONHASHSEED-independent, so this reproduces across processes.
+    mix = (
+        refine.seed * 1_000_003
+        + spec.stage * 8_191
+        + spec.index * 131
+        + len(spec.nodes)
+    )
+    return random.Random(mix)
+
+
+def _neighbor(
+    bias: dict[int, float],
+    promote: dict[int, int],
+    nodes: list[int],
+    rng: random.Random,
+    refine: RefineConfig,
+) -> tuple[dict[int, float], dict[int, int]]:
+    bias = dict(bias)
+    promote = dict(promote)
+    moves = max(1, int(len(nodes) * refine.move_frac))
+    for _ in range(moves):
+        n = nodes[rng.randrange(len(nodes))]
+        if rng.random() < refine.promote_prob:
+            if n in promote:
+                del promote[n]
+            else:
+                promote[n] = 1
+        else:
+            bias[n] = rng.uniform(-refine.jitter, refine.jitter)
+    return bias, promote
+
+
+def place_partition(
+    eaig: EAIG,
+    spec: PartitionSpec,
+    config: BoomerangConfig | None = None,
+    timing_driven: bool = True,
+    refine: RefineConfig | None = None,
+) -> PlacedPartition:
+    """Algorithm 2: iterative multi-boomerang-layer mapping of one partition.
+
+    ``timing_driven=False`` disables the criticality ordering (nodes are
+    picked in index order instead) — the A1 ablation of DESIGN.md, which
+    quantifies how much Algorithm 2's lines 7–8 reduce the layer count.
+
+    ``refine`` (with ``iterations > 0``) runs a seeded simulated-annealing
+    loop on top of the greedy pass: each iteration re-places the partition
+    under a perturbed criticality ordering / level assignment and keeps the
+    best placement seen under :func:`placement_cost`.  The result is never
+    worse than the unrefined placement.
+    """
+    config = config or BoomerangConfig()
+    best = _place_once(eaig, spec, config, timing_driven)
+    if refine is None or refine.iterations <= 0:
+        return best
+
+    rng = _refine_rng(refine, spec)
+    best_cost = placement_cost(best)
+    cur_cost = _scalar_cost(best_cost, config)
+    bias: dict[int, float] = {}
+    promote: dict[int, int] = {}
+    nodes = sorted(spec.nodes)
+    temp = refine.initial_temp
+    for _ in range(refine.iterations):
+        cand_bias, cand_promote = _neighbor(bias, promote, nodes, rng, refine)
+        try:
+            cand = _place_once(
+                eaig, spec, config, timing_driven, bias=cand_bias, promote=cand_promote
+            )
+        except UnmappableError:
+            temp *= refine.cooling
+            continue
+        cand_cost = placement_cost(cand)
+        cand_scalar = _scalar_cost(cand_cost, config)
+        delta = cand_scalar - cur_cost
+        if delta <= 0 or rng.random() < math.exp(-delta / max(temp, 1e-9)):
+            bias, promote = cand_bias, cand_promote
+            cur_cost = cand_scalar
+            if cand_cost < best_cost:
+                best, best_cost = cand, cand_cost
+        temp *= refine.cooling
+    return best
 
 
 def is_mappable(eaig: EAIG, spec: PartitionSpec, config: BoomerangConfig | None = None) -> bool:

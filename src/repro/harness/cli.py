@@ -10,6 +10,7 @@ Usage (installed scripts or ``python -m repro.harness.cli``)::
     gem-perf show|diff|compare|validate-trace   # telemetry tooling
     gem-fuzz run|replay|corpus      # differential fuzzing (docs/FUZZING.md)
     gem-chaos [--seed N]            # chaos harness: injected crashes/hangs
+    gem-tune <design>               # compile-time autotuner (docs/TUNING.md)
 
 ``gem-run`` grows a resilience mode: ``--checkpoint-every N`` snapshots
 interpreter state every N cycles into ``--checkpoint-dir`` (CRC-sealed,
@@ -152,6 +153,30 @@ def main_run(argv: list[str] | None = None) -> int:
         help="quarantine a lane after it diverges in K consecutive recovery "
         "attempts (batched redundant runs; default 2)",
     )
+    tune = parser.add_argument_group("autotuning (docs/TUNING.md)")
+    tune.add_argument(
+        "--tune", action="store_true",
+        help="compile under the design's tuned GemConfig: runs (or recalls "
+        "from the tuning cache) the compile-time autotuner before executing",
+    )
+    tune.add_argument(
+        "--tune-cache", default=None, metavar="DIR",
+        help="tuning-cache directory (default: $GEM_TUNE_DIR or .gem_tune)",
+    )
+    tune.add_argument(
+        "--tune-budget", type=int, default=6, metavar="N",
+        help="max knob candidates compiled by the sweep (default 6)",
+    )
+    tune.add_argument(
+        "--tune-seed", type=int, default=0, help="autotuner seed (default 0)")
+    tune.add_argument(
+        "--tune-topk", type=int, default=3, metavar="K",
+        help="analytical finalists that get a measured run (default 3)",
+    )
+    tune.add_argument(
+        "--tune-cycles", type=int, default=24, metavar="N",
+        help="measured cycles per finalist; 0 = model-only selection (default 24)",
+    )
     obs = parser.add_argument_group("observability (docs/OBSERVABILITY.md)")
     obs.add_argument(
         "--trace-out", default=None, metavar="FILE",
@@ -175,6 +200,30 @@ def main_run(argv: list[str] | None = None) -> int:
         print(f"unknown workload {args.workload!r}; available: {', '.join(workloads)}")
         return 2
     wl = workloads[args.workload]
+    args.tuned_config = None
+    if args.tune:
+        from repro.core.autotune import AutotuneConfig
+        from repro.harness.runner import autotune_design
+
+        tuned = autotune_design(
+            args.design,
+            wl.name,
+            opts=AutotuneConfig(
+                budget=args.tune_budget,
+                top_k=args.tune_topk,
+                measure_cycles=args.tune_cycles,
+                seed=args.tune_seed,
+                cache_dir=args.tune_cache,
+            ),
+        )
+        args.tuned_config = tuned.winning_config()
+        hit = "cache hit" if tuned.cache_hit else "sweep ran"
+        gain = tuned.measured_gain
+        gain_s = f", measured {gain:.2f}x default" if gain else ""
+        print(
+            f"autotune: {tuned.winner_label} config {tuned.winner_digest} "
+            f"({hit}{gain_s}; cache {tuned.cache_path})"
+        )
     supervised = (
         args.checkpoint_every is not None
         or args.resume is not None
@@ -232,7 +281,7 @@ def _run_plain(args, wl) -> int:
     from repro.harness.runner import compile_design
     from repro.obs.metrics import REGISTRY
 
-    design = compile_design(args.design)
+    design = compile_design(args.design, getattr(args, "tuned_config", None))
     sim = design.simulator(
         batch=args.batch,
         mode=args.engine_mode,
@@ -267,6 +316,10 @@ def _run_plain(args, wl) -> int:
             elapsed_s=elapsed,
             counters=asdict(sim.counters),
             phase_times=dict(sim.phase_times),
+            extras={
+                "config": "tuned" if getattr(args, "tuned_config", None) else "default",
+                "config_digest": design.report.config_digest,
+            },
         )
     if wl.expected_out is not None:
         status = "MATCH" if observed == wl.expected_out else "MISMATCH"
@@ -304,6 +357,7 @@ def _run_supervised(args, wl) -> int:
             deadline_s=args.deadline,
             cycle_budget=args.cycle_budget,
             quarantine_after=args.quarantine_after,
+            config=getattr(args, "tuned_config", None),
         )
     except CheckpointError as exc:
         print(f"cannot resume: {exc}")
@@ -326,6 +380,7 @@ def _run_supervised(args, wl) -> int:
             phase_times=dict(result.phase_times),
             kind="gem-run/supervised",
             extras={
+                "config": "tuned" if getattr(args, "tuned_config", None) else "default",
                 "engine": result.engine,
                 "degraded": result.degraded,
                 "retries": result.retries,
@@ -393,6 +448,72 @@ def main_faultcampaign(argv: list[str] | None = None) -> int:
     )
     print(report.summary())
     return 0 if report.passed else 1
+
+
+def main_tune(argv: list[str] | None = None) -> int:
+    """Compile-time autotuner: knob sweep + SA placement refinement (docs/TUNING.md)."""
+    import json
+
+    from repro.core.autotune import AutotuneConfig
+    from repro.harness.runner import DESIGNS, autotune_design
+
+    parser = argparse.ArgumentParser(prog="gem-tune", description=main_tune.__doc__)
+    parser.add_argument("design", choices=sorted(DESIGNS))
+    parser.add_argument("workload", nargs="?", help="workload for the measured phase")
+    parser.add_argument("--budget", type=int, default=6, help="max candidates compiled (default 6)")
+    parser.add_argument("--top-k", type=int, default=3, help="measured finalists (default 3)")
+    parser.add_argument(
+        "--cycles", type=int, default=24,
+        help="measured cycles per finalist; 0 = model-only selection (default 24)",
+    )
+    parser.add_argument("--repeats", type=int, default=3, help="best-of repeats per finalist")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--min-gain", type=float, default=0.05, metavar="FRAC",
+        help="winner must beat the default by this fraction or the default is kept",
+    )
+    parser.add_argument(
+        "--cache", default=None, metavar="DIR",
+        help="tuning-cache directory (default: $GEM_TUNE_DIR or .gem_tune)",
+    )
+    parser.add_argument("--json", action="store_true", help="emit the full result as JSON")
+    _add_log_level(parser)
+    args = parser.parse_args(argv)
+    _setup_logging(args)
+    result = autotune_design(
+        args.design,
+        args.workload,
+        opts=AutotuneConfig(
+            budget=args.budget,
+            top_k=args.top_k,
+            measure_cycles=args.cycles,
+            repeats=args.repeats,
+            seed=args.seed,
+            min_gain=args.min_gain,
+            cache_dir=args.cache,
+        ),
+    )
+    if args.json:
+        print(json.dumps(result.to_payload(), indent=2, sort_keys=True))
+        return 0
+    hit = "tuning-cache hit" if result.cache_hit else "sweep ran"
+    print(f"{args.design} (crc {result.crc}): {hit}, winner = {result.winner_label}")
+    for cand in result.candidates:
+        label = ", ".join(f"{k}={v}" for k, v in cand.knobs.items()) or "default"
+        measured = (
+            f"  measured {cand.measured_cycles_per_s:8.0f} c/s"
+            if cand.measured_cycles_per_s
+            else ""
+        )
+        model = f"model {cand.model_hz:9.0f} Hz" if cand.score else cand.status
+        marker = " <== winner" if cand.digest == result.winner_digest else ""
+        print(f"  [{cand.status:10s}] {model}{measured}  {label}{marker}")
+    gain = result.measured_gain
+    if gain is not None:
+        print(f"measured winner/default: {gain:.2f}x")
+    print(f"winning knobs: {result.winner_knobs or '(default config)'}")
+    print(f"cache: {result.cache_path}")
+    return 0
 
 
 def main_tables(argv: list[str] | None = None) -> int:
@@ -488,6 +609,12 @@ def main_perf(argv: list[str] | None = None) -> int:
         "--strict", action="store_true",
         help="exit 1 on any regression (default: warn only)",
     )
+    p_cmp.add_argument(
+        "--config", default=None, metavar="LABEL",
+        help="compare only against bench rows with this config label "
+        "(e.g. 'default' or 'tuned'); default: match the report's own "
+        "config label, or any row when neither side is labelled",
+    )
 
     p_val = sub.add_parser(
         "validate-trace", help="schema-check a Chrome trace-event JSON"
@@ -530,6 +657,7 @@ def main_perf(argv: list[str] | None = None) -> int:
             report, bench,
             threshold=args.threshold,
             source=os.path.basename(bench_path),
+            config=args.config,
         )
         for note in notes:
             print(f"note: {note}")
@@ -759,7 +887,7 @@ def main(argv: list[str] | None = None) -> int:
         "command",
         choices=[
             "compile", "run", "tables", "cosim", "faultcampaign", "perf",
-            "fuzz", "chaos",
+            "fuzz", "chaos", "tune",
         ],
     )
     parser.add_argument("rest", nargs=argparse.REMAINDER)
@@ -768,6 +896,8 @@ def main(argv: list[str] | None = None) -> int:
         return main_compile(args.rest)
     if args.command == "run":
         return main_run(args.rest)
+    if args.command == "tune":
+        return main_tune(args.rest)
     if args.command == "cosim":
         return main_cosim(args.rest)
     if args.command == "faultcampaign":

@@ -17,10 +17,11 @@ the directory to force a rebuild.
 from __future__ import annotations
 
 import hashlib
+import json
 import logging
 import os
 import pickle
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from typing import TYPE_CHECKING, Callable
 
 from repro.core.compiler import CompiledDesign, GemCompiler, GemConfig
@@ -33,6 +34,7 @@ from repro.rtl.ir import Circuit
 from repro.rtl.netlist import Netlist
 
 if TYPE_CHECKING:
+    from repro.core.autotune import AutotuneConfig, AutotuneResult, KnobSpace
     from repro.runtime.supervisor import SupervisedRun
 
 logger = logging.getLogger(__name__)
@@ -172,19 +174,77 @@ def design_circuit(name: str) -> Circuit:
     return _cached(f"circuit:{name}", entry.build, use_disk=False)  # cheap to rebuild
 
 
-def design_synth(name: str) -> SynthesisResult:
-    """Synthesize (and cache) a registered design."""
-    return _cached(f"synth:{name}:v1", lambda: optimize(synthesize(design_circuit(name))))
+def _synth_digest(config: GemConfig | None) -> str:
+    """Digest of the synthesis-relevant knobs only (front end of the flow)."""
+    config = config or GemConfig()
+    payload = json.dumps(
+        {"synthesis": asdict(config.synthesis), "optimize": config.optimize},
+        sort_keys=True,
+        default=repr,
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()[:12]
+
+
+def design_synth(name: str, config: GemConfig | None = None) -> SynthesisResult:
+    """Synthesize (and cache) a registered design under ``config``'s front end.
+
+    The cache key includes a digest of the synthesis + depth-opt knobs —
+    default and tuned front ends cache independently (before this keying,
+    every config silently shared one netlist).
+    """
+    config = config or GemConfig()
+
+    def make() -> SynthesisResult:
+        synth = synthesize(design_circuit(name), config.synthesis)
+        return optimize(synth) if config.optimize else synth
+
+    return _cached(f"synth:{name}:{_synth_digest(config)}:v2", make)
 
 
 def compile_design(name: str, config: GemConfig | None = None) -> CompiledDesign:
-    """Full GEM compile (and cache) of a registered design."""
-    tag = "default" if config is None else repr(config)
-    key = f"compile:{name}:{hashlib.sha256(tag.encode()).hexdigest()[:8]}:v1"
+    """Full GEM compile (and cache) of a registered design.
+
+    Keyed by the canonical :meth:`GemConfig.digest` of the *effective*
+    knobs, so a tuned and a default compile of the same design never
+    collide (``repr``-based tags used to miss nested-config drift).
+    """
+    effective = config or GemConfig()
+    key = f"compile:{name}:{effective.digest()}:v2"
     # The span exists even on a cache hit, so every traced run carries a
     # compile span (the child phase spans only appear on real compiles).
     with TRACER.span(f"compile:{name}", cat="compile", args={"design": name}):
-        return _cached(key, lambda: GemCompiler(config).compile(design_synth(name)))
+        return _cached(
+            key, lambda: GemCompiler(config).compile(design_synth(name, config))
+        )
+
+
+def autotune_design(
+    name: str,
+    workload: str | None = None,
+    *,
+    base: GemConfig | None = None,
+    space: "KnobSpace | None" = None,
+    opts: "AutotuneConfig | None" = None,
+) -> "AutotuneResult":
+    """Autotune a registry design (see :mod:`repro.core.autotune`).
+
+    The synth provider is the config-keyed :func:`design_synth`, so
+    candidates that change synthesis knobs get their own netlist; the
+    measured phase uses the named workload's stimuli.
+    """
+    from repro.core.autotune import autotune
+
+    wls = design_workloads(name)
+    wl = wls[workload or next(iter(wls))]
+    return autotune(
+        lambda cfg: design_synth(name, cfg),
+        wl.stimuli,
+        name=name,
+        base=base,
+        space=space,
+        opts=opts,
+        compile_fn=lambda cfg: compile_design(name, cfg),
+    )
 
 
 def design_workloads(name: str) -> dict[str, Workload]:
@@ -255,6 +315,7 @@ def run_resilient(
     deadline_s: float | None = None,
     cycle_budget: int | None = None,
     quarantine_after: int = 2,
+    config: GemConfig | None = None,
 ) -> "SupervisedRun":
     """Execute a registry design's workload under the resilience supervisor.
 
@@ -276,7 +337,7 @@ def run_resilient(
     from repro.runtime.supervisor import Supervisor
     from repro.runtime.watchdog import Deadline
 
-    design = compile_design(name)
+    design = compile_design(name, config)
     workloads = design_workloads(name)
     wl = workloads[workload or next(iter(workloads))]
     stimuli = wl.stimuli[:max_cycles] if max_cycles else wl.stimuli
@@ -315,6 +376,8 @@ def measure_batch_throughput(
     max_cycles: int | None = None,
     engine_mode: str = "fused",
     backend: str | None = None,
+    config: GemConfig | None = None,
+    config_label: str | None = None,
 ) -> dict:
     """Wall-clock lane throughput of the packed-lane engine on a workload.
 
@@ -328,7 +391,7 @@ def measure_batch_throughput(
     """
     import time
 
-    design = compile_design(name)
+    design = compile_design(name, config)
     workloads = design_workloads(name)
     wl = workloads[workload or next(iter(workloads))]
     stimuli = wl.stimuli[:max_cycles] if max_cycles else wl.stimuli
@@ -345,6 +408,8 @@ def measure_batch_throughput(
         "batch": batch,
         "engine_mode": sim.mode,
         "backend": sim.backend.name,
+        "config": config_label or ("default" if config is None else "custom"),
+        "config_digest": design.report.config_digest,
         "lane_words": sim.engine.words,
         "cycles": cycles,
         "elapsed_s": elapsed,

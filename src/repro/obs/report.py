@@ -274,17 +274,24 @@ def compare_to_bench(
     *,
     threshold: float = 0.10,
     source: str = "bench",
+    config: str | None = None,
 ) -> tuple[list[BenchComparison], list[str]]:
     """Match ``report`` against the benchmark-history rows.
 
     Rows are matched on (design, engine_mode, batch) — and on the
     execution backend when both the report environment and the row carry
-    one, so numba rows never gate a numpy run.  Each throughput field
-    present on both sides becomes one :class:`BenchComparison`.
-    Returns ``(comparisons, notes)`` — notes explain silent non-matches
-    so a gate never passes just because nothing lined up.
+    one, so numba rows never gate a numpy run.  Likewise for the compile
+    ``config`` label (``default``/``tuned``, docs/TUNING.md): default and
+    tuned rows for the same design coexist in one bench file and a run is
+    gated only against rows with its own label.  ``config`` overrides the
+    report's label to diff explicitly against the other side.  Each
+    throughput field present on both sides becomes one
+    :class:`BenchComparison`.  Returns ``(comparisons, notes)`` — notes
+    explain silent non-matches so a gate never passes just because
+    nothing lined up.
     """
     backend = report.environment.get("backend") if report.environment else None
+    config_label = config or (report.extras or {}).get("config")
     matches = [
         row
         for row in _bench_rows(bench)
@@ -296,10 +303,17 @@ def compare_to_bench(
             or row.get("backend") is None
             or row.get("backend") == backend
         )
+        and (
+            config_label is None
+            or row.get("config") is None
+            or row.get("config") == config_label
+        )
     ]
     notes: list[str] = []
     if not matches:
         label = f"/{backend}" if backend else ""
+        if config_label:
+            label += f"/{config_label}"
         notes.append(
             f"{source}: no baseline row for {report.design}/"
             f"{report.engine_mode}/batch={report.batch}{label}"

@@ -1,5 +1,8 @@
 """Performance model behaviour (repro.core.perfmodel + calibration)."""
 
+import json
+import os
+
 import pytest
 
 from repro.core.boomerang import BoomerangConfig
@@ -16,6 +19,7 @@ from repro.core.perfmodel import (
     gem_cycle_time,
     gem_metrics,
     gem_speed,
+    tuning_score,
 )
 from repro.harness.calibrate import PAPER_ANCHOR, CalibratedModels, calibrate
 from repro.harness.runner import ActivityMeasurement
@@ -138,3 +142,82 @@ class TestCalibration:
     def test_uncalibrated_scale_is_identity(self):
         models = CalibratedModels()
         assert models.commercial(1000) == event_sim_speed(1000)
+
+
+class TestTuningScoreSanity:
+    """Monotonicity pins behind the autotuner's cheap filter (docs/TUNING.md).
+
+    A model that could rank more work, more stages, or a bigger bitstream
+    as *faster* would steer the knob search toward pessimal configs, so
+    each axis is pinned never-faster here.
+    """
+
+    def test_more_work_bits_never_faster(self):
+        speeds = [
+            gem_speed(_metrics(work=100_000 * scale), A100)
+            for scale in (1, 2, 4, 8, 16)
+        ]
+        for slower, faster in zip(speeds[1:], speeds):
+            assert slower <= faster
+
+    def test_more_stages_never_faster(self):
+        """Same partitions, same total work — only the stage split grows."""
+        speeds = [
+            gem_speed(_metrics(parts=8, work=400_000, stages=s), A100)
+            for s in (1, 2, 4, 8)
+        ]
+        for slower, faster in zip(speeds[1:], speeds):
+            assert slower <= faster
+
+    def test_more_inst_words_never_faster(self):
+        speeds = [
+            gem_speed(_metrics(inst_words=w), A100)
+            for w in (10_000, 100_000, 1_000_000, 10_000_000)
+        ]
+        for slower, faster in zip(speeds[1:], speeds):
+            assert slower <= faster
+
+    def test_tuning_score_reports_gem_speed(self):
+        m = _metrics(parts=8, stages=2)
+        score = tuning_score(m, A100)
+        assert score["model_hz"] == gem_speed(m, A100)
+        assert score["stages"] == 2
+        assert score["partitions"] == 8
+        assert score["work_bits"] == sum(m.stage_work_bits)
+
+
+class TestBenchCalibration:
+    """The analytical fused-vs-legacy ranking must agree in *direction*
+    with the measured BENCH_cycle.json rows — the same sanity the
+    autotuner relies on when its model filter picks finalists."""
+
+    BENCH = os.path.join(
+        os.path.dirname(__file__), os.pardir, "BENCH_cycle.json"
+    )
+
+    def _default_rows(self):
+        with open(self.BENCH) as f:
+            payload = json.load(f)
+        # tuned rows carry a config label (docs/TUNING.md); the calibration
+        # pin compares the plain default-config pairs only.
+        return [
+            r for r in payload["rows"] if r.get("config") in (None, "default")
+        ]
+
+    def test_fused_direction_agrees_with_measurement(self):
+        rows = self._default_rows()
+        by_key = {(r["design"], r["engine_mode"]): r for r in rows}
+        designs = sorted({r["design"] for r in rows})
+        assert designs, "BENCH_cycle.json has no default rows"
+        for design in designs:
+            legacy = by_key[(design, "legacy")]
+            fused = by_key[(design, "fused")]
+            measured_fused_wins = fused["cycles_per_s"] > legacy["cycles_per_s"]
+            # the analytical proxy: fusion wins iff it dispatches fewer
+            # array ops per cycle than the legacy interpreter
+            model_fused_wins = (
+                fused["fused_array_ops_per_cycle"] < fused["array_ops_per_cycle"]
+            )
+            assert measured_fused_wins == model_fused_wins, (
+                f"{design}: model and measurement disagree on fused-vs-legacy"
+            )

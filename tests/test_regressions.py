@@ -9,6 +9,14 @@
    raises ``FusionError``: the fallback must warn exactly once through
    the ``repro.core.interpreter`` logger, flip ``mode`` to ``"legacy"``,
    and still simulate correctly.
+3. Config-aware cache keying (docs/TUNING.md): tuned and default compiles
+   of the same design must cache *independently* at both the runner layer
+   (disk pickle per ``GemConfig.digest()``) and the interpreter's decode
+   cache (``ProgramMeta.config_digest`` in the key) — before this keying a
+   tuned compile could silently serve a default-config artifact.
+4. The autotuner seed-determinism pin: same seed + same design CRC must
+   pick the identical winning config and produce a bit-identical
+   bitstream across two fresh processes, regardless of PYTHONHASHSEED.
 """
 
 from __future__ import annotations
@@ -148,3 +156,153 @@ class TestFusionErrorFallback:
             result = run_oracle(spec, stimuli, OracleConfig(batches=(1,)))
         assert result.ok, "legacy fallback must still be correct"
         assert "fallback:legacy" in result.coverage
+
+
+class TestConfigCacheKeying:
+    """Tuned vs default artifacts must never share a cache slot."""
+
+    def _tiny_entry(self):
+        from repro.harness import runner
+
+        return runner.DesignEntry(
+            "tinyreg",
+            lambda: random_circuit(31, n_ops=200, max_width=10, with_memory=False),
+            "tinyreg_like",
+        )
+
+    def _tiny_base(self):
+        return GemConfig(
+            partition=PartitionConfig(gates_per_partition=300, num_stages=2),
+            boomerang=BoomerangConfig(width_log2=9),
+        )
+
+    def test_runner_compile_cache_is_config_keyed(self, tmp_path, monkeypatch):
+        from repro.core.placement import RefineConfig
+        from repro.harness import runner
+
+        monkeypatch.setattr(runner, "CACHE_DIR", str(tmp_path))
+        monkeypatch.setattr(runner, "_memory_cache", {})
+        monkeypatch.setitem(runner.DESIGNS, "tinyreg", self._tiny_entry())
+
+        default_cfg = self._tiny_base()
+        tuned_cfg = GemConfig(
+            partition=PartitionConfig(gates_per_partition=300, num_stages=1),
+            boomerang=BoomerangConfig(width_log2=9),
+            refine=RefineConfig(iterations=4, seed=1),
+        )
+        default = runner.compile_design("tinyreg", default_cfg)
+        tuned = runner.compile_design("tinyreg", tuned_cfg)
+        assert default.report.config_digest != tuned.report.config_digest
+
+        pickles = sorted(p.name for p in tmp_path.glob("compile-*.pkl"))
+        assert len(pickles) == 2, f"expected 2 config-keyed entries, got {pickles}"
+
+        # Recompiling under either config must hit, not rebuild: a fresh
+        # memory cache forces the disk tier, and the entries round-trip to
+        # the *matching* compiled artifact.
+        monkeypatch.setattr(runner, "_memory_cache", {})
+        assert (
+            runner.compile_design("tinyreg", tuned_cfg).report.config_digest
+            == tuned.report.config_digest
+        )
+        assert (
+            runner.compile_design("tinyreg", default_cfg).report.config_digest
+            == default.report.config_digest
+        )
+        assert sorted(p.name for p in tmp_path.glob("compile-*.pkl")) == pickles
+
+    def test_decode_cache_is_config_keyed(self):
+        import copy
+
+        from repro.core.interpreter import clear_decode_cache, decode_cache_stats
+
+        circ = random_circuit(33, n_ops=200, max_width=10, with_memory=False)
+        design = GemCompiler(self._tiny_base()).compile(circ)
+        twin = copy.deepcopy(design)
+        # Same words, different effective config: exactly the collision the
+        # meta digest exists to prevent (a words CRC alone cannot see it).
+        twin.program.meta.config_digest = "f" * 16
+        assert twin.program.digest() == design.program.digest()
+
+        clear_decode_cache()
+        vec = random_vectors(circ, 7, cycles=1)[0]
+        design.simulator(mode="legacy").step(vec)
+        twin.simulator(mode="legacy").step(vec)
+        stats = decode_cache_stats()
+        assert stats["misses"] == 2, f"config twin served a stale decode: {stats}"
+        assert stats["hits"] == 0
+
+        design.simulator(mode="legacy").step(vec)
+        assert decode_cache_stats()["hits"] == 1  # true re-use still hits
+
+
+class TestAutotuneSeedDeterminism:
+    """Same seed + design CRC → same winner + bit-identical bitstream,
+    across processes and under different PYTHONHASHSEED values."""
+
+    SCRIPT = r"""
+import hashlib, json, sys
+from repro.core.autotune import AutotuneConfig, KnobSpace, autotune
+from repro.core.boomerang import BoomerangConfig
+from repro.core.compiler import GemCompiler, GemConfig
+from repro.core.depth_opt import optimize
+from repro.core.partition import PartitionConfig
+from repro.core.synthesis import synthesize
+from tests.helpers import random_circuit
+
+synth = optimize(synthesize(random_circuit(41, n_ops=220, max_width=10)))
+base = GemConfig(
+    partition=PartitionConfig(gates_per_partition=300, num_stages=2),
+    boomerang=BoomerangConfig(width_log2=9),
+)
+space = KnobSpace(
+    gates_per_partition=(250, 300, 450),
+    num_stages=(1, 2),
+    width_log2=(9,),
+    sa_iterations=(0, 6),
+)
+result = autotune(
+    synth,
+    name="pinned",
+    base=base,
+    space=space,
+    opts=AutotuneConfig(budget=5, measure_cycles=0, seed=13, cache_dir=sys.argv[1]),
+)
+program = GemCompiler(result.winning_config(base)).compile(synth).program
+print(json.dumps({
+    "knobs": result.winner_knobs,
+    "digest": result.winner_digest,
+    "crc": result.crc,
+    "bitstream": hashlib.sha256(program.words.tobytes()).hexdigest(),
+}))
+"""
+
+    def _run(self, tmp_path, tag, hashseed):
+        import os
+        import subprocess
+        import sys
+
+        cache = tmp_path / tag
+        cache.mkdir()
+        env = dict(os.environ)
+        repo = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        env["PYTHONPATH"] = os.path.join(repo, "src") + os.pathsep + repo
+        env["PYTHONHASHSEED"] = hashseed
+        proc = subprocess.run(
+            [sys.executable, "-c", self.SCRIPT, str(cache)],
+            capture_output=True,
+            text=True,
+            env=env,
+            cwd=repo,
+            timeout=300,
+        )
+        assert proc.returncode == 0, proc.stderr
+        return json.loads(proc.stdout.strip().splitlines()[-1])
+
+    def test_two_processes_agree_bit_for_bit(self, tmp_path):
+        a = self._run(tmp_path, "a", "0")
+        b = self._run(tmp_path, "b", "1")
+        assert a["crc"] == b["crc"], "design CRC must be hash-seed independent"
+        assert a["knobs"] == b["knobs"]
+        assert a["digest"] == b["digest"]
+        assert a["bitstream"] == b["bitstream"]

@@ -1,0 +1,90 @@
+"""Bounded end-to-end autotune smoke (the CI ``tune-smoke`` job).
+
+A full measured autotune — compile sweep, analytical ranking, measured
+finalists, cache write — on one small design with a tiny fixed-seed
+budget.  Slow-marked so the default CI test matrix skips it; the
+dedicated ``tune-smoke`` job runs exactly this file and uploads the
+tuning-cache JSON it writes as an artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.core.autotune import AutotuneConfig, KnobSpace, autotune
+from repro.core.boomerang import BoomerangConfig
+from repro.core.compiler import GemConfig
+from repro.core.depth_opt import optimize
+from repro.core.partition import PartitionConfig
+from repro.core.synthesis import synthesize
+from tests.helpers import random_circuit, random_vectors
+
+pytestmark = pytest.mark.slow
+
+
+def test_bounded_measured_autotune(tmp_path):
+    cache_dir = os.environ.get("GEM_TUNE_DIR", str(tmp_path))
+    circ = random_circuit(19, n_ops=320, max_width=12, with_memory=False)
+    synth = optimize(synthesize(circ))
+    base = GemConfig(
+        partition=PartitionConfig(gates_per_partition=400, num_stages=2),
+        boomerang=BoomerangConfig(width_log2=9),
+    )
+    result = autotune(
+        synth,
+        random_vectors(circ, 29, cycles=16),
+        name="tune-smoke",
+        base=base,
+        space=KnobSpace(
+            gates_per_partition=(300, 400, 600),
+            num_stages=(1, 2),
+            width_log2=(9,),
+            sa_iterations=(0, 6),
+        ),
+        opts=AutotuneConfig(
+            budget=5,
+            top_k=2,
+            measure_cycles=12,
+            repeats=2,
+            seed=0,
+            cache_dir=cache_dir,
+        ),
+    )
+
+    # The tuned pick must never lose to the default it was measured against.
+    assert result.default_measured is not None
+    assert result.winner_measured is not None
+    assert result.winner_measured >= result.default_measured
+
+    # The cache artifact the CI job uploads: present, versioned, replayable.
+    assert result.cache_path and os.path.exists(result.cache_path)
+    with open(result.cache_path) as f:
+        payload = json.load(f)
+    assert payload["winner_knobs"] == result.winner_knobs
+    assert payload["key"] == result.key
+
+    rerun = autotune(
+        synth,
+        random_vectors(circ, 29, cycles=16),
+        name="tune-smoke",
+        base=base,
+        space=KnobSpace(
+            gates_per_partition=(300, 400, 600),
+            num_stages=(1, 2),
+            width_log2=(9,),
+            sa_iterations=(0, 6),
+        ),
+        opts=AutotuneConfig(
+            budget=5,
+            top_k=2,
+            measure_cycles=12,
+            repeats=2,
+            seed=0,
+            cache_dir=cache_dir,
+        ),
+    )
+    assert rerun.cache_hit, "second autotune of the same design must not re-sweep"
+    assert rerun.winner_knobs == result.winner_knobs
