@@ -335,6 +335,10 @@ class GemInterpreter:
         self.global_state[self._reset_ones] = self.engine.lane_mask
         self.counters = CycleCounters(lanes=batch)
         self.cycle = 0
+        #: optional per-cycle signal tap (repro.obs.probe.ProbeTap); the
+        #: hot-loop cost while detached is one attribute check per step,
+        #: mirroring the TRACER.enabled guard.
+        self._probe_tap = None
 
         # Stage fusion (cached alongside the decode).  Fusion is also run
         # in legacy mode so the fused_array_ops counter — the
@@ -575,6 +579,8 @@ class GemInterpreter:
         else:
             self._inject_broadcast(inputs)
         deferred = self._run_cycle()
+        if self._probe_tap is not None:
+            self._probe_tap.capture(self)
         outs = self.outputs()
         self._commit(deferred)
         return outs
@@ -606,11 +612,27 @@ class GemInterpreter:
         if self.profile:
             self.phase_times["inject"] += time.perf_counter() - t0
         deferred = self._run_cycle()
+        if self._probe_tap is not None:
+            self._probe_tap.capture(self)
         outs = self.outputs_lanes()
         self._commit(deferred)
         return outs
 
     # -- observation ----------------------------------------------------------
+
+    def attach_probe(self, tap) -> None:
+        """Bind a signal tap (:class:`repro.obs.probe.ProbeTap`).
+
+        The tap's ``capture`` runs once per cycle at the settled point:
+        after the combinational waves (POs and cut values hold cycle-t
+        results) but before deferred commits land (FF bits still hold the
+        state that *entered* the cycle) — the exact observation point of
+        the gate-level reference right after its first settle.
+        """
+        self._probe_tap = tap
+
+    def detach_probe(self) -> None:
+        self._probe_tap = None
 
     def outputs(self) -> dict[str, int]:
         """Lane 0's primary output words (vectorized gather)."""

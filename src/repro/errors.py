@@ -18,6 +18,7 @@ The hierarchy::
     │                         or taken against a different bitstream)
     ├── GemTimeoutError       a watchdog deadline (wall clock or cycle
     │                         budget) expired before the run finished
+    ├── ProbeError            a probe plan names nets the design lacks
     └── UnmappableError       partition state demand exceeds core width
 
 :class:`BitstreamError` and :class:`LaneConfigError` additionally
@@ -109,6 +110,16 @@ class GemTimeoutError(GemError):
         super().__init__(message)
         #: ``"wall"`` (wall-clock budget) or ``"cycles"`` (cycle budget)
         self.reason = reason
+
+
+class ProbeError(GemError, ValueError):
+    """A probe plan cannot be resolved against the design.
+
+    Raised by :func:`repro.obs.probe.build_probe_plan` when a requested
+    net name or glob pattern matches nothing in the design's name maps
+    (inputs, registers, outputs), or when a lane index is outside the
+    batch.  Subclasses :class:`ValueError` for plain-CLI callers.
+    """
 
 
 class UnmappableError(GemError):

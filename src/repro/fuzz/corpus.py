@@ -208,6 +208,24 @@ class Corpus:
         }
 
 
+def _dump_divergence_waves(spec, stimuli, divergence, config, path: str) -> str:
+    """Probed re-run of a failing case; dumps the VCD window around the
+    first divergent cycle (``gem-fuzz run --wave-dir``)."""
+    from repro.core.compiler import GemCompiler
+    from repro.fuzz.oracle import compile_profile
+    from repro.obs.probe import dump_divergence_waves
+
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    compiled = GemCompiler(compile_profile(config.compile_profile)).compile(spec.build())
+    coerced = _coerce_stimuli(spec, stimuli)
+    summary = dump_divergence_waves(compiled, coerced, divergence.cycle, path)
+    logger.warning(
+        "divergence waveform: %s (%d probed cycles around cycle %d)",
+        path, summary["cycles"], divergence.cycle,
+    )
+    return path
+
+
 @dataclass
 class FuzzStats:
     """Aggregate outcome of one :func:`run_fuzz` campaign."""
@@ -248,6 +266,7 @@ def run_fuzz(
     corpus: Corpus | None = None,
     bank_novel: bool = False,
     deadline_s: float | None = None,
+    wave_dir: str | None = None,
 ) -> FuzzStats:
     """The coverage-guided differential fuzz campaign behind ``gem-fuzz run``.
 
@@ -258,7 +277,11 @@ def run_fuzz(
     as ``.gemrepro`` files; with ``bank_novel`` and a ``corpus``, passing
     designs that contribute new coverage are saved as ``expect: null``
     regression cases.  ``deadline_s`` soft-bounds wall time (checked
-    between iterations) for CI smoke budgets.
+    between iterations) for CI smoke budgets.  With ``wave_dir`` set,
+    every (shrunk) divergence is re-run with signal probes attached and
+    the waveform window around the first divergent cycle is dumped as a
+    VCD next to the repro (:func:`repro.obs.probe.dump_divergence_waves`)
+    — the triage artifact that shows the state entering the bad cycle.
     """
     import random
 
@@ -369,6 +392,14 @@ def run_fuzz(
         )
         path = os.path.join(failure_dir, f"{spec.name}_div{EXTENSION}")
         stats.failures.append(write_repro(path, repro))
+        if wave_dir is not None and final_div is not None:
+            try:
+                _dump_divergence_waves(
+                    final_spec, final_stim, final_div, config,
+                    os.path.join(wave_dir, f"{spec.name}_div.vcd"),
+                )
+            except Exception:
+                logger.exception("iter %d: divergence wave dump failed", it)
 
     stats.elapsed_s = time.perf_counter() - t0
     return stats

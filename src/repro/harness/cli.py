@@ -11,6 +11,7 @@ Usage (installed scripts or ``python -m repro.harness.cli``)::
     gem-fuzz run|replay|corpus      # differential fuzzing (docs/FUZZING.md)
     gem-chaos [--seed N]            # chaos harness: injected crashes/hangs
     gem-tune <design>               # compile-time autotuner (docs/TUNING.md)
+    gem-probe list|watch|dump|activity   # signal-level probes
 
 ``gem-run`` grows a resilience mode: ``--checkpoint-every N`` snapshots
 interpreter state every N cycles into ``--checkpoint-dir`` (CRC-sealed,
@@ -24,9 +25,19 @@ watchdog (see docs/RESILIENCE.md).  Supervised exit codes are distinct:
 
 Observability (docs/OBSERVABILITY.md): every command takes
 ``--log-level``; ``gem-run`` adds ``--trace-out`` (Chrome trace JSON for
-Perfetto), ``--report-out`` (per-run :class:`~repro.obs.report.RunReport`
-JSON), and ``--metrics-out`` (Prometheus text).  ``gem-perf`` renders and
-diffs reports and gates them against the ``BENCH_*.json`` history.
+Perfetto, ring-buffered via ``--trace-buffer``), ``--report-out``
+(per-run :class:`~repro.obs.report.RunReport` JSON), and
+``--metrics-out`` (Prometheus text).  ``gem-perf`` renders and diffs
+reports and gates them against the ``BENCH_*.json`` history.
+
+Signal-level probes (docs/OBSERVABILITY.md): ``gem-run --probe [NETS]``
+compiles named nets into per-cycle engine taps; ``--vcd-out`` streams
+one lane (``--lane``) of the bounded capture window (``--probe-window``)
+as a VCD, ``--saif-out`` writes SAIF-style toggle counts, and the
+RunReport gains a hot-net activity table.  ``gem-probe`` inspects nets
+without the full run plumbing, and ``gem-cosim --dump-waves`` /
+``gem-fuzz run --wave-dir`` auto-dump probed waveforms around the first
+divergent cycle of a mismatch.
 
 ``<design>`` is one of: nvdla, rocketchip, gemmini, openpiton1, openpiton8.
 """
@@ -183,12 +194,42 @@ def main_run(argv: list[str] | None = None) -> int:
         help="write a Chrome trace-event JSON of the run (open in Perfetto)",
     )
     obs.add_argument(
+        "--trace-buffer", type=int, default=None, metavar="EVENTS",
+        help="trace ring-buffer capacity in events (default 1000000); when "
+        "it overflows, oldest events are dropped and counted — the "
+        "RunReport surfaces the count as trace_dropped_events",
+    )
+    obs.add_argument(
         "--report-out", default=None, metavar="FILE",
         help="write a RunReport JSON (input to gem-perf)",
     )
     obs.add_argument(
         "--metrics-out", default=None, metavar="FILE",
         help="write the metric registry in Prometheus text format",
+    )
+    probes = parser.add_argument_group("signal probes (docs/OBSERVABILITY.md)")
+    probes.add_argument(
+        "--probe", nargs="?", const="*", default=None, metavar="NETS",
+        help="tap named nets each cycle: comma-separated fnmatch globs "
+        "over net names, or the group selectors inputs/registers/outputs "
+        "(bare --probe taps everything); implied by --vcd-out/--saif-out",
+    )
+    probes.add_argument(
+        "--vcd-out", default=None, metavar="FILE",
+        help="dump the probed capture window as a VCD for one lane",
+    )
+    probes.add_argument(
+        "--lane", type=int, default=0, metavar="N",
+        help="which lane of a batched run --vcd-out dumps (default 0)",
+    )
+    probes.add_argument(
+        "--saif-out", default=None, metavar="FILE",
+        help="write SAIF-style T0/T1/TC toggle counts over all lanes",
+    )
+    probes.add_argument(
+        "--probe-window", type=int, default=4096, metavar="CYCLES",
+        help="waveform ring capacity in cycles; older cycles fall out and "
+        "are counted as dropped_windows in the report (default 4096)",
     )
     _add_log_level(parser)
     args = parser.parse_args(argv)
@@ -224,6 +265,18 @@ def main_run(argv: list[str] | None = None) -> int:
             f"autotune: {tuned.winner_label} config {tuned.winner_digest} "
             f"({hit}{gain_s}; cache {tuned.cache_path})"
         )
+    tap = None
+    if args.probe or args.vcd_out or args.saif_out:
+        from repro.errors import ProbeError
+
+        if not 0 <= args.lane < args.batch:
+            print(f"--lane {args.lane} out of range for --batch {args.batch}")
+            return EXIT_USAGE
+        try:
+            tap = _make_probe_tap(args)
+        except ProbeError as exc:
+            print(f"probe error: {exc}")
+            return EXIT_USAGE
     supervised = (
         args.checkpoint_every is not None
         or args.resume is not None
@@ -234,14 +287,15 @@ def main_run(argv: list[str] | None = None) -> int:
     if args.trace_out:
         from repro.obs.trace import TRACER
 
-        TRACER.enable()
+        TRACER.enable(capacity=args.trace_buffer)
     try:
-        rc = _run_supervised(args, wl) if supervised else _run_plain(args, wl)
+        rc = _run_supervised(args, wl, tap) if supervised else _run_plain(args, wl, tap)
     finally:
         if args.trace_out:
             count = TRACER.write(args.trace_out)
             TRACER.disable()
-            print(f"trace written to {args.trace_out} ({count} events)")
+            dropped = f", {TRACER.dropped} dropped" if TRACER.dropped else ""
+            print(f"trace written to {args.trace_out} ({count} events{dropped})")
     if args.metrics_out:
         from repro.obs.metrics import REGISTRY
 
@@ -249,6 +303,64 @@ def main_run(argv: list[str] | None = None) -> int:
             f.write(REGISTRY.to_prometheus())
         print(f"metrics written to {args.metrics_out}")
     return rc
+
+
+def _make_probe_tap(args):
+    """Build the ``gem-run`` probe tap: waveform ring (when dumping a VCD)
+    plus an activity accumulator, over the resolved net plan."""
+    from repro.harness.runner import compile_design
+    from repro.obs.activity import ActivityAccumulator
+    from repro.obs.probe import ProbeTap, WaveRing, build_probe_plan
+
+    design = compile_design(args.design, getattr(args, "tuned_config", None))
+    plan = build_probe_plan(design, args.probe)
+    sinks = []
+    if args.vcd_out:
+        sinks.append(WaveRing(plan, capacity=args.probe_window))
+    sinks.append(ActivityAccumulator(plan))
+    return ProbeTap(plan, sinks)
+
+
+def _probe_extras(args, tap) -> dict:
+    """Post-run probe outputs: VCD/SAIF dumps, activity metrics, and the
+    ``activity`` extras block RunReports carry (rendered by ``gem-perf
+    show`` as the hot-net table)."""
+    from repro.obs.activity import (
+        ActivityAccumulator,
+        hot_nets,
+        publish_net_activity,
+        write_saif,
+    )
+    from repro.obs.probe import WaveRing
+
+    acc = tap.sink_of(ActivityAccumulator)
+    activity = {
+        "cycles": acc.cycles,
+        "lanes": acc.batch,
+        "nets": len(tap.plan.nets),
+        "hot_nets": hot_nets(acc),
+    }
+    if tap.detached_reason:
+        activity["detached"] = tap.detached_reason
+    ring = tap.sink_of(WaveRing)
+    if ring is not None and args.vcd_out:
+        summary = ring.dump_vcd(args.vcd_out, lane=args.lane)
+        print(
+            f"waveform written to {args.vcd_out} (lane {summary['lane']}, "
+            f"{summary['cycles']} cycles from cycle {summary['first_cycle']}, "
+            f"{summary['dropped_windows']} dropped)"
+        )
+        activity["vcd_out"] = args.vcd_out
+        activity["dropped_windows"] = summary["dropped_windows"]
+    if args.saif_out:
+        write_saif(args.saif_out, acc, design=args.design)
+        print(
+            f"SAIF activity written to {args.saif_out} ({acc.cycles} cycles "
+            f"x {acc.batch} lane(s), {len(tap.plan.nets)} nets)"
+        )
+        activity["saif_out"] = args.saif_out
+    publish_net_activity(acc)
+    return {"activity": activity}
 
 
 def _write_run_report(args, wl, **kwargs) -> None:
@@ -261,7 +373,10 @@ def _write_run_report(args, wl, **kwargs) -> None:
     kwargs.setdefault("lane_words", validate_batch(args.batch))
     extras = kwargs.pop("extras", {})
     if args.trace_out:
+        from repro.obs.trace import TRACER
+
         extras["trace_out"] = args.trace_out
+        extras["trace_dropped_events"] = TRACER.dropped
     report = build_run_report(
         design=args.design,
         workload=wl.name,
@@ -274,7 +389,7 @@ def _write_run_report(args, wl, **kwargs) -> None:
     print(f"run report written to {args.report_out}")
 
 
-def _run_plain(args, wl) -> int:
+def _run_plain(args, wl, tap=None) -> int:
     """The unsupervised fast path of ``gem-run``."""
     from dataclasses import asdict
 
@@ -288,6 +403,8 @@ def _run_plain(args, wl) -> int:
         backend=args.backend,
         profile=args.profile,
     )
+    if tap is not None:
+        tap.attach(sim)
     stimuli = wl.stimuli[: args.max_cycles] if args.max_cycles else wl.stimuli
     t0 = time.time()
     observed = []
@@ -309,6 +426,7 @@ def _run_plain(args, wl) -> int:
     REGISTRY.publish_cycle_counters(sim.counters)
     if any(sim.phase_times.values()):
         REGISTRY.publish_phase_times(sim.phase_times)
+    probe_extras = _probe_extras(args, tap) if tap is not None else {}
     if args.report_out:
         _write_run_report(
             args, wl,
@@ -319,6 +437,7 @@ def _run_plain(args, wl) -> int:
             extras={
                 "config": "tuned" if getattr(args, "tuned_config", None) else "default",
                 "config_digest": design.report.config_digest,
+                **probe_extras,
             },
         )
     if wl.expected_out is not None:
@@ -330,7 +449,7 @@ def _run_plain(args, wl) -> int:
     return 0
 
 
-def _run_supervised(args, wl) -> int:
+def _run_supervised(args, wl, tap=None) -> int:
     """The resilience path of ``gem-run`` (checkpointed + scrubbed)."""
     import os
 
@@ -358,11 +477,13 @@ def _run_supervised(args, wl) -> int:
             cycle_budget=args.cycle_budget,
             quarantine_after=args.quarantine_after,
             config=getattr(args, "tuned_config", None),
+            probe=tap,
         )
     except CheckpointError as exc:
         print(f"cannot resume: {exc}")
         return EXIT_CORRUPT_RESUME
     elapsed = time.time() - t0
+    probe_extras = _probe_extras(args, tap) if tap is not None else {}
     print(f"{args.design}/{wl.name}: {result.report()}")
     print(f"  {result.cycles} cycles x {result.lanes} lanes in {elapsed:.2f}s "
           f"({result.cycles * result.lanes / max(elapsed, 1e-9):.0f} "
@@ -387,6 +508,7 @@ def _run_supervised(args, wl) -> int:
                 "faults_detected": result.faults_detected,
                 "checkpoints_written": result.checkpoints_written,
                 "timeouts": result.timeouts,
+                **probe_extras,
                 "quarantined_lanes": result.quarantined_lanes,
             },
         )
@@ -556,6 +678,11 @@ def main_cosim(argv: list[str] | None = None) -> int:
     parser.add_argument("workload", nargs="?")
     parser.add_argument("--max-cycles", type=int, default=None)
     parser.add_argument("--keep-going", action="store_true", help="do not stop at the first divergence")
+    parser.add_argument(
+        "--dump-waves", default=None, metavar="FILE",
+        help="on divergence, re-run with probes on and dump the VCD window "
+        "around the first divergent cycle (docs/OBSERVABILITY.md)",
+    )
     _add_log_level(parser)
     args = parser.parse_args(argv)
     _setup_logging(args)
@@ -570,6 +697,17 @@ def main_cosim(argv: list[str] | None = None) -> int:
         stop_on_divergence=not args.keep_going,
     )
     print(f"{args.design}/{wl.name}: {result.report()}")
+    if not result.passed and args.dump_waves:
+        from repro.obs.probe import dump_divergence_waves
+
+        summary = dump_divergence_waves(
+            design, stimuli, result.divergence.cycle, args.dump_waves
+        )
+        print(
+            f"divergence waves written to {summary['path']} "
+            f"({summary['cycles']} cycles from cycle {summary['first_cycle']}, "
+            f"divergence at cycle {summary['divergence_cycle']})"
+        )
     return 0 if result.passed else 1
 
 
@@ -709,6 +847,11 @@ def main_fuzz(argv: list[str] | None = None) -> int:
         "--failure-dir", default="fuzz-failures",
         help="where shrunk failing .gemrepro files land (default fuzz-failures/)",
     )
+    p_run.add_argument(
+        "--wave-dir", default=None, metavar="DIR",
+        help="also dump a probed VCD window around each failure's first "
+        "divergent cycle into this directory (docs/OBSERVABILITY.md)",
+    )
     p_run.add_argument("--no-shrink", action="store_true", help="save failures unshrunk")
     p_run.add_argument(
         "--shrink-budget", type=int, default=120,
@@ -781,6 +924,7 @@ def main_fuzz(argv: list[str] | None = None) -> int:
         shrink_failures=not args.no_shrink,
         shrink_budget=args.shrink_budget,
         failure_dir=args.failure_dir,
+        wave_dir=args.wave_dir,
         corpus=Corpus(args.corpus) if args.corpus else None,
         bank_novel=args.bank_novel,
         deadline_s=args.deadline,
@@ -804,6 +948,154 @@ def main_fuzz(argv: list[str] | None = None) -> int:
         for path in stats.banked:
             print(f"  banked:  {path}")
     return 1 if stats.divergences else 0
+
+
+def main_probe(argv: list[str] | None = None) -> int:
+    """Signal-level probes: list nets, watch values, dump waves, profile activity."""
+    import json
+
+    from repro.errors import ProbeError
+    from repro.harness.runner import DESIGNS, compile_design, design_workloads
+
+    parser = argparse.ArgumentParser(prog="gem-probe", description=main_probe.__doc__)
+    _add_log_level(parser)
+    sub = parser.add_subparsers(dest="cmd", required=True)
+
+    def add_net_args(p, workload: bool = True) -> None:
+        p.add_argument("design", choices=sorted(DESIGNS))
+        if workload:
+            p.add_argument("workload", nargs="?", help="workload name (default: first)")
+            p.add_argument("--max-cycles", type=int, default=None)
+            p.add_argument("--batch", type=int, default=1, metavar="N",
+                           help="stimulus lanes packed per state word (docs/ENGINE.md)")
+            p.add_argument("--engine-mode", choices=["fused", "legacy"], default="fused")
+            p.add_argument("--backend", choices=["numpy", "numba", "cupy"], default=None)
+        p.add_argument(
+            "--nets", default=None, metavar="GLOBS",
+            help="comma-separated net-name globs or the group selectors "
+            "inputs/registers/outputs (default: every probeable net)",
+        )
+
+    p_list = sub.add_parser("list", help="probeable nets of a design")
+    add_net_args(p_list, workload=False)
+    p_list.add_argument("--json", action="store_true")
+
+    p_watch = sub.add_parser("watch", help="run a workload and print probed values per cycle")
+    add_net_args(p_watch)
+    p_watch.add_argument("--lane", type=int, default=0, help="lane to print (default 0)")
+    p_watch.add_argument("--every", type=int, default=1, metavar="N",
+                         help="print every Nth cycle (default 1)")
+
+    p_dump = sub.add_parser("dump", help="run a workload and dump probed nets as a VCD")
+    add_net_args(p_dump)
+    p_dump.add_argument("out", help="VCD output path")
+    p_dump.add_argument("--lane", type=int, default=0, help="lane to dump (default 0)")
+    p_dump.add_argument("--window", type=int, default=4096, metavar="CYCLES",
+                        help="capture-ring capacity; older cycles are dropped (default 4096)")
+
+    p_act = sub.add_parser("activity", help="run a workload and report toggle activity")
+    add_net_args(p_act)
+    p_act.add_argument("--top", type=int, default=10, help="hot-net table size (default 10)")
+    p_act.add_argument("--saif-out", default=None, metavar="FILE",
+                       help="also write the counts as a SAIF file")
+    p_act.add_argument("--json", action="store_true",
+                       help="emit per-net T0/T1/TC counts as JSON")
+
+    args = parser.parse_args(argv)
+    _setup_logging(args)
+    try:
+        return _probe_command(args, json, compile_design, design_workloads)
+    except ProbeError as exc:
+        print(f"probe error: {exc}")
+        return EXIT_USAGE
+
+
+def _probe_command(args, json, compile_design, design_workloads) -> int:
+    """Dispatch one parsed ``gem-probe`` subcommand."""
+    from repro.obs.activity import (
+        ActivityAccumulator,
+        format_hot_nets,
+        hot_nets,
+        write_saif,
+    )
+    from repro.obs.probe import (
+        ProbeTap,
+        WaveRing,
+        build_probe_plan,
+        list_nets,
+    )
+
+    design = compile_design(args.design)
+    if args.cmd == "list":
+        rows = list_nets(design)
+        if args.nets:
+            keep = {net.name for net in build_probe_plan(design, args.nets).nets}
+            rows = [row for row in rows if row["net"] in keep]
+        if args.json:
+            print(json.dumps(rows, indent=1))
+        else:
+            width = max((len(r["net"]) for r in rows), default=3)
+            for row in rows:
+                print(f"{row['net']:{width}s}  {row['kind']:8s}  {row['width']:3d} bit(s)")
+            print(f"{len(rows)} probeable net(s)")
+        return 0
+
+    workloads = design_workloads(args.design)
+    wl = workloads[args.workload or next(iter(workloads))]
+    stimuli = wl.stimuli[: args.max_cycles] if args.max_cycles else wl.stimuli
+    plan = build_probe_plan(design, args.nets)
+    lane = getattr(args, "lane", 0)
+    if not 0 <= lane < args.batch:
+        print(f"--lane {lane} out of range for --batch {args.batch}")
+        return EXIT_USAGE
+
+    if args.cmd in ("watch", "dump"):
+        capacity = len(stimuli) if args.cmd == "watch" else args.window
+        ring = WaveRing(plan, capacity=max(capacity, 1))
+        tap = ProbeTap(plan, [ring])
+    else:  # activity
+        acc = ActivityAccumulator(plan, backend=args.backend)
+        tap = ProbeTap(plan, [acc])
+    sim = design.simulator(
+        batch=args.batch, mode=args.engine_mode, backend=args.backend
+    )
+    tap.attach(sim)
+    for vec in stimuli:
+        sim.step(vec)
+
+    if args.cmd == "watch":
+        for cycle, values in ring.lane_samples(lane):
+            if cycle % args.every:
+                continue
+            rendered = "  ".join(f"{net}={value}" for net, value in values.items())
+            print(f"cycle {cycle:6d}: {rendered}")
+        return 0
+    if args.cmd == "dump":
+        summary = ring.dump_vcd(args.out, lane=lane)
+        print(
+            f"{args.design}/{wl.name}: waveform written to {args.out} "
+            f"(lane {summary['lane']}, {summary['cycles']} cycles from cycle "
+            f"{summary['first_cycle']}, {summary['dropped_windows']} dropped)"
+        )
+        return 0
+
+    # activity
+    if args.saif_out:
+        write_saif(args.saif_out, acc, design=args.design)
+        print(f"SAIF activity written to {args.saif_out}")
+    if args.json:
+        print(json.dumps(
+            {"cycles": acc.cycles, "lanes": acc.batch, "nets": acc.per_net()},
+            indent=1,
+        ))
+        return 0
+    print(
+        f"{args.design}/{wl.name}: {acc.cycles} cycles x {acc.batch} lane(s), "
+        f"{len(plan.nets)} probed net(s)"
+    )
+    print(f"hot nets (top {args.top} by toggles):")
+    print(format_hot_nets(hot_nets(acc, top=args.top)))
+    return 0
 
 
 def main_chaos(argv: list[str] | None = None) -> int:
@@ -887,7 +1179,7 @@ def main(argv: list[str] | None = None) -> int:
         "command",
         choices=[
             "compile", "run", "tables", "cosim", "faultcampaign", "perf",
-            "fuzz", "chaos", "tune",
+            "fuzz", "chaos", "tune", "probe",
         ],
     )
     parser.add_argument("rest", nargs=argparse.REMAINDER)
@@ -908,6 +1200,8 @@ def main(argv: list[str] | None = None) -> int:
         return main_fuzz(args.rest)
     if args.command == "chaos":
         return main_chaos(args.rest)
+    if args.command == "probe":
+        return main_probe(args.rest)
     return main_tables(args.rest)
 
 

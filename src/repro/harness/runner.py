@@ -316,6 +316,7 @@ def run_resilient(
     cycle_budget: int | None = None,
     quarantine_after: int = 2,
     config: GemConfig | None = None,
+    probe=None,
 ) -> "SupervisedRun":
     """Execute a registry design's workload under the resilience supervisor.
 
@@ -331,7 +332,9 @@ def run_resilient(
     restarting from cycle 0.  ``deadline_s``/``cycle_budget`` arm a
     cooperative watchdog; ``batch`` packs that many stimulus lanes per
     state word (the result then carries per-lane output streams — see
-    docs/ENGINE.md).
+    docs/ENGINE.md).  ``probe`` attaches a
+    :class:`repro.obs.probe.ProbeTap` to the primary engine with
+    rollback-consistent tap state (docs/OBSERVABILITY.md).
     """
     from repro.runtime.checkpoint import resolve_resume
     from repro.runtime.supervisor import Supervisor
@@ -364,6 +367,7 @@ def run_resilient(
         profile=profile,
         deadline=deadline,
         quarantine_after=quarantine_after,
+        probe=probe,
     )
     return supervisor.run(stimuli, resume_from=resume_from)
 

@@ -189,8 +189,20 @@ def format_report(report: RunReport) -> str:
                 f"  backend         {env['backend']} "
                 f"(lane words {env.get('lane_words', 1)})"
             )
+    activity = report.extras.get("activity")
     for key, value in sorted(report.extras.items()):
+        if key == "activity":
+            continue  # rendered as a table below
         lines.append(f"  {key:15s} {value}")
+    if isinstance(activity, Mapping) and activity.get("hot_nets"):
+        from repro.obs.activity import format_hot_nets
+
+        lines.append(
+            f"  hot nets        top {len(activity['hot_nets'])} by toggles over "
+            f"{activity.get('cycles', '?')} cycles x "
+            f"{activity.get('lanes', report.batch)} lane(s)"
+        )
+        lines.append(format_hot_nets(activity["hot_nets"]))
     return "\n".join(lines)
 
 

@@ -174,6 +174,10 @@ class _RecoveryPoint:
     ckpt: Checkpoint
     shadow_state: object | None  # Checkpoint (redundant) or deepcopy (reference)
     outputs_len: int
+    #: probe-tap state captured with the engine snapshot (None when no
+    #: probe is attached) — restored together on rollback so the tap
+    #: stream stays bit-identical to an undisturbed run
+    probe_state: object | None = None
 
 
 class Supervisor:
@@ -244,6 +248,13 @@ class Supervisor:
         gate-level simulator over the design's synthesis result.
     signals:
         Restrict output comparisons to these names (default: all shared).
+    probe:
+        Optional :class:`repro.obs.probe.ProbeTap`, attached to the
+        primary engine for the whole run.  The tap's state rides along
+        with every recovery point and is restored on rollback, so a
+        recovered run's waveform/activity capture is bit-identical to an
+        undisturbed run's; on degrade the tap is marked detached (the
+        gate-level fallback replays outputs only).
     """
 
     def __init__(
@@ -268,6 +279,7 @@ class Supervisor:
         fault_hook: Callable[[GemInterpreter, int], None] | None = None,
         fallback_factory: Callable[[], Steppable] | None = None,
         signals: Sequence[str] | None = None,
+        probe=None,
     ) -> None:
         if quarantine_after < 1:
             raise ValueError("quarantine_after must be >= 1")
@@ -288,6 +300,10 @@ class Supervisor:
         self.fault_hook = fault_hook
         self.fallback_factory = fallback_factory
         self.signals = signals
+        #: optional :class:`repro.obs.probe.ProbeTap` attached to the
+        #: primary engine for the whole run; its state is snapshotted and
+        #: restored with the recovery points (probe continuity).
+        self.probe = probe
         self.manager: CheckpointManager | None = None
         if checkpoint_dir is not None:
             self.manager = CheckpointManager(
@@ -426,6 +442,10 @@ class Supervisor:
                 for vec in stimuli[:start]:
                     shadow.step(vec)
             events.append(f"resumed from checkpoint at cycle {start}")
+        if self.probe is not None:
+            # Attach after any resume restore so the tap's cycle counter
+            # picks up the engine's (probe continuity across --resume).
+            self.probe.attach(primary)
 
         outputs: list[dict[str, int]] = []
         lane_outputs: list[list[dict[str, int]]] | None = (
@@ -436,6 +456,7 @@ class Supervisor:
             ckpt=snapshot(primary),
             shadow_state=self._shadow_state(shadow),
             outputs_len=0,
+            probe_state=None if self.probe is None else self.probe.snapshot(),
         )
         i = start
         retries = 0
@@ -462,6 +483,8 @@ class Supervisor:
             del outputs[recovery.outputs_len :]
             if lane_outputs is not None:
                 del lane_outputs[recovery.outputs_len :]
+            if self.probe is not None and recovery.probe_state is not None:
+                self.probe.restore(recovery.probe_state)
             i = recovery.ckpt.cycle
             events.append(reason)
             REGISTRY.counter(
@@ -533,6 +556,9 @@ class Supervisor:
                         ckpt=snapshot(primary),
                         shadow_state=self._shadow_state(shadow),
                         outputs_len=len(outputs),
+                        probe_state=(
+                            None if self.probe is None else self.probe.snapshot()
+                        ),
                     )
                     if self.manager is not None:
                         try:
@@ -723,6 +749,11 @@ class Supervisor:
     ) -> SupervisedRun:
         """Replay on the gate-level reference so results keep flowing."""
         quarantined = quarantined or set()
+        if self.probe is not None:
+            # The fallback replays outputs only; the tap stays on the (now
+            # abandoned) primary, so flag it rather than silently truncate.
+            self.probe.detached_reason = "degraded to gate-level fallback"
+            events.append("probe tap detached: degraded to gate-level fallback")
         REGISTRY.counter(
             "gem_supervisor_degraded_total",
             help="runs degraded to the gate-level fallback",

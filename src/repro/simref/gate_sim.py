@@ -59,6 +59,11 @@ class GateLevelSim:
         self.cycle = 0
         self.total_toggles = 0
         self.gates = eaig.num_gates()
+        #: optional per-cycle observer called at the settled point (after
+        #: the combinational settle, before the clock edge) — the same
+        #: observation point as the packed-lane engines' probe tap, so
+        #: tapped streams are comparable bit-for-bit.
+        self.probe_hook = None
         self._settle()  # FF init values may imply non-zero logic
 
     def _settle(self) -> int:
@@ -90,6 +95,8 @@ class GateLevelSim:
                 self.value[literal >> 1] = bool((word >> i) & 1)
         toggles = self._settle()
         outs = self.outputs()
+        if self.probe_hook is not None:
+            self.probe_hook(self)
         # Clock edge.
         ff_next = [(ff, self._lit(eaig.fanin0[ff])) for ff in eaig.ffs]
         ram_updates: list[tuple[int, bool]] = []

@@ -19,6 +19,10 @@ from typing import IO, Iterable, Mapping
 
 _ID_CHARS = "".join(chr(c) for c in range(33, 127))
 
+# x/z bits inside binary vectors read back as 0, matching the scalar
+# x/z rule below (2-state simulation: unknown -> 0).
+_XZ_TO_ZERO = str.maketrans("xXzZ", "0000")
+
 
 def _make_id(index: int) -> str:
     """Compact VCD identifier for the index-th variable."""
@@ -64,6 +68,30 @@ class VcdWriter:
         # Every cycle gets a timestamp (even with no changes) so readers
         # recover the exact cycle count.
         w(f"#{self.time}\n")
+        if self.time == 0:
+            # Initial-value block: viewers render signals from time 0
+            # instead of showing unknowns until the first change record.
+            # Signals with no driven value yet are x-filled; ``last`` stays
+            # None for those so the 0 they implicitly hold is still emitted
+            # as a change record on the next driven (or defaulted) cycle,
+            # keeping the read-back cycle stream exact.
+            w("$dumpvars\n")
+            for name, width in self.widths.items():
+                ident = self.ids[name]
+                if name in values:
+                    value = int(values[name])
+                    self.last[name] = value
+                    if width == 1:
+                        w(f"{value & 1}{ident}\n")
+                    else:
+                        w(f"b{value:b} {ident}\n")
+                elif width == 1:
+                    w(f"x{ident}\n")
+                else:
+                    w(f"b{'x' * width} {ident}\n")
+            w("$end\n")
+            self.time += 1
+            return
         for name, width in self.widths.items():
             value = values.get(name, 0)
             if value == self.last[name]:
@@ -128,10 +156,14 @@ class VcdReader:
                     self.samples.append(dict(current))
                 started = True
                 continue
+            if line.startswith("$"):
+                # $dumpvars / $end wrappers around the initial-value block;
+                # the value records inside parse like ordinary changes.
+                continue
             if line.startswith("b"):
                 value_str, ident = line[1:].split()
                 sig = self._by_id[ident]
-                current[sig.name] = int(value_str, 2)
+                current[sig.name] = int(value_str.translate(_XZ_TO_ZERO), 2)
             elif line[0] in "01":
                 sig = self._by_id[line[1:]]
                 current[sig.name] = int(line[0])

@@ -58,6 +58,64 @@ class TestRoundTrip:
         cycles = self._roundtrip({"x": 8, "y": 1}, stimuli)
         assert cycles == [{"x": v["x"], "y": v["y"]} for v in stimuli]
 
+    @given(st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_random_widths_sparse_roundtrip(self, data):
+        """Random widths 1..64, several signals, sparse per-cycle changes:
+        the reader must reconstruct exactly what the writer modeled
+        (omitted signals read as 0)."""
+        n_signals = data.draw(st.integers(1, 5), label="signals")
+        widths = {
+            f"s{i}": data.draw(st.integers(1, 64), label=f"width{i}")
+            for i in range(n_signals)
+        }
+        n_cycles = data.draw(st.integers(1, 20), label="cycles")
+        stimuli = []
+        for _ in range(n_cycles):
+            vec = {
+                name: data.draw(st.integers(0, (1 << width) - 1))
+                for name, width in widths.items()
+                if data.draw(st.booleans())  # sparse: most signals idle
+            }
+            stimuli.append(vec)
+        cycles = self._roundtrip(widths, stimuli)
+        expected = [
+            {name: vec.get(name, 0) for name in widths} for vec in stimuli
+        ]
+        assert cycles == expected
+
+
+class TestDumpvars:
+    """The $dumpvars initial-value block (cycle 0)."""
+
+    def _written(self, widths, stimuli):
+        buf = io.StringIO()
+        writer = VcdWriter(buf, widths)
+        for vec in stimuli:
+            writer.sample(vec)
+        writer.close()
+        return buf.getvalue()
+
+    def test_initial_block_present_with_driven_values(self):
+        text = self._written({"a": 1, "b": 4}, [{"a": 1, "b": 9}, {"a": 0}])
+        assert "$dumpvars" in text
+        block = text.split("$dumpvars", 1)[1].split("$end", 1)[0]
+        assert "b1001" in block, "driven vector gets its real initial value"
+
+    def test_undriven_signals_xfilled(self):
+        text = self._written({"a": 1, "b": 4}, [{"a": 1}, {"a": 0, "b": 3}])
+        block = text.split("$dumpvars", 1)[1].split("$end", 1)[0]
+        assert "bxxxx" in block, "undriven vector is x-filled, width-exact"
+        buf = io.StringIO(text)
+        cycles = VcdReader(buf).cycles()
+        assert cycles[0]["b"] == 0  # x reads back as 0
+        assert cycles[1]["b"] == 3
+
+    def test_undriven_scalar_xfilled(self):
+        text = self._written({"a": 4, "flag": 1}, [{"a": 2}])
+        block = text.split("$dumpvars", 1)[1].split("$end", 1)[0]
+        assert "x" in block.replace("bxxxx", "")
+
 
 class TestFiles:
     def test_write_and_read_file(self, tmp_path):
