@@ -24,6 +24,7 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import asdict, dataclass, field, replace
+from typing import TYPE_CHECKING
 
 from repro.core.bitstream import GemProgram, assemble
 from repro.core.boomerang import BoomerangConfig
@@ -36,6 +37,9 @@ from repro.core.synthesis import SynthesisConfig, SynthesisResult, synthesize
 from repro.errors import UnmappableError
 from repro.obs.trace import TRACER
 from repro.rtl.ir import Circuit
+
+if TYPE_CHECKING:
+    from repro.fourstate.dualrail import DualRailCircuit
 
 
 @dataclass
@@ -115,6 +119,15 @@ class CompiledDesign:
     merge: MergeResult
     program: GemProgram
     report: CompileReport
+    #: set when this design was compiled through the dual-rail transform
+    #: (:func:`repro.fourstate.fastpath.compile_fourstate`): the rail map
+    #: needed to encode 4-state stimuli and decode 4-state outputs
+    fourstate: "DualRailCircuit | None" = None
+
+    @property
+    def values(self) -> int:
+        """Value system this design executes: 2 (plain) or 4 (dual-rail)."""
+        return 4 if self.fourstate is not None else 2
 
     def simulator(
         self,
@@ -131,7 +144,20 @@ class CompiledDesign:
         per-partition interpreter; ``profile`` enables per-phase timers;
         ``backend`` picks the fused path's array backend
         (``numpy``/``numba``/``cupy``, with warn-once numpy fallback).
+
+        Designs compiled for ``values=4`` return a
+        :class:`~repro.fourstate.fastpath.FourStateSimulator` — the same
+        engine over the dual-rail program, plus 4-state encode/decode.
         """
+        if self.fourstate is not None:
+            return FourStateSimulator(
+                self.program,
+                dual=self.fourstate,
+                batch=batch,
+                mode=mode,
+                profile=profile,
+                backend=backend,
+            )
         return GemSimulator(
             self.program, batch=batch, mode=mode, profile=profile, backend=backend
         )
@@ -147,6 +173,17 @@ class GemSimulator(GemInterpreter):
     bitwise op (``step``/``run`` then address lane 0; ``step_lanes`` /
     ``outputs_lanes`` address every lane).
     """
+
+
+# Concrete 4-state simulator: GemSimulator over a dual-rail program with
+# stimulus encoding / output decoding grafted on (defined in fastpath to
+# keep the 4-state semantics in one package, instantiated here to keep
+# the import DAG acyclic).
+from repro.fourstate.fastpath import (  # noqa: E402
+    make_fourstate_simulator_class as _make_fourstate_cls,
+)
+
+FourStateSimulator = _make_fourstate_cls(GemSimulator)
 
 
 class GemCompiler:
@@ -229,6 +266,23 @@ class GemCompiler:
         return CompiledDesign(synth=synth, plan=plan, merge=merge, program=program, report=report)
 
 
-def compile_circuit(circuit: Circuit, config: GemConfig | None = None) -> CompiledDesign:
-    """Convenience one-shot compile."""
+def compile_circuit(
+    circuit: Circuit,
+    config: GemConfig | None = None,
+    *,
+    values: int = 2,
+    x_reset: bool = True,
+    x_memory: bool = True,
+) -> CompiledDesign:
+    """Convenience one-shot compile.
+
+    ``values=4`` compiles through the dual-rail transform so the fast
+    engines execute X/Z semantics natively; ``x_reset`` / ``x_memory``
+    control whether registers / memories power up unknown (only
+    meaningful with ``values=4``).
+    """
+    from repro.fourstate.fastpath import compile_fourstate, validate_values
+
+    if validate_values(values) == 4:
+        return compile_fourstate(circuit, config, x_reset=x_reset, x_memory=x_memory)
     return GemCompiler(config).compile(circuit)

@@ -86,6 +86,19 @@ def validate_batch(batch: int) -> int:
     return words
 
 
+#: value systems the engine stack executes: 2-state, or 4-state via the
+#: dual-rail compile transform (see :mod:`repro.fourstate.fastpath`)
+SUPPORTED_VALUES = (2, 4)
+
+
+def validate_values(values: int) -> int:
+    if values not in SUPPORTED_VALUES:
+        raise ValueError(
+            f"values must be one of {SUPPORTED_VALUES}, got {values!r}"
+        )
+    return values
+
+
 def int_to_bits(value: int, nbits: int) -> np.ndarray:
     """Little-endian bit vector of ``value`` (bool, vectorized, any width)."""
     nbytes = (nbits + 7) // 8
@@ -114,13 +127,28 @@ class ExecutionEngine:
     word.  ``batch > 64`` switches to K-word planes: ``(n, K)`` arrays,
     all-ones :attr:`lane_mask` (every word fully active), and a ``(K,)``
     quarantine plane.
+
+    **Four-state (dual-rail) execution.**  ``values=4`` designs are
+    compiled through :func:`repro.fourstate.dualrail.to_dual_rail`, which
+    lowers every 4-state net into two ordinary 2-state nets — a value
+    rail and a known (``__u``) rail — *before* the program reaches this
+    engine.  Both rails occupy regular slots in the same packed lane
+    planes, so X/Z propagation costs exactly one extra net per 4-state
+    net and zero new fold primitives: lane packing, quarantine keep
+    masks, digests and checkpoints treat the known rail like any other
+    state word.  ``values`` is recorded here purely so runtime layers
+    (checkpoints, supervisor, oracle) can tag which value system a lane
+    plane encodes; it never changes the fold math.
     """
 
-    def __init__(self, batch: int = 1) -> None:
+    def __init__(self, batch: int = 1, values: int = 2) -> None:
         #: lane-plane width: state elements are ``(n,)`` words for
         #: ``words == 1`` and ``(n, words)`` rows beyond that
         self.words = validate_batch(batch)
         self.batch = batch
+        #: value system the lane planes encode: 2 (plain) or 4 (dual-rail;
+        #: the compiled program carries value+known rails as paired nets)
+        self.values = validate_values(values)
         if self.words == 1:
             #: active-lane mask: bit ``l`` set for every lane ``l < batch``
             self.lane_mask = (

@@ -220,6 +220,12 @@ class GemInterpreter:
     log line when fusion is unavailable.
     """
 
+    #: value system of the executed program: 2 for plain designs, 4 for
+    #: dual-rail designs (repro.fourstate.fastpath overrides this) —
+    #: recorded in checkpoints so a v4 file cannot silently restore into
+    #: an engine running the other value system
+    values = 2
+
     def __init__(
         self,
         program: GemProgram,

@@ -101,7 +101,7 @@ def to_dual_rail(circuit: Circuit, x_reset: bool = True, x_memory: bool = True) 
             env[op.out.uid] = (d_reg, u_reg)
             reg_pairs.append((op, d_reg, u_reg))
 
-    mems = _build_memories(b, circuit, env, netlist, x_memory)
+    mems = _build_memories(b, circuit, env, netlist, x_reset, x_memory)
 
     for op in netlist.order:
         env[op.out.uid] = _lower(b, op, env, mems, netlist)
@@ -143,19 +143,26 @@ class _MemPair:
         self.sync_ports: list[tuple[Value, Value, Value] | None] = []
 
 
-def _build_memories(b, circuit, env, netlist, x_memory) -> dict[str, _MemPair]:
+def _build_memories(b, circuit, env, netlist, x_reset, x_memory) -> dict[str, _MemPair]:
     mems: dict[str, _MemPair] = {}
     for mem in circuit.memories:
         pair = _MemPair(b, mem, x_memory)
         mems[mem.name] = pair
-        # Sync read data is state: build it from register pairs so the
-        # rails exist before the combinational pass (an async port plus a
-        # sampling register is semantically identical to a sync port).
+        # Sync read data is state: deferred native sync ports give us the
+        # data rails before the combinational pass computes the address
+        # (bound in _finish_memories).  Keeping the ports *synchronous* is
+        # what preserves native RAM-block mapping — lowering them to async
+        # reads plus sampling registers would polyfill both rail memories
+        # into depth x width mux trees (§III-B: async ports cannot use
+        # native blocks), a ~15-20x gate blow-up on RAM-heavy designs.
         for i, rp in enumerate(mem.read_ports):
             if rp.sync:
-                ovr = b.reg(f"{mem.name}__ovr{i}", 1, init=1)
-                rd_d = b.reg(f"{mem.name}__rd{i}d", mem.width, init=0)
-                rd_u = b.reg(f"{mem.name}__rd{i}u", mem.width, init=0)
+                # The pre-first-sample output is register-like state: the
+                # reference powers it up X under x_reset (not x_memory),
+                # known 0 otherwise.
+                ovr = b.reg(f"{mem.name}__ovr{i}", 1, init=1 if x_reset else 0)
+                rd_d = b.read_deferred(pair.d)
+                rd_u = b.read_deferred(pair.u)
                 pair.sync_ports.append((ovr, rd_d, rd_u))
                 force_x = ovr | pair.poison
                 mw = mem.width
@@ -290,21 +297,27 @@ def _finish_memories(b: CircuitBuilder, circuit, env, mems) -> None:
             b.write(pair.d, wen, ad.trunc(ab), wdata_d)
             b.write(pair.u, wen, ad.trunc(ab), wdata_u)
         pair.poison.next = poison_next
-        # Sync read ports: the sampling registers built up front latch the
-        # (read-first) memory contents whenever the port may be enabled.
+        # Sync read ports: bind the deferred native ports built up front.
+        # A maybe-enabled port (X enable) still samples — pessimistically
+        # latching *something* — and the ``ovr`` register marks the output
+        # X until the next definitely-known sample.  Port semantics
+        # (read-first, hold when disabled, output 0 before any sample)
+        # match the sampling-register formulation exactly; the initial
+        # pre-sample output is never observable because ``ovr`` powers up
+        # set.
         for i, rp in enumerate(mem.read_ports):
             if not rp.sync:
                 continue
             ovr, rd_d, rd_u = pair.sync_ports[i]
+            ad, au = env[rp.addr.uid]
+            addr_x = au[ab - 1 : 0].reduce_or()
             if rp.en is not None:
                 en_d, en_u = env[rp.en.uid]
+                sample = en_d | en_u
+                ovr.next = b.mux(sample, en_u | addr_x, ovr)
+                b.bind_read(pair.d, rd_d, ad.trunc(ab), en=sample)
+                b.bind_read(pair.u, rd_u, ad.trunc(ab), en=sample)
             else:
-                en_d, en_u = b.const(1, 1), b.const(0, 1)
-            ad, au = env[rp.addr.uid]
-            sample = en_d | en_u
-            addr_x = au[ab - 1 : 0].reduce_or()
-            ovr.next = b.mux(sample, en_u | addr_x, ovr)
-            raw_d = b.read(pair.d, ad.trunc(ab), sync=False)
-            raw_u = b.read(pair.u, ad.trunc(ab), sync=False)
-            rd_d.next = b.mux(sample, raw_d, rd_d)
-            rd_u.next = b.mux(sample, raw_u, rd_u)
+                ovr.next = addr_x
+                b.bind_read(pair.d, rd_d, ad.trunc(ab))
+                b.bind_read(pair.u, rd_u, ad.trunc(ab))

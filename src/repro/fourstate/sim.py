@@ -23,6 +23,19 @@ from repro.rtl.ir import Op, OpKind, Signal
 from repro.rtl.netlist import Netlist
 
 
+def _addr_unknown(addr: FourState, mem) -> bool:
+    """True when the *address port* carries X.
+
+    Only the low ``addr_bits`` of the address word exist in hardware (the
+    dual-rail transform truncates the address to the port width before it
+    reaches the decoder), so an X confined to bits above ``addr_bits``
+    cannot change which word is selected and must not poison the access.
+    The oracle flushed this out: the old whole-word test was pessimistic
+    in a way no realizable dual-rail netlist can reproduce.
+    """
+    return bool(addr.unknown & ((1 << mem.addr_bits) - 1))
+
+
 class FourStateSim:
     """4-state cycle simulation of a word-level netlist."""
 
@@ -115,7 +128,7 @@ class FourStateSim:
         if kind is OpKind.MEMRD:  # asynchronous port
             mem = self.netlist.memories[op.attrs["memory"]]
             addr = get(ins[0])
-            if addr.unknown or self.mem_poison[mem.name]:
+            if _addr_unknown(addr, mem) or self.mem_poison[mem.name]:
                 return FourState.all_x(mem.width)
             return self.mem_state[mem.name][addr.data % mem.depth]
         raise NotImplementedError(str(kind))
@@ -160,7 +173,7 @@ class FourStateSim:
                     new_sync[(mem.name, i)] = FourState.all_x(mem.width)
                 elif not en.data:
                     new_sync[(mem.name, i)] = old
-                elif addr.unknown:
+                elif _addr_unknown(addr, mem):
                     new_sync[(mem.name, i)] = FourState.all_x(mem.width)
                 else:
                     new_sync[(mem.name, i)] = words[addr.data % mem.depth]
@@ -171,7 +184,7 @@ class FourStateSim:
                 if not en.unknown and not en.data:
                     continue  # definitely no write
                 addr = get(wp.addr)
-                if addr.unknown:
+                if _addr_unknown(addr, mem):
                     # A write whose target is unknown poisons the memory:
                     # every later read returns X (sticky — the rule a
                     # dual-rail hardware transform can realize exactly).

@@ -267,6 +267,7 @@ def run_fuzz(
     bank_novel: bool = False,
     deadline_s: float | None = None,
     wave_dir: str | None = None,
+    values: int | None = None,
 ) -> FuzzStats:
     """The coverage-guided differential fuzz campaign behind ``gem-fuzz run``.
 
@@ -282,6 +283,10 @@ def run_fuzz(
     the waveform window around the first divergent cycle is dumped as a
     VCD next to the repro (:func:`repro.obs.probe.dump_divergence_waves`)
     — the triage artifact that shows the state entering the bad cycle.
+
+    ``values`` forces 2- or 4-state oracle checking for every iteration;
+    when None each profile's ``ShapeKnobs.values`` decides (the ``xprop``
+    profile runs 4-state with x-injecting stimuli out of the box).
     """
     import random
 
@@ -313,12 +318,16 @@ def run_fuzz(
         design_seed = rng.getrandbits(31)
         generated = generate_design(design_seed, profile)
         spec = generated.spec
-        stimuli = random_stimuli(spec, design_seed, cycles)
+        knobs = PROFILES[profile]
+        effective_values = knobs.values if values is None else values
+        x_rate = knobs.x_input_rate if effective_values == 4 else 0.0
+        stimuli = random_stimuli(spec, design_seed, cycles, x_rate=x_rate)
         config = OracleConfig(
             batches=batches,
             backends=backends,
-            compile_profile=PROFILES[profile].compile_profile,
+            compile_profile=knobs.compile_profile,
             inject=inject,
+            values=effective_values,
         )
         result = run_oracle(spec, stimuli, config)
         stats.iterations += 1
@@ -335,11 +344,11 @@ def run_fuzz(
         if result.ok:
             publish_fuzz_iteration(profile, False, len(stats.coverage))
             if inject is not None:
-                # A fixed fold bit can land in logic a given design never
-                # observes; say so instead of letting a self-test pass
-                # silently for the wrong reason.
+                # A fixed fold/known-rail bit can land in logic a given
+                # design never observes; say so instead of letting a
+                # self-test pass silently for the wrong reason.
                 logger.warning(
-                    "iter %d [%s seed=%d]: injected fold mutation %s was not "
+                    "iter %d [%s seed=%d]: injected mutation %s was not "
                     "observable on this design",
                     it, profile, design_seed, inject,
                 )

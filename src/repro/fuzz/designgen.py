@@ -310,6 +310,11 @@ class ShapeKnobs:
     n_outputs: int = 6
     #: compile profile the oracle should pair with this shape
     compile_profile: str = "small"
+    #: probability an input drives an X mask on a given cycle (4-value
+    #: campaigns: floating/partially-driven inputs); 0 = fully known
+    x_input_rate: float = 0.0
+    #: value system the oracle should run this shape under (2 or 4)
+    values: int = 2
 
 
 #: Named shape presets, each aimed at one compile-flow corner.
@@ -354,6 +359,17 @@ PROFILES: dict[str, ShapeKnobs] = {
         n_regs=10,
         widths=(4, 8, 16, 24),
         compile_profile="merge",
+    ),
+    # 4-value x-propagation: unknown resets (the oracle powers registers
+    # and memories up X) plus floating inputs that drive X masks ~1/3 of
+    # the time — run against the FourStateSim golden via values=4
+    "xprop": ShapeKnobs(
+        n_ops=30,
+        n_regs=5,
+        clock_enable_frac=0.5,
+        mem_recipes=((((8, 16), (4, 8), 0.7, 0.2, 0.2)),),
+        x_input_rate=0.35,
+        values=4,
     ),
 }
 
@@ -538,9 +554,18 @@ def generate_design(seed: int, profile: str = "mixed") -> GeneratedDesign:
     return GeneratedDesign(spec=spec, seed=seed, profile=profile)
 
 
-def random_stimuli(spec: DesignSpec, seed: int, cycles: int) -> list[dict[str, int]]:
+def random_stimuli(
+    spec: DesignSpec, seed: int, cycles: int, x_rate: float = 0.0
+) -> list[dict[str, int]]:
     """Random input vectors for a spec (held one extra cycle 25% of the
-    time, so enables and write strobes see realistic multi-cycle pulses)."""
+    time, so enables and write strobes see realistic multi-cycle pulses).
+
+    ``x_rate > 0`` makes inputs *float*: with that probability per input
+    per vector, a ``name__x`` unknown-mask key rides next to the data
+    word — the dual-rail engines and the 4-state golden both consume
+    this representation, and it survives ``.gemrepro``'s integer-only
+    stimulus encoding.  Held cycles hold their X masks too.
+    """
     rng = random.Random(seed ^ 0x5F375A86)
     out: list[dict[str, int]] = []
     prev: dict[str, int] | None = None
@@ -549,6 +574,12 @@ def random_stimuli(spec: DesignSpec, seed: int, cycles: int) -> list[dict[str, i
             out.append(dict(prev))
             continue
         vec = {name: rng.getrandbits(width) for name, width in spec.inputs}
+        if x_rate > 0:
+            for name, width in spec.inputs:
+                if rng.random() < x_rate:
+                    mask = rng.getrandbits(width)
+                    if mask:
+                        vec[f"{name}__x"] = mask
         out.append(vec)
         prev = vec
     return out

@@ -26,6 +26,20 @@ An ``inject`` descriptor swaps in a deliberately mutated bitstream
 (:func:`repro.core.bitstream.mutate_fold_constant`) so the fuzzer's own
 detection path can be exercised end to end: the mutation hits both GEM
 engines while the references stay clean.
+
+**4-value mode** (``OracleConfig(values=4)``): the design is compiled
+through the dual-rail transform and the reference becomes the golden
+:class:`~repro.fourstate.sim.FourStateSim` (named ``fourstate``).  Every
+engine in ``config.engines`` then runs the *dual-rail* circuit as an
+ordinary 2-state program — ``word`` over the transformed netlist,
+``simref`` over its synthesized E-AIG, ``legacy``/``fused`` over the
+assembled bitstream — and outputs are decoded back to 4-state words for
+comparison, so a divergence record carries the 4-value symbols
+(``01x``).  Stimuli may carry ``name__x`` unknown-mask keys next to the
+plain data words (the x-injecting ``xprop`` generator produces these).
+The extra inject kind ``{"kind": "known_rail", "cycle": C, "bit": B}``
+flips one known-rail state bit in the GEM engines at cycle ``C`` while
+the reference stays clean — the 4-value oracle-fires self-check.
 """
 
 from __future__ import annotations
@@ -42,6 +56,10 @@ from repro.core.partition import PartitionConfig
 from repro.core.ram_mapping import RamMappingConfig
 from repro.core.synthesis import SynthesisConfig
 from repro.errors import BackendUnavailableError
+from repro.fourstate.dualrail import to_dual_rail
+from repro.fourstate.fastpath import validate_values
+from repro.fourstate.semantics import FourState
+from repro.fourstate.sim import FourStateSim
 from repro.fuzz.designgen import DesignSpec
 from repro.harness.cosim import output_mismatches
 from repro.rtl.netlist import Netlist, WordSim
@@ -113,7 +131,18 @@ class OracleConfig:
     backends: tuple[str, ...] = ("numpy",)
     compile_profile: str = "small"
     #: fault descriptor, e.g. ``{"kind": "fold", "index": 0, "bit": 3}``
+    #: or ``{"kind": "known_rail", "cycle": 0, "bit": 0}`` (4-value mode)
     inject: dict | None = None
+    #: value system: 2 (plain) or 4 (dual-rail vs the FourStateSim golden)
+    values: int = 2
+    #: 4-value mode: registers (and sync-read samplers) power up X
+    x_reset: bool = True
+    #: 4-value mode: memory words beyond the init image power up X
+    x_memory: bool = True
+    #: snapshot each GEM engine at this cycle of the batch-1 phase and
+    #: continue from a serialization round-trip of the checkpoint — the
+    #: mid-run checkpoint/resume lockstep check (None = off)
+    checkpoint_cycle: int | None = None
 
     def to_json(self) -> dict:
         return {
@@ -122,16 +151,25 @@ class OracleConfig:
             "backends": list(self.backends),
             "compile_profile": self.compile_profile,
             "inject": self.inject,
+            "values": self.values,
+            "x_reset": self.x_reset,
+            "x_memory": self.x_memory,
+            "checkpoint_cycle": self.checkpoint_cycle,
         }
 
     @classmethod
     def from_json(cls, raw: dict) -> "OracleConfig":
+        ckpt = raw.get("checkpoint_cycle")
         return cls(
             engines=tuple(raw.get("engines", ENGINES)),
             batches=tuple(int(b) for b in raw.get("batches", (1, 16, 64))),
             backends=tuple(raw.get("backends", ("numpy",))),
             compile_profile=str(raw.get("compile_profile", "small")),
             inject=raw.get("inject"),
+            values=int(raw.get("values", 2)),
+            x_reset=bool(raw.get("x_reset", True)),
+            x_memory=bool(raw.get("x_memory", True)),
+            checkpoint_cycle=None if ckpt is None else int(ckpt),
         )
 
 
@@ -142,10 +180,16 @@ class FuzzDivergence:
     cycle: int
     engine: str
     reference: str
-    #: signal name -> (reference value, engine value)
+    #: signal name -> (reference value, engine value); in 4-value mode
+    #: these are the value-rail (data) words
     signals: dict[str, tuple[int, int]]
     batch: int = 1
     lane: int | None = None
+    #: value system the oracle ran under (2 or 4)
+    values: int = 2
+    #: 4-value mode only: signal name -> (reference, engine) as "01x"
+    #: symbol strings, MSB first — the exact 4-value disagreement
+    symbols: dict[str, tuple[str, str]] | None = None
 
     @property
     def signal(self) -> str:
@@ -154,9 +198,15 @@ class FuzzDivergence:
 
     def describe(self) -> str:
         where = f" batch={self.batch}" + (f" lane={self.lane}" if self.lane is not None else "")
+        if self.values == 4:
+            where += " values=4"
         lines = [f"divergence at cycle {self.cycle}: {self.engine} vs {self.reference}{where}"]
         for name, (ref, dut) in sorted(self.signals.items()):
-            lines.append(f"  {name}: {self.reference}={ref:#x} {self.engine}={dut:#x}")
+            if self.symbols and name in self.symbols:
+                rsym, dsym = self.symbols[name]
+                lines.append(f"  {name}: {self.reference}={rsym} {self.engine}={dsym}")
+            else:
+                lines.append(f"  {name}: {self.reference}={ref:#x} {self.engine}={dut:#x}")
         return "\n".join(lines)
 
     def to_json(self) -> dict:
@@ -167,10 +217,17 @@ class FuzzDivergence:
             "signals": {k: list(v) for k, v in self.signals.items()},
             "batch": self.batch,
             "lane": self.lane,
+            "values": self.values,
+            "symbols": (
+                None
+                if self.symbols is None
+                else {k: list(v) for k, v in self.symbols.items()}
+            ),
         }
 
     @classmethod
     def from_json(cls, raw: dict) -> "FuzzDivergence":
+        symbols = raw.get("symbols")
         return cls(
             cycle=int(raw["cycle"]),
             engine=str(raw["engine"]),
@@ -178,6 +235,12 @@ class FuzzDivergence:
             signals={str(k): (int(v[0]), int(v[1])) for k, v in raw["signals"].items()},
             batch=int(raw.get("batch", 1)),
             lane=raw.get("lane"),
+            values=int(raw.get("values", 2)),
+            symbols=(
+                None
+                if symbols is None
+                else {str(k): (str(v[0]), str(v[1])) for k, v in symbols.items()}
+            ),
         )
 
     def same_site(self, other: "FuzzDivergence | None") -> bool:
@@ -240,6 +303,46 @@ def _rotated(stimuli: list[dict[str, int]], lane: int) -> list[dict[str, int]]:
     return stimuli[k:] + stimuli[:k]
 
 
+def _mismatches4(
+    ref4: Mapping[str, FourState], dut4: Mapping[str, FourState]
+) -> tuple[dict[str, tuple[int, int]], dict[str, tuple[str, str]]]:
+    """4-value output comparison: (data-word mismatches, symbol strings)."""
+    signals: dict[str, tuple[int, int]] = {}
+    symbols: dict[str, tuple[str, str]] = {}
+    for name, rv in ref4.items():
+        dv = dut4.get(name)
+        if dv is None or dv != rv:
+            signals[name] = (rv.data, 0 if dv is None else dv.data)
+            symbols[name] = (str(rv), "<missing>" if dv is None else str(dv))
+    return signals, symbols
+
+
+def _vec4(widths: Mapping[str, int], vec: Mapping[str, int]) -> dict[str, FourState]:
+    """Raw rail stimulus (ints + ``name__x`` masks) -> FourState inputs."""
+    out: dict[str, FourState] = {}
+    for name, width in widths.items():
+        mask = (1 << width) - 1
+        data = int(vec.get(name, 0)) & mask
+        unknown = int(vec.get(f"{name}__x", 0)) & mask
+        out[name] = FourState(data & ~unknown, unknown, width)
+    return out
+
+
+def _ckpt_roundtrip(sim, make_fresh):
+    """Serialize ``sim``'s state through the on-disk checkpoint words and
+    restore it into a freshly constructed engine — the oracle's mid-run
+    checkpoint/resume lockstep seam (format v4 for 4-state engines)."""
+    from repro.runtime.checkpoint import (
+        checkpoint_from_words,
+        checkpoint_to_words,
+        restore,
+        snapshot,
+    )
+
+    ckpt = checkpoint_from_words(checkpoint_to_words(snapshot(sim)))
+    return restore(make_fresh(), ckpt)
+
+
 def run_oracle(
     spec: DesignSpec,
     stimuli: list[dict[str, int]],
@@ -247,18 +350,50 @@ def run_oracle(
 ) -> OracleResult:
     """Compile ``spec`` and run the N-way lockstep cross-check."""
     config = config or OracleConfig()
+    values = validate_values(config.values)
     circuit = spec.build()
-    compiled = GemCompiler(compile_profile(config.compile_profile)).compile(circuit)
+    gem_config = compile_profile(config.compile_profile)
+    if values == 4:
+        dual = to_dual_rail(circuit, x_reset=config.x_reset, x_memory=config.x_memory)
+        compiled = GemCompiler(gem_config).compile(dual.circuit)
+        compiled.fourstate = dual
+    else:
+        dual = None
+        compiled = GemCompiler(gem_config).compile(circuit)
     program: GemProgram = compiled.program
+    inject_rail: dict | None = None
     if config.inject is not None:
         inj = config.inject
-        if inj.get("kind", "fold") != "fold":
+        kind = inj.get("kind", "fold")
+        if kind == "fold":
+            program = mutate_fold_constant(
+                compiled.program, int(inj.get("index", 0)), int(inj.get("bit", 0))
+            )
+        elif kind == "known_rail":
+            if values != 4:
+                raise ValueError("known_rail inject requires OracleConfig(values=4)")
+            from repro.obs.probe import probe_catalog
+
+            rails = [
+                net
+                for net in probe_catalog(compiled)
+                if net.kind == "register" and "__u" in net.name
+            ]
+            if not rails:
+                raise ValueError(
+                    "known_rail inject: design has no known-rail state"
+                )
+            flat = [g for net in rails for g in net.gidx]
+            inject_rail = {
+                "cycle": int(inj.get("cycle", 0)),
+                "gidx": flat[int(inj.get("bit", 0)) % len(flat)],
+            }
+        else:
             raise ValueError(f"unknown inject kind {inj!r}")
-        program = mutate_fold_constant(
-            compiled.program, int(inj.get("index", 0)), int(inj.get("bit", 0))
-        )
 
     coverage = design_coverage(compiled, config.compile_profile)
+    if values == 4:
+        coverage.add("values:4")
     stats = {
         "gates": compiled.report.gates,
         "levels": compiled.report.levels,
@@ -268,12 +403,22 @@ def run_oracle(
     }
 
     def make_engine(name: str, batch: int = 1, backend: str | None = None):
+        # In 4-value mode every engine executes the *dual-rail* circuit
+        # as an ordinary 2-state program; only the golden reference
+        # (constructed separately) computes FourState words directly.
         if name == "word":
-            return WordSim(Netlist(circuit))
+            return WordSim(Netlist(dual.circuit if values == 4 else circuit))
         if name == "simref":
             return GateLevelSim(compiled.synth)
         if name in ("fused", "legacy"):
-            sim = GemSimulator(program, batch=batch, mode=name, backend=backend)
+            if values == 4:
+                from repro.core.compiler import FourStateSimulator
+
+                sim = FourStateSimulator(
+                    program, dual=dual, batch=batch, mode=name, backend=backend
+                )
+            else:
+                sim = GemSimulator(program, batch=batch, mode=name, backend=backend)
             if name == "fused" and sim.mode != "fused":
                 coverage.add("fallback:legacy")
             return sim
@@ -297,7 +442,44 @@ def run_oracle(
     engines = [e for e in ENGINES if e in config.engines]
     if not engines:
         raise ValueError("oracle needs at least one engine")
-    reference_name, *duts = engines
+    if values == 4:
+        # The golden 4-state simulator is always the reference; every
+        # configured engine becomes a dual-rail DUT.
+        reference_name = "fourstate"
+        duts = engines
+        widths = dict(spec.inputs)
+        reference = FourStateSim(
+            Netlist(circuit), x_reset=config.x_reset, x_memory=config.x_memory
+        )
+    else:
+        reference_name, *duts = engines
+        reference = make_engine(reference_name)
+
+    def ref_step(vec: dict[str, int]):
+        if values == 4:
+            return reference.step(_vec4(widths, vec))
+        return reference.step(vec)
+
+    def cmp_ref(ref_out, dut_raw):
+        """Reference-domain comparison: (signals, symbols-or-None)."""
+        if values == 4:
+            return _mismatches4(ref_out, dual.decode_outputs(dut_raw))
+        return output_mismatches(ref_out, dut_raw), None
+
+    def cmp_raw(a_raw, b_raw):
+        """DUT-vs-DUT comparison over raw (rail) outputs."""
+        if values == 4:
+            return _mismatches4(dual.decode_outputs(a_raw), dual.decode_outputs(b_raw))
+        return output_mismatches(a_raw, b_raw), None
+
+    def diverged(signals, symbols, *, reference=reference_name, **kw) -> FuzzDivergence:
+        return FuzzDivergence(
+            signals=signals,
+            symbols=symbols,
+            values=values,
+            reference=reference,
+            **kw,
+        )
 
     def finish(div: FuzzDivergence | None) -> OracleResult:
         return OracleResult(
@@ -309,23 +491,38 @@ def run_oracle(
         )
 
     # Phase 1: batch-1 lockstep, every engine against the best reference.
-    reference = make_engine(reference_name)
     dut_sims = [(name, make_engine(name)) for name in duts]
-    ref_trace: list[dict[str, int]] = []
+    ref_trace = []
     for cycle, vec in enumerate(stimuli):
-        ref_out = reference.step(vec)
+        if inject_rail is not None and cycle == inject_rail["cycle"]:
+            # Flip one known-rail state bit in the GEM engines only: the
+            # 4-value oracle must notice the references disagreeing.
+            coverage.add("inject:known_rail")
+            for name, sim in dut_sims:
+                if name in ("fused", "legacy"):
+                    sim.global_state[inject_rail["gidx"]] ^= 1
+        ref_out = ref_step(vec)
         ref_trace.append(ref_out)
         for name, sim in dut_sims:
-            mism = output_mismatches(ref_out, sim.step(vec))
-            if mism:
+            signals, symbols = cmp_ref(ref_out, sim.step(vec))
+            if signals:
                 return finish(
-                    FuzzDivergence(
-                        cycle=cycle,
-                        engine=name,
-                        reference=reference_name,
-                        signals=mism,
-                    )
+                    diverged(signals, symbols, cycle=cycle, engine=name)
                 )
+        if config.checkpoint_cycle is not None and cycle == config.checkpoint_cycle:
+            # Swap every GEM engine for a checkpoint round-trip of itself:
+            # the continuation must stay in lockstep (resume correctness,
+            # format v4 carrying the known rail in 4-value mode).
+            coverage.add("checkpoint:roundtrip")
+            dut_sims = [
+                (
+                    name,
+                    _ckpt_roundtrip(sim, lambda name=name: make_engine(name))
+                    if name in ("fused", "legacy")
+                    else sim,
+                )
+                for name, sim in dut_sims
+            ]
 
     # Phase 2: lane-batched GEM paths (fused vs legacy per lane; lane 0
     # additionally pinned to the batch-1 reference trace).
@@ -350,47 +547,37 @@ def run_oracle(
             for cycle in range(len(stimuli)):
                 vecs = [lane_streams[lane][cycle] for lane in range(batch)]
                 outs_a = sim_a.step_lanes(vecs)
-                mism = output_mismatches(ref_trace[cycle], outs_a[0])
-                if mism:
+                signals, symbols = cmp_ref(ref_trace[cycle], outs_a[0])
+                if signals:
                     return finish(
-                        FuzzDivergence(
-                            cycle=cycle,
-                            engine=primary,
-                            reference=reference_name,
-                            signals=mism,
-                            batch=batch,
-                            lane=0,
+                        diverged(
+                            signals, symbols,
+                            cycle=cycle, engine=primary, batch=batch, lane=0,
                         )
                     )
                 for bk, sim_bk in backend_sims:
                     outs_bk = sim_bk.step_lanes(vecs)
                     for lane in range(batch):
-                        mism = output_mismatches(outs_a[lane], outs_bk[lane])
-                        if mism:
+                        signals, symbols = cmp_raw(outs_a[lane], outs_bk[lane])
+                        if signals:
                             return finish(
-                                FuzzDivergence(
-                                    cycle=cycle,
-                                    engine=f"fused[{bk}]",
-                                    reference=primary,
-                                    signals=mism,
-                                    batch=batch,
-                                    lane=lane,
+                                diverged(
+                                    signals, symbols,
+                                    cycle=cycle, engine=f"fused[{bk}]",
+                                    reference=primary, batch=batch, lane=lane,
                                 )
                             )
                 if sim_b is None:
                     continue
                 outs_b = sim_b.step_lanes(vecs)
                 for lane in range(batch):
-                    mism = output_mismatches(outs_b[lane], outs_a[lane])
-                    if mism:
+                    signals, symbols = cmp_raw(outs_b[lane], outs_a[lane])
+                    if signals:
                         return finish(
-                            FuzzDivergence(
-                                cycle=cycle,
-                                engine=primary,
-                                reference=secondary,
-                                signals=mism,
-                                batch=batch,
-                                lane=lane,
+                            diverged(
+                                signals, symbols,
+                                cycle=cycle, engine=primary,
+                                reference=secondary, batch=batch, lane=lane,
                             )
                         )
 
@@ -399,13 +586,16 @@ def run_oracle(
 
 def _coerce_stimuli(spec: DesignSpec, stimuli: list[Mapping[str, int]]) -> list[dict[str, int]]:
     """Mask stimulus words to input widths, drop unknown names (shrunk
-    specs replay the original stimuli against fewer/narrower inputs)."""
+    specs replay the original stimuli against fewer/narrower inputs).
+    ``name__x`` unknown-mask keys ride along with their base input — a
+    4-value repro keeps its X pattern through shrinking and replay."""
     widths = dict(spec.inputs)
-    return [
-        {
-            name: value & ((1 << widths[name]) - 1)
-            for name, value in vec.items()
-            if name in widths
-        }
-        for vec in stimuli
-    ]
+    out: list[dict[str, int]] = []
+    for vec in stimuli:
+        row: dict[str, int] = {}
+        for name, value in vec.items():
+            base = name[:-3] if name.endswith("__x") else name
+            if base in widths:
+                row[name] = int(value) & ((1 << widths[base]) - 1)
+        out.append(row)
+    return out

@@ -129,6 +129,21 @@ def main_run(argv: list[str] | None = None) -> int:
         "--profile", action="store_true",
         help="print the per-phase wall-clock split (inject/gather/fold/commit)",
     )
+    parser.add_argument(
+        "--values", type=int, choices=[2, 4], default=2,
+        help="value system: 2 (default) or 4 — compile through the "
+        "dual-rail transform so the fast engines execute X/Z natively; "
+        "outputs then report value-rail words plus their __x unknown "
+        "masks (docs/ENGINE.md)",
+    )
+    parser.add_argument(
+        "--x-reset", dest="x_reset", action=argparse.BooleanOptionalAction,
+        default=True,
+        help="with --values 4: registers/memories power up unknown "
+        "(default; the reset-coverage scenario). --no-x-reset powers up "
+        "at declared init values, making fully-known runs bit-identical "
+        "to the 2-state engine",
+    )
     resilience = parser.add_argument_group("resilience (supervised execution)")
     resilience.add_argument(
         "--checkpoint-every", type=int, default=None, metavar="N",
@@ -312,7 +327,13 @@ def _make_probe_tap(args):
     from repro.obs.activity import ActivityAccumulator
     from repro.obs.probe import ProbeTap, WaveRing, build_probe_plan
 
-    design = compile_design(args.design, getattr(args, "tuned_config", None))
+    design = compile_design(
+        args.design,
+        getattr(args, "tuned_config", None),
+        values=getattr(args, "values", 2),
+        x_reset=getattr(args, "x_reset", True),
+        x_memory=getattr(args, "x_reset", True),
+    )
     plan = build_probe_plan(design, args.probe)
     sinks = []
     if args.vcd_out:
@@ -396,7 +417,13 @@ def _run_plain(args, wl, tap=None) -> int:
     from repro.harness.runner import compile_design
     from repro.obs.metrics import REGISTRY
 
-    design = compile_design(args.design, getattr(args, "tuned_config", None))
+    design = compile_design(
+        args.design,
+        getattr(args, "tuned_config", None),
+        values=args.values,
+        x_reset=args.x_reset,
+        x_memory=args.x_reset,
+    )
     sim = design.simulator(
         batch=args.batch,
         mode=args.engine_mode,
@@ -415,9 +442,16 @@ def _run_plain(args, wl, tap=None) -> int:
             observed.append(last[wl.out_port])
     elapsed = time.time() - t0
     lanes = f" x {args.batch} lanes" if args.batch > 1 else ""
+    vals = " 4-state" if args.values == 4 else ""
     print(f"{args.design}/{wl.name}: {len(stimuli)} cycles{lanes} in {elapsed:.2f}s "
           f"({len(stimuli) * args.batch / max(elapsed, 1e-9):.0f} lane-cycles/s on this host, "
-          f"{sim.mode} engine)")
+          f"{sim.mode}{vals} engine)")
+    if args.values == 4:
+        # Reset-coverage readout: X bits still visible on lane 0's outputs
+        # after the workload (0 = the reset sequence fully initialized
+        # everything observable).
+        print(f"unknown output bits after {len(stimuli)} cycles: "
+              f"{sim.unknown_output_bits()}")
     if args.profile:
         total = sum(sim.phase_times.values()) or 1e-9
         print("per-phase time split:")
@@ -440,10 +474,12 @@ def _run_plain(args, wl, tap=None) -> int:
                 **probe_extras,
             },
         )
-    if wl.expected_out is not None:
+    if wl.expected_out is not None and not (args.values == 4 and args.x_reset):
         status = "MATCH" if observed == wl.expected_out else "MISMATCH"
         print(f"observable output stream: {observed} [{status}]")
     else:
+        # With --values 4 under x-reset the expected 2-state stream does
+        # not apply (outputs may legitimately carry X), so just show state.
         shown = {k: v for k, v in list(last.items())[:6]}
         print(f"final outputs: {shown}")
     return 0
@@ -478,6 +514,8 @@ def _run_supervised(args, wl, tap=None) -> int:
             quarantine_after=args.quarantine_after,
             config=getattr(args, "tuned_config", None),
             probe=tap,
+            values=args.values,
+            x_reset=args.x_reset,
         )
     except CheckpointError as exc:
         print(f"cannot resume: {exc}")
@@ -518,7 +556,8 @@ def _run_supervised(args, wl, tap=None) -> int:
         if wl.valid_port in out and out.get(wl.valid_port)
     ]
     whole_workload = args.max_cycles is None or args.max_cycles >= len(wl.stimuli)
-    if wl.expected_out is not None and whole_workload and args.resume is None:
+    known_run = not (args.values == 4 and args.x_reset)
+    if wl.expected_out is not None and whole_workload and args.resume is None and known_run:
         status = "MATCH" if observed == wl.expected_out else "MISMATCH"
         print(f"observable output stream: {observed} [{status}]")
         if status == "MISMATCH":
@@ -871,6 +910,17 @@ def main_fuzz(argv: list[str] | None = None) -> int:
         help="flip one fold-constant bit in every compiled bitstream "
         "(self-test: the oracle must catch the mutation)",
     )
+    p_run.add_argument(
+        "--inject-known-rail", default=None, metavar="CYCLE:BIT",
+        help="flip one known-rail state bit at the given cycle in the fast "
+        "4-state engines (self-test: the 4-value oracle must catch the "
+        "phantom X; implies --values 4)",
+    )
+    p_run.add_argument(
+        "--values", type=int, choices=(2, 4), default=None,
+        help="force 2- or 4-state oracle checking for every profile "
+        "(default: each profile's own values knob; xprop runs 4-state)",
+    )
     p_run.add_argument("--json", action="store_true", help="emit the stats as JSON")
 
     p_rep = sub.add_parser("replay", help="re-run .gemrepro files against their expectation")
@@ -910,9 +960,19 @@ def main_fuzz(argv: list[str] | None = None) -> int:
 
     # run
     inject = None
+    values = args.values
+    if args.inject_fold and args.inject_known_rail:
+        parser.error("--inject-fold and --inject-known-rail are mutually exclusive")
     if args.inject_fold:
         idx, _, bit = args.inject_fold.partition(":")
         inject = {"kind": "fold", "index": int(idx), "bit": int(bit or 0)}
+    if args.inject_known_rail:
+        cyc, _, bit = args.inject_known_rail.partition(":")
+        inject = {"kind": "known_rail", "cycle": int(cyc), "bit": int(bit or 0)}
+        if values is None:
+            values = 4
+        elif values != 4:
+            parser.error("--inject-known-rail requires --values 4")
     stats = run_fuzz(
         args.seed,
         args.iters,
@@ -928,6 +988,7 @@ def main_fuzz(argv: list[str] | None = None) -> int:
         corpus=Corpus(args.corpus) if args.corpus else None,
         bank_novel=args.bank_novel,
         deadline_s=args.deadline,
+        values=values,
     )
     if args.json:
         print(json.dumps({

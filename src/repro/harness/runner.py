@@ -201,14 +201,46 @@ def design_synth(name: str, config: GemConfig | None = None) -> SynthesisResult:
     return _cached(f"synth:{name}:{_synth_digest(config)}:v2", make)
 
 
-def compile_design(name: str, config: GemConfig | None = None) -> CompiledDesign:
+def compile_design(
+    name: str,
+    config: GemConfig | None = None,
+    *,
+    values: int = 2,
+    x_reset: bool = True,
+    x_memory: bool = True,
+) -> CompiledDesign:
     """Full GEM compile (and cache) of a registered design.
 
     Keyed by the canonical :meth:`GemConfig.digest` of the *effective*
     knobs, so a tuned and a default compile of the same design never
     collide (``repr``-based tags used to miss nested-config drift).
+
+    ``values=4`` compiles through the dual-rail transform
+    (:func:`repro.fourstate.fastpath.compile_fourstate`) so the fast
+    engines carry X/Z; the x-initialization knobs join the cache key
+    because they change the transformed circuit.
     """
+    from repro.fourstate.fastpath import validate_values
+
     effective = config or GemConfig()
+    if validate_values(values) == 4:
+        from repro.fourstate.fastpath import compile_fourstate
+
+        # v3: the dual-rail transform keeps sync read ports native
+        # (deferred-bound), structurally changing the compiled circuit.
+        key = (
+            f"compile:{name}:{effective.digest()}:v3"
+            f":values4:xr{int(x_reset)}:xm{int(x_memory)}"
+        )
+        with TRACER.span(
+            f"compile:{name}", cat="compile", args={"design": name, "values": 4}
+        ):
+            return _cached(
+                key,
+                lambda: compile_fourstate(
+                    design_circuit(name), config, x_reset=x_reset, x_memory=x_memory
+                ),
+            )
     key = f"compile:{name}:{effective.digest()}:v2"
     # The span exists even on a cache hit, so every traced run carries a
     # compile span (the child phase spans only appear on real compiles).
@@ -317,6 +349,8 @@ def run_resilient(
     quarantine_after: int = 2,
     config: GemConfig | None = None,
     probe=None,
+    values: int = 2,
+    x_reset: bool = True,
 ) -> "SupervisedRun":
     """Execute a registry design's workload under the resilience supervisor.
 
@@ -334,13 +368,19 @@ def run_resilient(
     state word (the result then carries per-lane output streams — see
     docs/ENGINE.md).  ``probe`` attaches a
     :class:`repro.obs.probe.ProbeTap` to the primary engine with
-    rollback-consistent tap state (docs/OBSERVABILITY.md).
+    rollback-consistent tap state (docs/OBSERVABILITY.md).  ``values=4``
+    runs the dual-rail 4-state build of the design (``x_reset`` controls
+    unknown power-up); the supervisor machinery — scrub, checkpoint,
+    quarantine — operates on both rails since they are ordinary state
+    words of the transformed program.
     """
     from repro.runtime.checkpoint import resolve_resume
     from repro.runtime.supervisor import Supervisor
     from repro.runtime.watchdog import Deadline
 
-    design = compile_design(name, config)
+    design = compile_design(
+        name, config, values=values, x_reset=x_reset, x_memory=x_reset
+    )
     workloads = design_workloads(name)
     wl = workloads[workload or next(iter(workloads))]
     stimuli = wl.stimuli[:max_cycles] if max_cycles else wl.stimuli
@@ -382,6 +422,7 @@ def measure_batch_throughput(
     backend: str | None = None,
     config: GemConfig | None = None,
     config_label: str | None = None,
+    values: int = 2,
 ) -> dict:
     """Wall-clock lane throughput of the packed-lane engine on a workload.
 
@@ -395,7 +436,7 @@ def measure_batch_throughput(
     """
     import time
 
-    design = compile_design(name, config)
+    design = compile_design(name, config, values=values)
     workloads = design_workloads(name)
     wl = workloads[workload or next(iter(workloads))]
     stimuli = wl.stimuli[:max_cycles] if max_cycles else wl.stimuli
@@ -410,6 +451,7 @@ def measure_batch_throughput(
         "design": name,
         "workload": wl.name,
         "batch": batch,
+        "values": values,
         "engine_mode": sim.mode,
         "backend": sim.backend.name,
         "config": config_label or ("default" if config is None else "custom"),

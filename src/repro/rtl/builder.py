@@ -380,6 +380,16 @@ class CircuitBuilder:
         data = mem.add_read_port(self.circuit, addr.signal, sync=sync, en=None if en is None else en.signal)
         return Value(self, data)
 
+    def read_deferred(self, mem: Memory) -> Value:
+        """A sync read port created before its address exists; see bind_read."""
+        return Value(self, mem.add_deferred_read_port(self.circuit))
+
+    def bind_read(self, mem: Memory, data: Value, addr: Value, en: "Value | None" = None) -> None:
+        """Late-bind the address/enable of a ``read_deferred`` port."""
+        mem.bind_read_port(
+            self.circuit, data.signal, addr.signal, None if en is None else en.signal
+        )
+
     def write(self, mem: Memory, en: Value, addr: Value, data: Value) -> None:
         mem.add_write_port(en.signal, addr.signal, data.signal)
 

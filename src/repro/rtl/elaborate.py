@@ -43,6 +43,11 @@ def check_circuit(circuit: Circuit) -> None:
                 if sig.uid not in driven:
                     raise ElaborationError(f"memory {mem.name!r}: port signal {sig.name!r} undriven")
         for rp in mem.read_ports:
+            if rp.addr is None:
+                raise ElaborationError(
+                    f"memory {mem.name!r}: deferred read port {rp.data.name!r} was never "
+                    f"bound (add_deferred_read_port without bind_read_port)"
+                )
             if rp.addr.uid not in driven:
                 raise ElaborationError(f"memory {mem.name!r}: read address {rp.addr.name!r} undriven")
     # Combinational-cycle detection is delegated to Netlist's toposort; do it

@@ -40,9 +40,15 @@ class WritePort:
 
 @dataclass
 class ReadPort:
-    """One read port; ``sync`` selects registered (True) vs combinational."""
+    """One read port; ``sync`` selects registered (True) vs combinational.
 
-    addr: Signal
+    ``addr`` is ``None`` only transiently, between
+    :meth:`Memory.add_deferred_read_port` and
+    :meth:`Memory.bind_read_port`; ``build()`` rejects circuits that
+    leave a port unbound.
+    """
+
+    addr: Signal | None
     data: Signal
     sync: bool
     #: For sync ports: optional read-enable; when low the output holds.
@@ -110,6 +116,43 @@ class Memory:
         port = ReadPort(addr=addr, data=data, sync=sync, en=en)
         self.read_ports.append(port)
         return data
+
+    def add_deferred_read_port(self, circuit: Circuit) -> Signal:
+        """Attach a *synchronous* read port whose address is bound later.
+
+        Two-phase circuit constructions (the dual-rail transform) need a
+        sync port's data signal — which is state, like a register — while
+        building the very logic that computes its address.  This returns
+        the data signal immediately; :meth:`bind_read_port` supplies
+        ``addr``/``en`` once they exist.  Only sync ports may defer: an
+        async port's output depends combinationally on its address, so
+        there is no phase at which the output exists without it.
+        """
+        data = circuit.new_signal(f"{self.name}_rd{len(self.read_ports)}", self.width)
+        circuit.add_op(OpKind.MEMRD, data, (), memory=self.name, port=len(self.read_ports), sync=True)
+        port = ReadPort(addr=None, data=data, sync=True, en=None)
+        self.read_ports.append(port)
+        return data
+
+    def bind_read_port(
+        self, circuit: Circuit, data: Signal, addr: Signal, en: Signal | None = None
+    ) -> None:
+        """Late-bind the address (and optional enable) of a deferred port."""
+        for port in self.read_ports:
+            if port.data.uid == data.uid:
+                break
+        else:
+            raise ValueError(f"memory {self.name!r}: {data.name!r} is not one of my read ports")
+        if port.addr is not None:
+            raise ValueError(f"memory {self.name!r}: read port {data.name!r} is already bound")
+        if addr.width < self.addr_bits:
+            raise ValueError(f"memory {self.name!r}: read addr width {addr.width} < {self.addr_bits}")
+        if en is not None and en.width != 1:
+            raise ValueError(f"memory {self.name!r}: read enable must be 1 bit")
+        port.addr = addr
+        port.en = en
+        op = circuit.producer[data.uid]
+        op.inputs = (addr,) if en is None else (addr, en)
 
     def initial_words(self) -> list[int]:
         """The full ``depth``-long initial content (zero-padded)."""

@@ -19,12 +19,12 @@ restoring against a different program raises
 layouts.  They are also bound to the batch size: a lane-batched snapshot
 only restores into an interpreter with the same number of lanes.
 
-On-disk format **v3** (``uint32`` words, sealed by the same per-section
+On-disk format **v4** (``uint32`` words, sealed by the same per-section
 CRC32 footer as the bitstream — see :mod:`repro.core.integrity`)::
 
     section 0  header: magic 'GEMK', format version, cycle (lo, hi),
                program digest, global bits, #rams, #deferred writes,
-               batch, lane-plane words K
+               batch, lane-plane words K, value system (2 or 4)
     section 1  counters: fixed-order fields as (lo, hi) u64 pairs
                (``_COUNTER_FIELDS``; older files carry a shorter prefix)
     section 2  global state: K packed uint64 words per bit as (lo, hi)
@@ -35,10 +35,23 @@ CRC32 footer as the bitstream — see :mod:`repro.core.integrity`)::
                plus K mask words as (lo, hi) pairs, then count×K packed
                values as (lo, hi) pairs
 
-Format **v2** files (single-word batches, ``batch <= 64``) have no K in
-the header and load as ``K=1``; format **v1** files (single-instance
-boolean engine, bit-packed state) still hydrate as ``batch=1``.  New
-files are always written as v3.
+v4 only adds the value-system header word: a ``values=4`` (dual-rail)
+snapshot carries the known-rail plane as ordinary global-state bits —
+the dual-rail transform makes the known rail part of the 2-state
+program, so sections 2–4 need no new encoding, and a 2-state v4 file's
+non-header sections are byte-identical to what v3 wrote.  Restoring a
+checkpoint into an engine running the other value system raises
+:class:`~repro.errors.CheckpointError` — the bitstream digest check
+would catch it anyway (different programs), but the header word makes
+the failure self-describing.
+
+Format **v3** files (no value-system word) load as ``values=2``; format
+**v2** files (single-word batches, ``batch <= 64``) additionally have no
+K in the header and load as ``K=1``; format **v1** files
+(single-instance boolean engine, bit-packed state) still hydrate as
+``batch=1``.  New files are always written as v4
+(:func:`checkpoint_to_words` can still emit v3 for 2-state snapshots —
+the compat matrix in tests/test_regressions.py exercises it).
 
 Checkpoints carry no execution-backend identity: the state layout is
 backend-independent, so a file saved under the numpy backend resumes
@@ -75,7 +88,10 @@ from repro.obs.trace import TRACER
 logger = logging.getLogger(__name__)
 
 CKPT_MAGIC = 0x47454D4B  # "GEMK"
-CKPT_VERSION = 3
+CKPT_VERSION = 4
+#: the pre-values format (no value-system header word), still readable
+#: and still writable for 2-state snapshots (compat matrix coverage)
+CKPT_VERSION_V3 = 3
 #: the single-word (batch <= 64) format, still readable
 CKPT_VERSION_V2 = 2
 #: the pre-lane single-instance format, still readable
@@ -115,6 +131,9 @@ class Checkpoint:
     batch: int = 1
     #: lane-plane words per state element (batch = K×64 when K > 1)
     words: int = 1
+    #: value system of the snapshotted engine: 2 (plain) or 4 (dual-rail
+    #: — the known-rail plane rides inside ``global_state``)
+    values: int = 2
     #: (global indices, packed values, lane mask or None) scatters not yet
     #: committed — empty for boundary snapshots
     deferred: list[tuple[np.ndarray, np.ndarray, np.uint64 | None]] = field(
@@ -136,6 +155,7 @@ def snapshot(interp: GemInterpreter) -> Checkpoint:
         counters=counters,
         batch=interp.batch,
         words=interp.engine.words,
+        values=getattr(interp, "values", 2),
     )
 
 
@@ -151,6 +171,11 @@ def restore(interp: GemInterpreter, ckpt: Checkpoint) -> GemInterpreter:
         raise CheckpointError(
             f"checkpoint carries {ckpt.batch} stimulus lanes, "
             f"interpreter runs {interp.batch}"
+        )
+    if ckpt.values != getattr(interp, "values", 2):
+        raise CheckpointError(
+            f"checkpoint was taken from a {ckpt.values}-state engine, "
+            f"interpreter runs {getattr(interp, 'values', 2)}-state"
         )
     if ckpt.global_state.size != interp.global_state.size:
         raise CheckpointError(
@@ -208,26 +233,37 @@ def _unpack_bits(words: np.ndarray, count: int) -> np.ndarray:
     return np.unpackbits(raw, bitorder="little")[:count].astype(bool)
 
 
-def checkpoint_to_words(ckpt: Checkpoint) -> np.ndarray:
-    """Serialize to a sealed v3 ``uint32`` container (see module docstring)."""
+def checkpoint_to_words(ckpt: Checkpoint, version: int = CKPT_VERSION) -> np.ndarray:
+    """Serialize to a sealed ``uint32`` container (see module docstring).
+
+    New files are v4; ``version=3`` emits the pre-values header for a
+    2-state snapshot (the compat tests diff the two encodings — only the
+    header section may differ).
+    """
+    if version not in (CKPT_VERSION, CKPT_VERSION_V3):
+        raise CheckpointError(f"cannot write checkpoint format version {version}")
+    if version == CKPT_VERSION_V3 and ckpt.values != 2:
+        raise CheckpointError(
+            f"checkpoint format v3 cannot carry a {ckpt.values}-state snapshot"
+        )
     words_k = int(ckpt.words)
     global_bits = (
         ckpt.global_state.shape[0] if ckpt.global_state.ndim == 2 else ckpt.global_state.size
     )
-    header = np.array(
-        [
-            CKPT_MAGIC,
-            CKPT_VERSION,
-            *_u64_pair(ckpt.cycle),
-            ckpt.program_digest & 0xFFFFFFFF,
-            global_bits,
-            len(ckpt.ram_arrays),
-            len(ckpt.deferred),
-            ckpt.batch,
-            words_k,
-        ],
-        dtype=np.uint32,
-    )
+    header_words = [
+        CKPT_MAGIC,
+        version,
+        *_u64_pair(ckpt.cycle),
+        ckpt.program_digest & 0xFFFFFFFF,
+        global_bits,
+        len(ckpt.ram_arrays),
+        len(ckpt.deferred),
+        ckpt.batch,
+        words_k,
+    ]
+    if version >= CKPT_VERSION:
+        header_words.append(ckpt.values)
+    header = np.array(header_words, dtype=np.uint32)
     counter_words: list[int] = []
     for name in _COUNTER_FIELDS:
         counter_words.extend(_u64_pair(getattr(ckpt.counters, name)))
@@ -319,7 +355,7 @@ def _parse_v1(
 
 
 def checkpoint_from_words(words: np.ndarray) -> Checkpoint:
-    """Parse and CRC-verify a serialized checkpoint (v3, v2, or v1)."""
+    """Parse and CRC-verify a serialized checkpoint (v4, v3, v2, or v1)."""
     sections = unseal(words, error=CheckpointError, what="checkpoint")
     if len(sections) != 5:
         raise CheckpointError(f"checkpoint: expected 5 sections, found {len(sections)}")
@@ -327,10 +363,11 @@ def checkpoint_from_words(words: np.ndarray) -> Checkpoint:
     if header.size < 8 or int(header[0]) != CKPT_MAGIC:
         raise CheckpointError("not a GEM checkpoint (bad magic)")
     version = int(header[1])
-    if version not in (CKPT_VERSION, CKPT_VERSION_V2, CKPT_VERSION_V1):
+    if version not in (CKPT_VERSION, CKPT_VERSION_V3, CKPT_VERSION_V2, CKPT_VERSION_V1):
         raise CheckpointError(
             f"unsupported checkpoint format version {version} "
-            f"(supported: {CKPT_VERSION_V1}, {CKPT_VERSION_V2}, {CKPT_VERSION})"
+            f"(supported: {CKPT_VERSION_V1}, {CKPT_VERSION_V2}, "
+            f"{CKPT_VERSION_V3}, {CKPT_VERSION})"
         )
     if counter_sec.size % 2 or counter_sec.size > 2 * len(_COUNTER_FIELDS):
         raise CheckpointError("checkpoint: counter section has wrong size")
@@ -348,12 +385,20 @@ def checkpoint_from_words(words: np.ndarray) -> Checkpoint:
     num_rams = int(header[6])
     num_deferred = int(header[7])
     batch = int(header[8])
-    if version >= CKPT_VERSION:
+    if version >= CKPT_VERSION_V3:
         if header.size < 10:
             raise CheckpointError("checkpoint: v3 header truncated")
         words_k = int(header[9])
     else:
         words_k = 1  # v2 never carried multi-word planes
+    if version >= CKPT_VERSION:
+        if header.size < 11:
+            raise CheckpointError("checkpoint: v4 header truncated")
+        values = int(header[10])
+        if values not in (2, 4):
+            raise CheckpointError(f"checkpoint: invalid value system {values}")
+    else:
+        values = 2  # pre-v4 files were all 2-state
     if words_k == 1:
         if not 1 <= batch <= 64:
             raise CheckpointError(f"checkpoint: invalid lane count {batch}")
@@ -407,6 +452,7 @@ def checkpoint_from_words(words: np.ndarray) -> Checkpoint:
         counters=counters,
         batch=batch,
         words=words_k,
+        values=values,
         deferred=deferred,
     )
 
@@ -583,6 +629,7 @@ class CheckpointManager:
                 "crc32": crc,
                 "batch": interp.batch,
                 "words": interp.engine.words,
+                "values": getattr(interp, "values", 2),
                 "program_digest": interp.program.digest(),
             }
         )

@@ -310,6 +310,13 @@ class Supervisor:
                 checkpoint_dir, every=checkpoint_every or 1000, keep=checkpoint_keep
             )
 
+    @property
+    def values(self) -> int:
+        """Value system of the supervised design: 2, or 4 for dual-rail
+        builds — where the scrub/checkpoint/quarantine machinery covers
+        the known rail for free, because it is ordinary program state."""
+        return getattr(self.design, "values", 2)
+
     # -- engine construction --------------------------------------------------
 
     def _make_shadow(self) -> Steppable | None:

@@ -255,3 +255,112 @@ class TestGemFourState:
         4-state simulation of a stateful design, X-reset included."""
         circuit = random_circuit(777, n_ops=35, n_regs=3)
         _lockstep_dualrail(circuit, _x_stimuli(circuit, 42, 25), engine="gem")
+
+
+class TestXZEdgeCasePins:
+    """Pins for the constant-operand corners of the x-prop algebra.
+
+    Two corners historically disagree between simulators, so the exact
+    behavior is pinned at three levels (value algebra, dual-rail on
+    WordSim, dual-rail through the fused GEM engine):
+
+    * **OR by constant 1 annihilates**: ``1 | X == 1`` and — because Z
+      collapses to X in the dual-rail normal form — ``1 | Z == 1`` too;
+      a driven 1 wins regardless of how unknown the other operand is.
+    * **XOR by a constant flips polarity only**: the data rail flips
+      where the constant has 1s, the unknown mask is preserved verbatim
+      (an X stays exactly as X; it never spreads or clears).
+    """
+
+    def test_z_collapses_to_x_in_normal_form(self):
+        # a Z-like raw encoding (data and unknown both set) is X after
+        # normalization; there is no separate Z state downstream
+        z_like = FourState(data=0b1011, unknown=0b1111, width=4)
+        assert z_like == FourState.all_x(4)
+        assert str(z_like) == "xxxx"
+
+    def test_or_const_one_annihilates_x_and_z(self):
+        ones = FourState.known(0b1111, 4)
+        for raw_data in (0b0000, 0b1111, 0b1010):  # X and Z-like encodings
+            v = FourState(raw_data, 0b1111, 4)
+            assert fs.f_or(v, ones) == ones
+            assert fs.f_or(ones, v) == ones
+
+    def test_or_const_partial_annihilation(self):
+        v = FourState(0b0000, 0b1100, 4)  # xx00
+        r = fs.f_or(v, FourState.known(0b1010, 4))
+        assert str(r) == "1x10"  # only the const's 1-bits annihilate
+
+    def test_xor_const_flips_data_preserves_unknown(self):
+        v = FourState(0b0001, 0b1100, 4)  # xx01
+        for const in range(16):
+            r = fs.f_xor(v, FourState.known(const, 4))
+            assert r.unknown == 0b1100
+            assert r.data == (0b0001 ^ const) & ~0b1100 & 0xF
+        # xor by all-ones is exactly NOT: polarity flip, same x mask
+        assert fs.f_xor(v, FourState.known(0xF, 4)) == fs.f_not(v)
+
+    def _const_op_circuit(self):
+        b = CircuitBuilder()
+        x = b.input("x", 4)
+        b.output("or1", x | b.const(0b1010, 4))
+        b.output("xor1", x ^ b.const(0b0110, 4))
+        return b.build()
+
+    def _expected(self, v: FourState):
+        return {
+            "or1": fs.f_or(v, FourState.known(0b1010, 4)),
+            "xor1": fs.f_xor(v, FourState.known(0b0110, 4)),
+        }
+
+    def test_const_pins_on_dual_rail_wordsim(self):
+        circuit = self._const_op_circuit()
+        dual = to_dual_rail(circuit)
+        sim = WordSim(Netlist(dual.circuit))
+        for v in (FourState(0, 0b1111, 4), FourState(0b0001, 0b1100, 4),
+                  FourState.known(0b0101, 4)):
+            got = dual.decode_outputs(sim.step(dual.encode_inputs({"x": v})))
+            assert got == self._expected(v), str(v)
+
+    def test_const_pins_on_fused_gem(self):
+        from repro.core.compiler import compile_circuit
+
+        design = compile_circuit(self._const_op_circuit(), values=4)
+        sim = design.simulator()
+        for v in (FourState(0, 0b1111, 4), FourState(0b0001, 0b1100, 4),
+                  FourState.known(0b0101, 4)):
+            got = sim.step4({"x": v})
+            assert got == self._expected(v), str(v)
+
+
+class TestAddressXPins:
+    """Memory-port X-ness is judged on the low ``addr_bits`` only.
+
+    Addresses are full-width nets but a depth-D memory only decodes
+    ``ceil(log2 D)`` bits; an X confined to the ignored high bits selects
+    the same word either way and must NOT poison the access
+    (``_addr_unknown`` in repro/fourstate/sim.py).
+    """
+
+    def _mem_circuit(self):
+        b = CircuitBuilder()
+        addr = b.input("addr", 8)     # wider than the 4 decoded bits
+        wdata = b.input("wdata", 8)
+        wen = b.input("wen", 1)
+        mem = b.memory("m", depth=16, width=8)
+        b.write(mem, wen, addr, wdata)
+        b.output("rdata", b.read(mem, addr, sync=False))
+        return b.build()
+
+    def test_high_bit_x_address_reads_known(self):
+        sim = FourStateSim(Netlist(self._mem_circuit()), x_reset=False)
+        known = FourState.known
+        sim.step({"addr": known(3, 8), "wdata": known(0xAB, 8), "wen": known(1, 1)})
+        # X only above the 4 decoded bits: same word selected either way
+        hi_x = FourState(3, 0xF0, 8)
+        out = sim.step({"addr": hi_x, "wdata": known(0, 8), "wen": known(0, 1)})
+        assert out["rdata"] == known(0xAB, 8)
+        # X inside the decoded bits does poison the read
+        lo_x = FourState(2, 0x01, 8)
+        out = sim.step({"addr": lo_x, "wdata": known(0, 8), "wen": known(0, 1)})
+        assert out["rdata"].has_x

@@ -3,8 +3,9 @@
 The corpus is the fuzzer's regression memory: passing entries pin
 cross-engine agreement on structurally novel designs (banked for new
 coverage during seeding campaigns), and ``expect``-divergence entries pin
-the detection path itself — each carries an injected fold-constant
-mutation that must still be caught at the recorded cycle and signal.
+the detection path itself — each carries an injected mutation (a
+fold-constant bit flip, or a known-rail state flip in the 4-state
+entries) that must still be caught at the recorded cycle and signal.
 No generation happens here; every case replays a self-contained JSON
 file, so this stays fast and deterministic (docs/FUZZING.md).
 """
@@ -30,6 +31,23 @@ def test_corpus_pins_both_outcomes():
     repros = CORPUS.load_all()
     assert any(r.expect is None for r in repros), "need expect-pass entries"
     assert any(r.expect is not None for r in repros), "need expect-divergence entries"
+
+
+def test_corpus_covers_four_state():
+    """The 4-value entries pin x-reset, X-address RAM, dual-rail
+    checkpoint/resume, and the known-rail injection detection path."""
+    feats = CORPUS.coverage()
+    assert "values:4" in feats
+    four = [r for r in CORPUS.load_all() if r.oracle.values == 4]
+    assert len(four) >= 4, "need at least 4 four-state corpus entries"
+    assert any(
+        r.expect is not None
+        and (r.oracle.inject or {}).get("kind") == "known_rail"
+        for r in four
+    ), "need an expect-divergence known-rail injection pin"
+    assert any(r.oracle.checkpoint_cycle is not None for r in four), (
+        "need a dual-rail mid-run checkpoint/resume entry"
+    )
 
 
 def test_corpus_covers_ram_adapters_and_merging():

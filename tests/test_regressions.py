@@ -306,3 +306,122 @@ print(json.dumps({
         assert a["knobs"] == b["knobs"]
         assert a["digest"] == b["digest"]
         assert a["bitstream"] == b["bitstream"]
+
+
+class TestFourStateRegressions:
+    """Pins for the v4 checkpoint container and dual-rail observability.
+
+    5. Checkpoint format v4 added a ``values`` header word.  The compat
+       matrix must hold forever: a 2-state snapshot written as v3 is
+       *section-identical* to the v4 image outside the header, v3 images
+       still load (v2/v1 loading is pinned in test_runtime_checkpoint /
+       test_engine_lanes), a 4-state snapshot refuses the v3 container,
+       and restore refuses to mix value systems.
+    6. Probe taps attach to a dual-rail (``values=4``) run unchanged:
+       the catalog exposes both rails of every 4-state register and a
+       ring capture of value-rail words completes without crashing.
+    """
+
+    def _dual_design(self, seed=909):
+        from repro.core.compiler import compile_circuit
+
+        circuit = random_circuit(seed, n_ops=25, n_regs=3)
+        return circuit, compile_circuit(circuit, values=4)
+
+    def test_ckpt_v4_v3_section_identity_for_2state(self):
+        from repro.core.integrity import unseal
+        from repro.runtime.checkpoint import (
+            CKPT_VERSION_V3,
+            checkpoint_from_words,
+            checkpoint_to_words,
+            snapshot,
+        )
+
+        circuit = random_circuit(905, n_ops=20, n_regs=2)
+        design = GemCompiler().compile(circuit)
+        sim = design.simulator()
+        for vec in random_vectors(circuit, 3, 9):
+            sim.step(vec)
+        ckpt = snapshot(sim)
+        v4 = unseal(checkpoint_to_words(ckpt))
+        v3 = unseal(checkpoint_to_words(ckpt, version=CKPT_VERSION_V3))
+        # header: v4 appends exactly one word (values) and bumps version
+        assert v4[0].size == v3[0].size + 1
+        assert int(v4[0][-1]) == 2 and int(v4[0][1]) == 4 and int(v3[0][1]) == 3
+        assert (v4[0][2:-1] == v3[0][2:]).all()
+        # every non-header section is byte-identical
+        for a, b in zip(v4[1:], v3[1:]):
+            assert a.size == b.size and (a == b).all()
+        # and the v3 image still loads to the same checkpoint
+        back = checkpoint_from_words(checkpoint_to_words(ckpt, version=CKPT_VERSION_V3))
+        assert back.cycle == ckpt.cycle and back.values == 2
+        assert (back.global_state == ckpt.global_state).all()
+
+    def test_ckpt_v3_refuses_4state_and_restore_refuses_mixed_values(self):
+        import pytest
+
+        from repro.errors import CheckpointError
+        from repro.runtime.checkpoint import (
+            CKPT_VERSION_V3,
+            checkpoint_to_words,
+            restore,
+            snapshot,
+        )
+
+        circuit, design = self._dual_design()
+        sim = design.simulator()
+        for vec in random_vectors(circuit, 5, 4):
+            sim.step(vec)
+        ckpt = snapshot(sim)
+        assert ckpt.values == 4
+        with pytest.raises(CheckpointError, match="v3 cannot carry"):
+            checkpoint_to_words(ckpt, version=CKPT_VERSION_V3)
+        two_state = GemCompiler().compile(circuit).simulator()
+        with pytest.raises(CheckpointError):
+            restore(two_state, ckpt)
+
+    def test_ckpt_v4_roundtrip_resumes_dual_rail_bit_identical(self):
+        from repro.runtime.checkpoint import (
+            checkpoint_from_words,
+            checkpoint_to_words,
+            restore,
+            snapshot,
+        )
+
+        circuit, design = self._dual_design(911)
+        stimuli = random_vectors(circuit, 6, 12)
+        straight = design.simulator()
+        golden = [straight.step(vec) for vec in stimuli]
+        first = design.simulator()
+        for vec in stimuli[:5]:
+            first.step(vec)
+        back = checkpoint_from_words(checkpoint_to_words(snapshot(first)))
+        assert back.values == 4
+        resumed = design.simulator()
+        restore(resumed, back)
+        assert [resumed.step(vec) for vec in stimuli[5:]] == golden[5:]
+
+    def test_probe_taps_on_dual_rail_run(self):
+        from repro.obs.probe import ProbeTap, WaveRing, build_probe_plan, probe_catalog
+
+        circuit, design = self._dual_design(913)
+        nets = probe_catalog(design)
+        reg_names = {n.name for n in nets if n.kind == "register"}
+        value_rails = {n for n in reg_names if n.endswith("__d")}
+        known_rails = {n for n in reg_names if n.endswith("__u")}
+        assert value_rails and known_rails
+        assert {v[:-3] for v in value_rails} == {u[:-3] for u in known_rails}
+        plan = build_probe_plan(design, "registers")
+        ring = WaveRing(plan, capacity=8)
+        tap = ProbeTap(plan, [ring])
+        sim = design.simulator()
+        tap.attach(sim)
+        for vec in random_vectors(circuit, 17, 8):
+            sim.step(vec)
+        assert tap.captured == 8
+        samples = ring.lane_samples(0)
+        assert len(samples) == 8
+        # captured names carry both rails, value-rail words are ints
+        _, last = samples[-1]
+        assert any(name.endswith("__d") for name in last)
+        assert any(name.endswith("__u") for name in last)
